@@ -1,0 +1,341 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks, plus ablation benches for the
+// design choices in DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTable*/BenchmarkFig* executes the corresponding
+// experiment end to end at a reduced scale and reports its wall-clock
+// cost; the experiments binary (cmd/experiments) prints the actual
+// rows/series.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/datasets"
+	"promonet/internal/diffusion"
+	"promonet/internal/exp"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+	"promonet/internal/greedy"
+)
+
+// benchConfig is the scale used by the per-table benchmarks: large
+// enough to be meaningful, small enough for a bench sweep.
+func benchConfig() exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.NumTargets = 5
+	cfg.NumTableTargets = 3
+	cfg.Sizes = []int{4, 8, 16, 32}
+	cfg.GreedyBudget = 5
+	cfg.GreedyTargets = 3
+	cfg.GreedyCandidateSample = 32
+	return cfg
+}
+
+// --- Paper tables ---
+
+func BenchmarkTableVI(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableVI(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchVariation(b *testing.B, k exp.Kind) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.VariationTable(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDominance(b *testing.B, k exp.Kind) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.DominanceTable(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, k exp.Kind) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RatioFigure(cfg, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVII(b *testing.B)  { benchVariation(b, exp.KindBC) }
+func BenchmarkTableVIII(b *testing.B) { benchDominance(b, exp.KindBC) }
+func BenchmarkFig4(b *testing.B)      { benchFigure(b, exp.KindBC) }
+
+func BenchmarkTableIX(b *testing.B) { benchVariation(b, exp.KindRC) }
+func BenchmarkTableX(b *testing.B)  { benchDominance(b, exp.KindRC) }
+func BenchmarkFig5(b *testing.B)    { benchFigure(b, exp.KindRC) }
+
+func BenchmarkTableXI(b *testing.B)  { benchVariation(b, exp.KindCC) }
+func BenchmarkTableXII(b *testing.B) { benchDominance(b, exp.KindCC) }
+func BenchmarkFig6(b *testing.B)     { benchFigure(b, exp.KindCC) }
+
+func BenchmarkTableXIII(b *testing.B) { benchVariation(b, exp.KindEC) }
+func BenchmarkTableXIV(b *testing.B)  { benchDominance(b, exp.KindEC) }
+func BenchmarkFig7(b *testing.B)      { benchFigure(b, exp.KindEC) }
+
+func BenchmarkFig8and9(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"WIKI", "HEPP"}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.GreedyComparison(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTable(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"WIKI"}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Ablation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Toy-table reproductions (Tables III–V run in microseconds) ---
+
+func BenchmarkTableIIIToV(b *testing.B) {
+	g := datasets.Fig1()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Promote(g, core.ClosenessMeasure{}, datasets.V4, 4); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.Promote(g, core.BetweennessMeasure{Counting: centrality.PairsUnordered}, datasets.V4, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate / ablation benchmarks (DESIGN.md §6) ---
+
+func benchHost(n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(1234))
+	g := gen.BarabasiAlbert(rng, n, 4)
+	gen.TriadicClosure(rng, g, n/2)
+	return g
+}
+
+func BenchmarkBrandesSequential(b *testing.B) {
+	g := benchHost(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.BetweennessWorkers(g, centrality.PairsUnordered, 1)
+	}
+}
+
+func BenchmarkBrandesParallel(b *testing.B) {
+	g := benchHost(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Betweenness(g, centrality.PairsUnordered)
+	}
+}
+
+func BenchmarkBetweennessExact(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Betweenness(g, centrality.PairsUnordered)
+	}
+}
+
+func BenchmarkBetweennessSampled256(b *testing.B) {
+	g := benchHost(2000)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.BetweennessSampled(g, centrality.PairsUnordered, 256, rng)
+	}
+}
+
+func BenchmarkEccentricityNaive(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.ReciprocalEccentricity(g)
+	}
+}
+
+func BenchmarkEccentricityTakesKosters(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.EccentricityBounded(g)
+	}
+}
+
+func BenchmarkDiameterViaEccentricity(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Diameter(g)
+	}
+}
+
+func BenchmarkDiameterBounded(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.DiameterBounded(g)
+	}
+}
+
+func BenchmarkCurrentFlowBetweenness(b *testing.B) {
+	g := benchHost(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := centrality.CurrentFlowBetweenness(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndependentCascade(b *testing.B) {
+	g := benchHost(5000)
+	rng := rand.New(rand.NewSource(77))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diffusion.IndependentCascade(g, rng, []int{0}, 0.1)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	g := benchHost(2000)
+	g2, _, err := (core.Strategy{Target: 7, Size: 32, Type: core.SingleClique}).Apply(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Detect(g, g2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloseness(b *testing.B) {
+	g := benchHost(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Closeness(g)
+	}
+}
+
+func BenchmarkCoreness(b *testing.B) {
+	g := benchHost(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Coreness(g)
+	}
+}
+
+func BenchmarkStrategyApply(b *testing.B) {
+	g := benchHost(5000)
+	s := core.Strategy{Target: 7, Size: 64, Type: core.SingleClique}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Apply(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyRound(b *testing.B) {
+	g := benchHost(300)
+	rng := rand.New(rand.NewSource(5))
+	opts := greedy.Options{
+		Counting:        centrality.PairsUnordered,
+		CandidateSample: 16,
+		Rand:            rng,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := greedy.Improve(g, 3, 1, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKClosenessPruned(b *testing.B) {
+	g := benchHost(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.TopKCloseness(g, 10)
+	}
+}
+
+func BenchmarkTopKClosenessViaFull(b *testing.B) {
+	g := benchHost(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Closeness(g)
+	}
+}
+
+func BenchmarkCorenessIncremental(b *testing.B) {
+	// Maintain coreness through a single-clique promotion vs recompute.
+	g := benchHost(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := centrality.NewCoreMaintainer(g.Clone())
+		ins := make([]int, 16)
+		for j := range ins {
+			ins[j] = cm.AddNode()
+		}
+		for j, w := range ins {
+			cm.AddEdge(7, w)
+			for _, x := range ins[j+1:] {
+				cm.AddEdge(w, x)
+			}
+		}
+	}
+}
+
+func BenchmarkCorenessRecomputePerEdge(b *testing.B) {
+	g := benchHost(5000)
+	s := core.Strategy{Target: 7, Size: 16, Type: core.SingleClique}
+	edges := s.NumEdges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2, _, err := s.Apply(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A naive promoter recomputes after every inserted edge; one
+		// recompute per edge approximates that cost.
+		for e := 0; e < edges; e++ {
+			centrality.Coreness(g2)
+		}
+	}
+}
+
+func BenchmarkDatasetSynthesis(b *testing.B) {
+	p, err := datasets.ByName("EPIN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Build(int64(i), 0.05)
+	}
+}

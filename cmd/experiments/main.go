@@ -1,0 +1,240 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (VI–XIV) and figure (4–9) of Section VII, plus the strategy-mismatch
+// ablation, on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments [flags]                 # run everything
+//	experiments -only table7,fig4      # run a subset
+//
+// Flags:
+//
+//	-seed N      master seed (default 1)
+//	-scale F     dataset scale as a fraction of the original node count (default 0.05)
+//	-targets N   random targets per dataset for the figures (default 10)
+//	-sizes CSV   promotion sizes (default 4,8,16,32,64)
+//	-datasets CSV  subset of WIKI,HEPP,EPIN,SLAS
+//	-only CSV    subset of table6..table14, fig4..fig9, ablation,
+//	             guarantee, detect, ext, fige2, baseline, armsrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"promonet/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := exp.DefaultConfig()
+	seed := flag.Int64("seed", cfg.Seed, "master random seed")
+	scale := flag.Float64("scale", cfg.Scale, "dataset scale (fraction of original node count)")
+	targets := flag.Int("targets", cfg.NumTargets, "random targets per dataset for figures")
+	sizesFlag := flag.String("sizes", csvInts(cfg.Sizes), "promotion sizes, comma separated")
+	datasetsFlag := flag.String("datasets", "", "datasets to run (default all: WIKI,HEPP,EPIN,SLAS)")
+	only := flag.String("only", "", "run only these experiments, e.g. table7,fig4,ablation")
+	format := flag.String("format", "text", "output format: text|md|csv")
+	greedyBudget := flag.Int("greedy-budget", cfg.GreedyBudget, "max promotion size for the Greedy comparison")
+	greedyCandidates := flag.Int("greedy-candidates", cfg.GreedyCandidateSample, "candidate edges evaluated per Greedy round (0 = exhaustive, as in [18])")
+	greedyPivots := flag.Int("greedy-pivots", cfg.GreedyPivotSources, "BFS pivots for Greedy's betweenness estimates (0 = exact)")
+	flag.Parse()
+
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.NumTargets = *targets
+	cfg.GreedyBudget = *greedyBudget
+	cfg.GreedyCandidateSample = *greedyCandidates
+	cfg.GreedyPivotSources = *greedyPivots
+	var err error
+	if cfg.Sizes, err = parseInts(*sizesFlag); err != nil {
+		return fmt.Errorf("bad -sizes: %w", err)
+	}
+	if *datasetsFlag != "" {
+		cfg.Datasets = strings.Split(*datasetsFlag, ",")
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	selected := func(key string) bool { return len(want) == 0 || want[key] }
+
+	switch *format {
+	case "text", "md", "markdown", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, md, or csv)", *format)
+	}
+	render := renderer{out: os.Stdout, format: *format}
+
+	start := time.Now()
+
+	if selected("table6") {
+		if err := render.table(func() (*exp.Table, error) { return exp.TableVI(cfg) }); err != nil {
+			return err
+		}
+	}
+	kinds := []exp.Kind{exp.KindBC, exp.KindRC, exp.KindCC, exp.KindEC}
+	varKeys := []string{"table7", "table9", "table11", "table13"}
+	domKeys := []string{"table8", "table10", "table12", "table14"}
+	figKeys := []string{"fig4", "fig5", "fig6", "fig7"}
+	for i, k := range kinds {
+		if selected(varKeys[i]) {
+			if err := render.table(func() (*exp.Table, error) { return exp.VariationTable(cfg, k) }); err != nil {
+				return err
+			}
+		}
+		if selected(domKeys[i]) {
+			if err := render.table(func() (*exp.Table, error) { return exp.DominanceTable(cfg, k) }); err != nil {
+				return err
+			}
+		}
+		if selected(figKeys[i]) {
+			fig, err := exp.RatioFigure(cfg, k)
+			if err != nil {
+				return err
+			}
+			if err := render.figure(fig); err != nil {
+				return err
+			}
+		}
+	}
+	if selected("fig8") || selected("fig9") {
+		ratioFig, scoreFig, err := exp.GreedyComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if selected("fig8") {
+			if err := render.figure(ratioFig); err != nil {
+				return err
+			}
+		}
+		if selected("fig9") {
+			if err := render.figure(scoreFig); err != nil {
+				return err
+			}
+		}
+	}
+	if selected("ablation") {
+		if err := render.table(func() (*exp.Table, error) { return exp.Ablation(cfg) }); err != nil {
+			return err
+		}
+	}
+	if selected("guarantee") {
+		if err := render.table(func() (*exp.Table, error) { return exp.GuaranteeTable(cfg) }); err != nil {
+			return err
+		}
+	}
+	if selected("detect") {
+		if err := render.table(func() (*exp.Table, error) { return exp.DetectabilityTable(cfg) }); err != nil {
+			return err
+		}
+	}
+	if selected("fige2") || selected("cc-cmp") {
+		ratioFig, farFig, err := exp.ClosenessComparison(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range []*exp.Figure{ratioFig, farFig} {
+			if err := render.figure(f); err != nil {
+				return err
+			}
+		}
+	}
+	if selected("armsrace") {
+		if err := render.table(func() (*exp.Table, error) { return exp.ArmsRaceTable(cfg) }); err != nil {
+			return err
+		}
+	}
+	if selected("baseline") {
+		if err := render.table(func() (*exp.Table, error) { return exp.BaselineTable(cfg) }); err != nil {
+			return err
+		}
+	}
+	if selected("ext") {
+		fig, err := exp.ExtensionFigure(cfg)
+		if err != nil {
+			return err
+		}
+		if err := render.figure(fig); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(render.out, "done in %v (seed=%d scale=%g)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale)
+	return nil
+}
+
+// renderer writes tables and figures in the selected output format.
+type renderer struct {
+	out    *os.File
+	format string
+}
+
+func (r renderer) table(f func() (*exp.Table, error)) error {
+	t, err := f()
+	if err != nil {
+		return err
+	}
+	switch r.format {
+	case "md", "markdown":
+		err = t.RenderMarkdown(r.out)
+	case "csv":
+		err = t.RenderCSV(r.out)
+	default:
+		err = t.Render(r.out)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(r.out)
+	return err
+}
+
+func (r renderer) figure(f *exp.Figure) error {
+	var err error
+	switch r.format {
+	case "md", "markdown":
+		err = f.RenderMarkdown(r.out)
+	case "csv":
+		err = f.RenderCSV(r.out)
+	default:
+		err = f.Render(r.out)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(r.out)
+	return err
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func csvInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("4,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestCSVInts(t *testing.T) {
+	if got := csvInts([]int{4, 8, 16}); got != "4,8,16" {
+		t.Errorf("csvInts = %q", got)
+	}
+	if got := csvInts(nil); got != "" {
+		t.Errorf("csvInts(nil) = %q", got)
+	}
+}
+
+func TestParseIntsRoundTrip(t *testing.T) {
+	in := []int{1, 2, 3, 64}
+	out, err := parseInts(csvInts(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip %v -> %v", in, out)
+		}
+	}
+}

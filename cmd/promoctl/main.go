@@ -1,0 +1,213 @@
+// Command promoctl applies a black-box promotion strategy to a graph and
+// reports the outcome: score/ranking variations, the property check for
+// the measure's principle, and the theoretical guaranteed size.
+//
+// Usage:
+//
+//	promoctl -graph g.txt -target 42 -measure closeness -p 16
+//	promoctl -graph g.txt -target 42 -measure betweenness -p 8 -strategy single-clique
+//	promoctl -graph g.txt -target 42 -measure coreness -guaranteed
+//	promoctl -graph g.txt -target 42 -measure closeness -p 16 -out g2.txt
+//
+// The graph file is a SNAP-style edge list (see internal/graph). The
+// target is addressed by its original label in the file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"promonet/internal/core"
+	"promonet/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	graphPath := flag.String("graph", "", "edge-list file of the host graph (required)")
+	targetLabel := flag.Int64("target", -1, "target node label as it appears in the file (required)")
+	measureName := flag.String("measure", "closeness", "centrality measure: betweenness|coreness|closeness|eccentricity|harmonic|degree|katz")
+	size := flag.Int("p", 0, "promotion size (number of inserted nodes)")
+	strategyName := flag.String("strategy", "", "override the principle-guided strategy: multi-point|double-line|single-clique")
+	guaranteed := flag.Bool("guaranteed", false, "use the smallest provably sufficient size instead of -p")
+	outPath := flag.String("out", "", "write the updated graph G' to this file")
+	dotPath := flag.String("dot", "", "write the updated graph in Graphviz DOT format (target red, inserted gray)")
+	jsonOut := flag.Bool("json", false, "print the outcome as JSON instead of text")
+	flag.Parse()
+
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	if *targetLabel < 0 {
+		return fmt.Errorf("-target is required")
+	}
+	g, labels, err := graph.LoadEdgeListFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	target := -1
+	for id, l := range labels {
+		if l == *targetLabel {
+			target = id
+			break
+		}
+	}
+	if target == -1 {
+		return fmt.Errorf("target label %d not found in %s", *targetLabel, *graphPath)
+	}
+	m, err := core.MeasureByName(*measureName)
+	if err != nil {
+		return err
+	}
+
+	if !*jsonOut {
+		fmt.Printf("host: %v, target: label %d (id %d)\n", g, *targetLabel, target)
+		fmt.Printf("measure: %s (%s principle, guided strategy: %s)\n", m.Name(), m.Principle(), m.Strategy())
+	}
+
+	var g2 *graph.Graph
+	var o *core.Outcome
+	switch {
+	case *guaranteed:
+		p, needed, err := core.GuaranteedSize(g, m, target)
+		if err != nil {
+			return err
+		}
+		if !needed {
+			fmt.Println("target is already at rank 1; nothing to do")
+			return nil
+		}
+		if !*jsonOut {
+			fmt.Printf("guaranteed size p' + 1 = %d\n", p)
+		}
+		g2, o, err = core.Promote(g, m, target, p)
+		if err != nil {
+			return err
+		}
+	case *strategyName != "":
+		st, err := parseStrategy(*strategyName)
+		if err != nil {
+			return err
+		}
+		if *size < 1 {
+			return fmt.Errorf("-p must be >= 1")
+		}
+		g2, o, err = core.PromoteWith(g, m, core.Strategy{Target: target, Size: *size, Type: st})
+		if err != nil {
+			return err
+		}
+	default:
+		if *size < 1 {
+			return fmt.Errorf("-p must be >= 1 (or use -guaranteed)")
+		}
+		g2, o, err = core.Promote(g, m, target, *size)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			Measure:    o.Measure,
+			Principle:  m.Principle().String(),
+			Strategy:   o.Strategy.Type.String(),
+			Target:     int(*targetLabel),
+			Size:       o.Strategy.Size,
+			Inserted:   o.Inserted,
+			Score:      o.Before[o.Strategy.Target],
+			ScoreAfter: o.After[o.Strategy.Target],
+			RankBefore: o.RankBefore,
+			RankAfter:  o.RankAfter,
+			DeltaRank:  o.DeltaRank,
+			Ratio:      o.Ratio,
+			Effective:  o.Effective(),
+			Properties: propertiesReport{
+				Gain:      o.Check.Gain,
+				Dominance: o.Check.Dominance,
+				Boost:     o.Check.Boost,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(o)
+		if o.Effective() {
+			fmt.Printf("SUCCESS: ranking improved by %d positions (%.2f%% of n)\n", o.DeltaRank, o.Ratio)
+		} else {
+			fmt.Println("no ranking improvement at this size")
+		}
+	}
+	if *outPath != "" {
+		if err := graph.SaveEdgeListFile(*outPath, g2); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("updated graph written to %s (n=%d, m=%d)\n", *outPath, g2.N(), g2.M())
+		}
+	}
+	if *dotPath != "" {
+		highlight := map[int]string{o.Strategy.Target: "red"}
+		for _, w := range o.Inserted {
+			highlight[w] = "gray"
+		}
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteDOT(f, g2, "promoted", highlight); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable outcome for -json.
+type jsonReport struct {
+	Measure    string           `json:"measure"`
+	Principle  string           `json:"principle"`
+	Strategy   string           `json:"strategy"`
+	Target     int              `json:"target_label"`
+	Size       int              `json:"size"`
+	Inserted   []int            `json:"inserted_ids"`
+	Score      float64          `json:"score_before"`
+	ScoreAfter float64          `json:"score_after"`
+	RankBefore int              `json:"rank_before"`
+	RankAfter  int              `json:"rank_after"`
+	DeltaRank  int              `json:"delta_rank"`
+	Ratio      float64          `json:"ratio_percent"`
+	Effective  bool             `json:"effective"`
+	Properties propertiesReport `json:"properties"`
+}
+
+type propertiesReport struct {
+	Gain      bool `json:"gain"`
+	Dominance bool `json:"dominance"`
+	Boost     bool `json:"boost"`
+}
+
+func parseStrategy(name string) (core.StrategyType, error) {
+	switch name {
+	case "multi-point":
+		return core.MultiPoint, nil
+	case "double-line":
+		return core.DoubleLine, nil
+	case "single-clique":
+		return core.SingleClique, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"promonet/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.StrategyType
+		ok   bool
+	}{
+		{"multi-point", core.MultiPoint, true},
+		{"double-line", core.DoubleLine, true},
+		{"single-clique", core.SingleClique, true},
+		{"clique", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseStrategy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseStrategy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseStrategy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Coauthor closeness: the paper's first motivating example. In
+// co-authorship networks, authors with high closeness receive more
+// citations and their results spread further. An early-career author
+// (low closeness) wants more research impact, but the publisher's
+// co-authorship graph is a black box to them.
+//
+// The multi-point strategy maps to a real action: start p new
+// single-author collaborations (e.g. student theses) that each link only
+// to the target author. No knowledge of the rest of the network is
+// needed, and nobody else's collaborations change.
+//
+// Run with: go run ./examples/coauthor_closeness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/gen"
+)
+
+func main() {
+	// A synthetic co-authorship network: papers are cliques of authors
+	// (internal/gen.CliqueCover), the CA-HepPh profile of the paper.
+	rng := rand.New(rand.NewSource(7))
+	g0 := gen.CliqueCover(rng, 600, 2, 6, 0.5)
+	g, _ := g0.LargestComponent()
+	fmt.Printf("co-authorship network: %v\n", g)
+
+	// Our author: the node with the worst closeness (most peripheral).
+	cc := centrality.Closeness(g)
+	author := 0
+	for v := range cc {
+		if cc[v] < cc[author] {
+			author = v
+		}
+	}
+	fmt.Printf("author %d starts at closeness rank %d of %d\n",
+		author, centrality.RankOf(cc, author), g.N())
+
+	// How many new collaborations does the theory demand?
+	p, needed, err := core.GuaranteedSize(g, core.ClosenessMeasure{}, author)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !needed {
+		fmt.Println("author already has the top closeness rank")
+		return
+	}
+	fmt.Printf("Lemma 5.9: %d new pendant collaborators provably lift the rank\n", p)
+
+	// Sweep a few sizes to see the rank climb.
+	for _, size := range []int{4, 8, 16, 32, p} {
+		_, o, err := core.Promote(g, core.ClosenessMeasure{}, author, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  p=%3d: rank %4d -> %4d  (Δ_R=%+5d, Ratio=%5.1f%%)  properties: gain=%v dom=%v\n",
+			size, o.RankBefore, o.RankAfter, o.DeltaRank, o.Ratio,
+			o.Check.Gain, o.Check.Dominance)
+	}
+
+	// Contrast: the same budget spent on a single-clique (the wrong
+	// strategy for closeness) — still sound, but strictly less rank
+	// improvement per inserted node because the clique's internal edges
+	// buy nothing for distances to V.
+	_, right, _ := core.Promote(g, core.ClosenessMeasure{}, author, 16)
+	_, wrong, _ := core.PromoteWith(g, core.ClosenessMeasure{},
+		core.Strategy{Target: author, Size: 16, Type: core.SingleClique})
+	fmt.Printf("p=16 multi-point Δ_R=%d vs single-clique Δ_R=%d\n",
+		right.DeltaRank, wrong.DeltaRank)
+}

@@ -1,0 +1,88 @@
+// Influence spread: does a *promoted* node actually behave like a vital
+// node? The paper motivates centrality promotion through spread
+// phenomena; this example closes the loop with simulation:
+//
+//  1. pick a peripheral user in a social network,
+//  2. promote their closeness ranking with the multi-point strategy,
+//  3. measure information-spread speed (SI flooding) and cascade reach
+//     (independent-cascade model) before and after.
+//
+// The promotion inserts pendant nodes, which changes no distances among
+// the original users — so the target's spread *within the original
+// population* is unchanged, exactly as the theory says (Lemma S.12).
+// What changes is the target's position relative to everyone else: the
+// rest of the network got slower relative to it. The simulation
+// demonstrates both facts.
+//
+// Run with: go run ./examples/influence_spread
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/datasets"
+	"promonet/internal/diffusion"
+)
+
+func main() {
+	profile, err := datasets.ByName("SLAS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := profile.Build(17, 0.01)
+	fmt.Printf("social network (%s profile): %v\n", profile.Name, g)
+
+	cc := centrality.Closeness(g)
+	// The slowest spreader: worst closeness.
+	user := 0
+	for v := range cc {
+		if cc[v] < cc[user] {
+			user = v
+		}
+	}
+	rank := centrality.RankOf(cc, user)
+	fmt.Printf("user %d: closeness rank %d of %d\n", user, rank, g.N())
+
+	// Reference vital node: the closeness leader.
+	leader := 0
+	for v := range cc {
+		if cc[v] > cc[leader] {
+			leader = v
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("\nbefore promotion (50% SI coverage time, IC cascade reach @ prob 0.1):")
+	fmt.Printf("  user   %d: t50=%d rounds, reach=%.1f nodes\n",
+		user, diffusion.SpreadTime(g, user, 0.5),
+		diffusion.CascadeSize(g, rng, []int{user}, 0.1, 100))
+	fmt.Printf("  leader %d: t50=%d rounds, reach=%.1f nodes\n",
+		leader, diffusion.SpreadTime(g, leader, 0.5),
+		diffusion.CascadeSize(g, rng, []int{leader}, 0.1, 100))
+
+	// Promote the user's closeness ranking.
+	g2, o, err := core.Promote(g, core.ClosenessMeasure{}, user, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npromotion %v: rank %d -> %d (Δ_R=%+d)\n",
+		o.Strategy, o.RankBefore, o.RankAfter, o.DeltaRank)
+
+	fmt.Println("after promotion (measured on the updated graph):")
+	fmt.Printf("  user   %d: t50=%d rounds, reach=%.1f nodes\n",
+		user, diffusion.SpreadTime(g2, user, 0.5),
+		diffusion.CascadeSize(g2, rng, []int{user}, 0.1, 100))
+	fmt.Printf("  leader %d: t50=%d rounds, reach=%.1f nodes\n",
+		leader, diffusion.SpreadTime(g2, leader, 0.5),
+		diffusion.CascadeSize(g2, rng, []int{leader}, 0.1, 100))
+
+	fmt.Println(`
+reading the numbers: the pendant nodes hang off the user, so the user
+reaches them in one hop while everyone else must route through the
+user — the user's coverage time holds steady while the leader's grows.
+That relative shift is precisely what lifted the user's ranking.`)
+}

@@ -1,0 +1,3 @@
+module promonet
+
+go 1.22

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/datasets"
+	"promonet/internal/diffusion"
+	"promonet/internal/greedy"
+)
+
+// TestEndToEndScenario exercises the full pipeline across modules the
+// way a downstream user would: synthesize a host, promote a target for
+// every headline measure, verify the theory's promises, compare against
+// the structure-aware baseline, confirm the owner can detect the
+// manipulation, and check the diffusion consequences.
+func TestEndToEndScenario(t *testing.T) {
+	profile, err := datasets.ByName("WIKI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := profile.Build(99, 0.02)
+	if !host.IsConnected() {
+		t.Fatal("host must be connected")
+	}
+
+	measures := []core.Measure{
+		core.BetweennessMeasure{Counting: centrality.PairsUnordered},
+		core.CorenessMeasure{},
+		core.ClosenessMeasure{},
+		core.EccentricityMeasure{},
+	}
+	for _, m := range measures {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			// A low-ranked target.
+			scores := m.Scores(host)
+			target := 0
+			for v := range scores {
+				if scores[v] < scores[target] {
+					target = v
+				}
+			}
+			// 1. Guaranteed promotion must work end to end.
+			g2, o, err := core.PromoteGuaranteed(host, m, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o == nil {
+				t.Skip("target already rank 1")
+			}
+			if !o.Effective() {
+				t.Fatalf("guaranteed promotion ineffective: %v", o)
+			}
+			if !o.Check.Gain || !o.Check.Dominance {
+				t.Fatalf("principle check failed: %+v", o.Check)
+			}
+			// 2. The original topology must be frozen.
+			host.Edges(func(u, v int) bool {
+				if !g2.HasEdge(u, v) {
+					t.Fatalf("original edge (%d, %d) vanished", u, v)
+				}
+				return true
+			})
+			// 3. The owner must detect and classify the manipulation.
+			report, err := core.Detect(host, g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.Suspicious || report.SuspectedStrategy != o.Strategy.Type {
+				t.Errorf("detection failed: %v (applied %v)", report, o.Strategy.Type)
+			}
+			if report.MaxDegreeJumpNode != target {
+				t.Errorf("detector fingered node %d, target was %d", report.MaxDegreeJumpNode, target)
+			}
+		})
+	}
+
+	// 4. Baseline cross-check for betweenness: both methods improve the
+	// target's score on the same host.
+	m := core.BetweennessMeasure{Counting: centrality.PairsUnordered}
+	before := m.Scores(host)
+	target := 0
+	for v := range before {
+		if before[v] < before[target] {
+			target = v
+		}
+	}
+	_, blackBox, err := core.Promote(host, m, target, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	_, gr, err := greedy.Improve(host, target, 6, greedy.Options{
+		Counting: centrality.PairsUnordered, CandidateSample: 24, Rand: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blackBox.ScoreVariation <= 0 {
+		t.Error("black-box promotion did not raise the betweenness score")
+	}
+	if gr.After[target] <= gr.Before[target] {
+		t.Error("greedy baseline did not raise the betweenness score")
+	}
+
+	// 5. Diffusion consequence: with transmission probability 1 the
+	// cascade floods the component, so the promoted graph's reach is
+	// exactly the original's plus the 16 pendants.
+	g2, _, err := (core.Strategy{Target: target, Size: 16, Type: core.MultiPoint}).Apply(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeReach := diffusion.CascadeSize(host, rand.New(rand.NewSource(3)), []int{target}, 1.0, 1)
+	afterReach := diffusion.CascadeSize(g2, rand.New(rand.NewSource(3)), []int{target}, 1.0, 1)
+	if afterReach != beforeReach+16 {
+		t.Errorf("flood reach = %v, want %v + 16", afterReach, beforeReach)
+	}
+	// And the target's own SI coverage time is unchanged — pendants sit
+	// one hop away (Lemma S.12's frozen distances in diffusion form).
+	if bt, at := diffusion.SpreadTime(host, target, 0.5), diffusion.SpreadTime(g2, target, 0.5); at > bt+1 {
+		t.Errorf("target's 50%% coverage time degraded: %d -> %d", bt, at)
+	}
+}

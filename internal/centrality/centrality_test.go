@@ -1,0 +1,544 @@
+package centrality_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// --- BFS / distances ---
+
+func TestDistancesPath(t *testing.T) {
+	g := gen.Path(5)
+	d := centrality.Distances(g, 0)
+	for v := 0; v < 5; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("dist(0, %d) = %d, want %d", v, d[v], v)
+		}
+	}
+}
+
+func TestDistancesDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}})
+	d := centrality.Distances(g, 0)
+	if d[2] != centrality.Unreachable || d[3] != centrality.Unreachable {
+		t.Errorf("unreachable nodes got distances %v", d)
+	}
+}
+
+func TestDistFig1(t *testing.T) {
+	g := datasets.Fig1()
+	// Example 2.1: dist(v5, v7) = 2.
+	if got := centrality.Dist(g, datasets.V5, datasets.V7); got != 2 {
+		t.Errorf("dist(v5, v7) = %d, want 2", got)
+	}
+	// Example 2.2: distances from v1.
+	want := []int32{0, 1, 1, 2, 1, 1, 1, 2, 2, 3}
+	got := centrality.Distances(g, datasets.V1)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist(v1, v%d) = %d, want %d", v+1, got[v], want[v])
+		}
+	}
+}
+
+// TestPropertyTriangleInequality: BFS distances satisfy the triangle
+// inequality on random connected graphs.
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 20+rng.Intn(20), 2)
+		n := g.N()
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		da := centrality.Distances(g, a)
+		db := centrality.Distances(g, b)
+		return da[c] <= da[b]+db[c]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Closeness ---
+
+func TestFarnessFig1(t *testing.T) {
+	g := datasets.Fig1()
+	got := centrality.Farness(g)
+	for v, want := range datasets.Fig1Farness {
+		if got[v] != want {
+			t.Errorf("farness(v%d) = %d, want %d (Table V)", v+1, got[v], want)
+		}
+	}
+}
+
+func TestClosenessFig1(t *testing.T) {
+	g := datasets.Fig1()
+	cc := centrality.Closeness(g)
+	// Example 2.2: CC(v1) = 1/14.
+	if !almostEqual(cc[datasets.V1], 1.0/14) {
+		t.Errorf("CC(v1) = %v, want 1/14", cc[datasets.V1])
+	}
+	// v6 has the highest closeness (rank 1 in Table III).
+	ranks := centrality.Ranks(cc)
+	if ranks[datasets.V6] != 1 {
+		t.Errorf("rank of v6 = %d, want 1", ranks[datasets.V6])
+	}
+}
+
+func TestClosenessIsolatedNode(t *testing.T) {
+	g := graph.NewWithNodes(3)
+	g.AddEdge(0, 1)
+	cc := centrality.Closeness(g)
+	if cc[2] != 0 {
+		t.Errorf("closeness of isolated node = %v, want 0", cc[2])
+	}
+}
+
+func TestHarmonicStar(t *testing.T) {
+	g := gen.Star(5) // hub 0, leaves 1..4
+	h := centrality.Harmonic(g)
+	if !almostEqual(h[0], 4) {
+		t.Errorf("harmonic(hub) = %v, want 4", h[0])
+	}
+	// leaf: 1 hub at dist 1, 3 leaves at dist 2.
+	if !almostEqual(h[1], 1+3*0.5) {
+		t.Errorf("harmonic(leaf) = %v, want 2.5", h[1])
+	}
+}
+
+// --- Eccentricity ---
+
+func TestEccentricityFig1(t *testing.T) {
+	g := datasets.Fig1()
+	ecc := centrality.Eccentricity(g)
+	// Example 2.2: EC(v1) = 1/3.
+	if !almostEqual(ecc[datasets.V1], 1.0/3) {
+		t.Errorf("EC(v1) = %v, want 1/3", ecc[datasets.V1])
+	}
+}
+
+func TestEccentricityBoundedMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 60, 2)
+		naive := centrality.ReciprocalEccentricity(g)
+		bounded := centrality.EccentricityBounded(g)
+		for v := range naive {
+			if naive[v] != bounded[v] {
+				t.Fatalf("seed %d: ecc(%d): naive %d vs bounded %d", seed, v, naive[v], bounded[v])
+			}
+		}
+	}
+}
+
+func TestEccentricityBoundedPath(t *testing.T) {
+	g := gen.Path(9)
+	ecc := centrality.EccentricityBounded(g)
+	want := []int32{8, 7, 6, 5, 4, 5, 6, 7, 8}
+	for v := range want {
+		if ecc[v] != want[v] {
+			t.Fatalf("path ecc(%d) = %d, want %d", v, ecc[v], want[v])
+		}
+	}
+}
+
+func TestDiameterAndRadius(t *testing.T) {
+	g := gen.Path(7)
+	if d := centrality.Diameter(g); d != 6 {
+		t.Errorf("Diameter(P7) = %d, want 6", d)
+	}
+	if r := centrality.Radius(g); r != 3 {
+		t.Errorf("Radius(P7) = %d, want 3", r)
+	}
+	if d := centrality.Diameter(gen.Clique(5)); d != 1 {
+		t.Errorf("Diameter(K5) = %d, want 1", d)
+	}
+	if d := centrality.Diameter(graph.New(0)); d != 0 {
+		t.Errorf("Diameter(empty) = %d, want 0", d)
+	}
+}
+
+// --- Betweenness ---
+
+func TestBetweennessFig1(t *testing.T) {
+	g := datasets.Fig1()
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	for v, want := range datasets.Fig1Betweenness {
+		if !almostEqual(bc[v], want) {
+			t.Errorf("BC(v%d) = %v, want %v (Table IV)", v+1, bc[v], want)
+		}
+	}
+}
+
+func TestBetweennessOrderedDoubles(t *testing.T) {
+	g := datasets.Fig1()
+	un := centrality.Betweenness(g, centrality.PairsUnordered)
+	or := centrality.Betweenness(g, centrality.PairsOrdered)
+	for v := range un {
+		if !almostEqual(or[v], 2*un[v]) {
+			t.Fatalf("ordered BC(%d) = %v, want 2x unordered %v", v, or[v], un[v])
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	g := gen.Star(6) // hub 0, 5 leaves
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	if !almostEqual(bc[0], 10) { // C(5,2) pairs all through the hub
+		t.Errorf("BC(hub) = %v, want 10", bc[0])
+	}
+	for v := 1; v < 6; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("BC(leaf %d) = %v, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessPathMiddle(t *testing.T) {
+	g := gen.Path(5)
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	// Middle of P5: pairs (0,2..4)x... node 2 lies on (0,3),(0,4),(1,3),(1,4),(0,2)? no —
+	// pairs strictly through node 2: (0,3),(0,4),(1,3),(1,4) and (0,2)… endpoints
+	// don't count. Expect 4.
+	if !almostEqual(bc[2], 4) {
+		t.Errorf("BC(middle of P5) = %v, want 4", bc[2])
+	}
+}
+
+// TestPropertyBrandesMatchesNaive: differential test of Brandes against
+// the explicit pair-counting oracle on random graphs.
+func TestPropertyBrandesMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 12+rng.Intn(10), 25)
+		fast := centrality.Betweenness(g, centrality.PairsUnordered)
+		slow := centrality.BetweennessNaive(g, centrality.PairsUnordered)
+		for v := range fast {
+			if math.Abs(fast[v]-slow[v]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetweennessSampledExactFallback(t *testing.T) {
+	g := datasets.Fig1()
+	rng := rand.New(rand.NewSource(1))
+	exact := centrality.Betweenness(g, centrality.PairsUnordered)
+	sampled := centrality.BetweennessSampled(g, centrality.PairsUnordered, 100, rng)
+	for v := range exact {
+		if !almostEqual(exact[v], sampled[v]) {
+			t.Fatalf("k >= n sampled BC(%d) = %v, want exact %v", v, sampled[v], exact[v])
+		}
+	}
+}
+
+func TestBetweennessSampledApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.BarabasiAlbert(rng, 300, 3)
+	exact := centrality.Betweenness(g, centrality.PairsUnordered)
+	est := centrality.BetweennessSampled(g, centrality.PairsUnordered, 150, rng)
+	// The top exact node should stay near the top of the estimate.
+	top := 0
+	for v := range exact {
+		if exact[v] > exact[top] {
+			top = v
+		}
+	}
+	if r := centrality.RankOf(est, top); r > 10 {
+		t.Errorf("top exact-BC node ranked %d in sampled estimate, want <= 10", r)
+	}
+}
+
+// --- Coreness ---
+
+func TestCorenessFig1(t *testing.T) {
+	g := datasets.Fig1()
+	core := centrality.Coreness(g)
+	if core[datasets.V1] != datasets.Fig1CorenessV1 {
+		t.Errorf("RC(v1) = %d, want %d (Example 2.2)", core[datasets.V1], datasets.Fig1CorenessV1)
+	}
+	// Degree-1 nodes must have coreness 1.
+	for _, v := range []int{datasets.V2, datasets.V4, datasets.V10} {
+		if core[v] != 1 {
+			t.Errorf("RC(v%d) = %d, want 1", v+1, core[v])
+		}
+	}
+}
+
+func TestCorenessClique(t *testing.T) {
+	core := centrality.Coreness(gen.Clique(6))
+	for v, c := range core {
+		if c != 5 {
+			t.Fatalf("RC(%d) in K6 = %d, want 5", v, c)
+		}
+	}
+}
+
+func TestCorenessCliquePlusTail(t *testing.T) {
+	// K4 with a pendant path: clique nodes have coreness 3, tail 1.
+	g := gen.Clique(4)
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(0, a)
+	g.AddEdge(a, b)
+	core := centrality.Coreness(g)
+	for v := 0; v < 4; v++ {
+		if core[v] != 3 {
+			t.Fatalf("clique node %d coreness = %d, want 3", v, core[v])
+		}
+	}
+	if core[a] != 1 || core[b] != 1 {
+		t.Errorf("tail coreness = %d, %d, want 1, 1", core[a], core[b])
+	}
+}
+
+// TestPropertyKCoreInvariant: every node of the k-core has at least k
+// neighbors inside the k-core, and the (degeneracy+1)-core is empty.
+func TestPropertyKCoreInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 20+rng.Intn(30), 80)
+		deg := centrality.Degeneracy(g)
+		for k := 1; k <= deg; k++ {
+			nodes := centrality.KCore(g, k)
+			in := make(map[int]bool, len(nodes))
+			for _, v := range nodes {
+				in[v] = true
+			}
+			for _, v := range nodes {
+				cnt := 0
+				for _, u := range g.NeighborSlice(v) {
+					if in[u] {
+						cnt++
+					}
+				}
+				if cnt < k {
+					return false
+				}
+			}
+		}
+		return len(centrality.KCore(g, deg+1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCorenessLEDegree: coreness never exceeds degree.
+func TestPropertyCorenessLEDegree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 20+rng.Intn(40), 3)
+		core := centrality.Coreness(g)
+		for v, c := range core {
+			if c > g.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Degree / Katz ---
+
+func TestDegreeCentrality(t *testing.T) {
+	g := datasets.Fig1()
+	d := centrality.Degree(g)
+	if d[datasets.V5] != 4 {
+		t.Errorf("deg(v5) = %v, want 4 (Example 2.1)", d[datasets.V5])
+	}
+	if d[datasets.V6] != 6 {
+		t.Errorf("deg(v6) = %v, want 6", d[datasets.V6])
+	}
+}
+
+func TestKatzHubOutranksLeaf(t *testing.T) {
+	g := gen.Star(10)
+	x := centrality.KatzAuto(g)
+	if x[0] <= x[1] {
+		t.Errorf("Katz hub %v <= leaf %v", x[0], x[1])
+	}
+}
+
+func TestKatzDiverges(t *testing.T) {
+	g := gen.Clique(10)
+	if _, err := centrality.Katz(g, 0.5, 50, 1e-12); err == nil {
+		t.Error("Katz with alpha=0.5 on K10 (lambda=9) converged, want error")
+	}
+}
+
+func TestKatzSymmetry(t *testing.T) {
+	g := gen.Cycle(8)
+	x := centrality.KatzAuto(g)
+	for v := 1; v < 8; v++ {
+		if math.Abs(x[v]-x[0]) > 1e-9 {
+			t.Fatalf("Katz on vertex-transitive cycle differs: x[%d]=%v x[0]=%v", v, x[v], x[0])
+		}
+	}
+}
+
+// --- Ranks ---
+
+func TestRanksCompetition(t *testing.T) {
+	scores := []float64{3, 1, 4, 1, 5}
+	got := centrality.Ranks(scores)
+	want := []int{3, 4, 2, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks(%v) = %v, want %v", scores, got, want)
+		}
+	}
+}
+
+func TestRanksFig1ClosenessMatchesTableIII(t *testing.T) {
+	g := datasets.Fig1()
+	ranks := centrality.Ranks(centrality.Closeness(g))
+	want := []int{2, 8, 4, 9, 2, 1, 6, 6, 5, 10} // Table III row R(v)
+	for v := range want {
+		if ranks[v] != want[v] {
+			t.Errorf("R(v%d) = %d, want %d (Table III)", v+1, ranks[v], want[v])
+		}
+	}
+}
+
+// TestPropertyRankOfMatchesRanks: RankOf agrees with Ranks everywhere.
+func TestPropertyRankOfMatchesRanks(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			scores[i] = math.Abs(x)
+		}
+		ranks := centrality.Ranks(scores)
+		for v := range scores {
+			if centrality.RankOf(scores, v) != ranks[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := centrality.Ratio(5, 10); !almostEqual(r, 50) {
+		t.Errorf("Ratio(5, 10) = %v, want 50", r)
+	}
+	if r := centrality.Ratio(3, 0); r != 0 {
+		t.Errorf("Ratio(3, 0) = %v, want 0", r)
+	}
+}
+
+func TestRankingVariation(t *testing.T) {
+	before := []float64{10, 5, 1}
+	after := []float64{10, 20, 1, 0, 0} // node 1 promoted, two new nodes
+	if dv := centrality.RankingVariation(before, after, 1); dv != 1 {
+		t.Errorf("RankingVariation = %d, want 1", dv)
+	}
+}
+
+func TestDiameterBoundedMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 50+rng.Intn(100), 2)
+		want := int32(0)
+		for _, e := range centrality.ReciprocalEccentricity(g) {
+			if e > want {
+				want = e
+			}
+		}
+		if got := centrality.DiameterBounded(g); got != int(want) {
+			t.Fatalf("seed %d: DiameterBounded = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestDiameterBoundedShapes(t *testing.T) {
+	if d := centrality.DiameterBounded(gen.Path(9)); d != 8 {
+		t.Errorf("path diameter = %d, want 8", d)
+	}
+	if d := centrality.DiameterBounded(gen.Clique(7)); d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+	if d := centrality.DiameterBounded(gen.Cycle(10)); d != 5 {
+		t.Errorf("cycle diameter = %d, want 5", d)
+	}
+	if d := centrality.DiameterBounded(graph.New(0)); d != 0 {
+		t.Errorf("empty diameter = %d, want 0", d)
+	}
+}
+
+func TestBetweennessWorkersMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := gen.BarabasiAlbert(rng, 80, 2)
+	seq := centrality.BetweennessWorkers(g, centrality.PairsUnordered, 1)
+	par := centrality.Betweenness(g, centrality.PairsUnordered)
+	for v := range seq {
+		if math.Abs(seq[v]-par[v]) > 1e-9 {
+			t.Fatalf("sequential BC(%d)=%v vs parallel %v", v, seq[v], par[v])
+		}
+	}
+	two := centrality.BetweennessWorkers(g, centrality.PairsOrdered, 2)
+	for v := range seq {
+		if math.Abs(two[v]-2*seq[v]) > 1e-9 {
+			t.Fatalf("2-worker ordered BC(%d)=%v vs 2x sequential %v", v, two[v], seq[v])
+		}
+	}
+}
+
+func TestReusableBFS(t *testing.T) {
+	b := centrality.NewBFS(2) // deliberately undersized: must grow
+	g := gen.Path(6)
+	d := b.Distances(g, 0)
+	for v := 0; v < 6; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("reusable BFS dist(0,%d)=%d, want %d", v, d[v], v)
+		}
+	}
+	// Second call overwrites the buffer with a new source.
+	d = b.Distances(g, 5)
+	if d[0] != 5 {
+		t.Errorf("second run dist(5,0)=%d, want 5", d[0])
+	}
+}
+
+func TestCorenessFloat(t *testing.T) {
+	g := gen.Clique(4)
+	cf := centrality.CorenessFloat(g)
+	for v, x := range cf {
+		if x != 3 {
+			t.Fatalf("CorenessFloat(%d)=%v, want 3", v, x)
+		}
+	}
+}
+
+func TestCoreMaintainerAll(t *testing.T) {
+	cm := centrality.NewCoreMaintainer(gen.Clique(3))
+	all := cm.All()
+	if len(all) != 3 || all[0] != 2 {
+		t.Errorf("All() = %v, want [2 2 2]", all)
+	}
+}

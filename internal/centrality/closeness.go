@@ -1,0 +1,55 @@
+package centrality
+
+import "promonet/internal/graph"
+
+// Farness returns, for every node v, the reciprocal closeness score
+// ĈC(v) = Σ_u dist(v, u) — the quantity the paper tabulates in Tables V,
+// XI and XII. Unreachable pairs contribute nothing (the paper assumes
+// connected graphs); use Reached to detect disconnection if needed.
+func Farness(g *graph.Graph) []int64 {
+	n := g.N()
+	out := make([]int64, n)
+	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {
+		sc.run(g, s)
+		var sum int64
+		for _, d := range sc.dist {
+			if d > 0 {
+				sum += int64(d)
+			}
+		}
+		out[s] = sum
+	})
+	return out
+}
+
+// Closeness returns CC(v) = 1 / Σ_u dist(v, u) for every node
+// (Definition 2.1). Isolated nodes (farness 0) get score 0.
+func Closeness(g *graph.Graph) []float64 {
+	farness := Farness(g)
+	out := make([]float64, len(farness))
+	for v, f := range farness {
+		if f > 0 {
+			out[v] = 1 / float64(f)
+		}
+	}
+	return out
+}
+
+// Harmonic returns the harmonic centrality Σ_{u≠v} 1/dist(v, u) for
+// every node [27]. Unlike closeness it is well defined on disconnected
+// graphs: unreachable pairs contribute zero.
+func Harmonic(g *graph.Graph) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {
+		sc.run(g, s)
+		sum := 0.0
+		for _, d := range sc.dist {
+			if d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		out[s] = sum
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package centrality
+
+import "promonet/internal/graph"
+
+// LocalClustering returns the local clustering coefficient of every
+// node: the fraction of pairs of neighbors that are themselves adjacent.
+// Nodes of degree < 2 get coefficient 0.
+func LocalClustering(g *graph.Graph) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		adj := g.Adjacency(v)
+		d := len(adj)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(adj[i]), int(adj[j])) {
+					links++
+				}
+			}
+		}
+		out[v] = float64(2*links) / float64(d*(d-1))
+	}
+	return out
+}
+
+// AverageClustering returns the mean local clustering coefficient
+// (Watts–Strogatz global clustering).
+func AverageClustering(g *graph.Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range LocalClustering(g) {
+		sum += c
+	}
+	return sum / float64(g.N())
+}
+
+// Triangles returns the number of triangles each node participates in.
+func Triangles(g *graph.Graph) []int {
+	n := g.N()
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		adj := g.Adjacency(v)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if g.HasEdge(int(adj[i]), int(adj[j])) {
+					out[v]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d,
+// for d in [0, MaxDegree].
+func DegreeHistogram(g *graph.Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}

@@ -1,0 +1,98 @@
+package centrality_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+func TestLocalClusteringClique(t *testing.T) {
+	for _, c := range centrality.LocalClustering(gen.Clique(6)) {
+		if c != 1 {
+			t.Fatalf("clique clustering = %v, want 1", c)
+		}
+	}
+}
+
+func TestLocalClusteringTree(t *testing.T) {
+	for _, c := range centrality.LocalClustering(gen.Star(7)) {
+		if c != 0 {
+			t.Fatalf("star clustering = %v, want 0", c)
+		}
+	}
+}
+
+func TestLocalClusteringMixed(t *testing.T) {
+	// Triangle with a pendant off node 0: node 0 has 3 neighbors, one
+	// adjacent pair out of three.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	cc := centrality.LocalClustering(g)
+	if math.Abs(cc[0]-1.0/3) > 1e-12 {
+		t.Errorf("clustering(0) = %v, want 1/3", cc[0])
+	}
+	if cc[1] != 1 || cc[2] != 1 {
+		t.Errorf("triangle corners = %v, %v, want 1, 1", cc[1], cc[2])
+	}
+	if cc[3] != 0 {
+		t.Errorf("pendant clustering = %v, want 0", cc[3])
+	}
+}
+
+func TestAverageClusteringEmpty(t *testing.T) {
+	if c := centrality.AverageClustering(graph.New(0)); c != 0 {
+		t.Errorf("empty graph clustering = %v", c)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	tri := centrality.Triangles(g)
+	want := []int{1, 1, 1, 0}
+	for v := range want {
+		if tri[v] != want[v] {
+			t.Fatalf("Triangles = %v, want %v", tri, want)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := gen.Star(5) // hub degree 4, four leaves degree 1
+	h := centrality.DegreeHistogram(g)
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+// TestPropertyTriangleClusterConsistency: 3x triangles(v) equals the
+// number of closed 2-paths centered at v times... specifically
+// clustering(v) = triangles(v) / C(deg(v), 2).
+func TestPropertyTriangleClusterConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 15+rng.Intn(15), 50)
+		cc := centrality.LocalClustering(g)
+		tri := centrality.Triangles(g)
+		for v := 0; v < g.N(); v++ {
+			d := g.Degree(v)
+			if d < 2 {
+				if cc[v] != 0 {
+					return false
+				}
+				continue
+			}
+			want := float64(tri[v]) / float64(d*(d-1)/2)
+			if math.Abs(cc[v]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

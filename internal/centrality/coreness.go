@@ -1,0 +1,99 @@
+package centrality
+
+import "promonet/internal/graph"
+
+// Coreness returns RC(v) — the largest k such that v belongs to a
+// subgraph in which every node has degree at least k (Definition 2.4) —
+// for every node, using the linear-time bucket algorithm of Batagelj and
+// Zaveršnik (the k-core decomposition underlying [15]).
+func Coreness(g *graph.Graph) []int {
+	n := g.N()
+	core := make([]int, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort nodes by degree.
+	bin := make([]int, maxDeg+2) // bin[d] = start index of degree-d block
+	for _, d := range deg {
+		bin[d+1]++
+	}
+	for d := 1; d < len(bin); d++ {
+		bin[d] += bin[d-1]
+	}
+	pos := make([]int, n)  // position of node in vert
+	vert := make([]int, n) // nodes sorted by current degree
+	fill := append([]int(nil), bin...)
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u32 := range g.Adjacency(v) {
+			u := int(u32)
+			if deg[u] <= deg[v] {
+				continue
+			}
+			// Move u one bucket down: swap it with the first node of
+			// its current degree block, then shrink the block.
+			du := deg[u]
+			pu := pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				pos[u], pos[w] = pw, pu
+				vert[pu], vert[pw] = w, u
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the largest coreness max_v RC(v), the statistic in
+// the paper's Table VI.
+func Degeneracy(g *graph.Graph) int {
+	max := 0
+	for _, c := range Coreness(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// KCore returns the node set of the k-core of g (possibly empty): the
+// maximal induced subgraph in which every node has degree >= k.
+func KCore(g *graph.Graph, k int) []int {
+	core := Coreness(g)
+	var nodes []int
+	for v, c := range core {
+		if c >= k {
+			nodes = append(nodes, v)
+		}
+	}
+	return nodes
+}
+
+// CorenessFloat returns Coreness as float64 scores, convenient for the
+// generic ranking helpers.
+func CorenessFloat(g *graph.Graph) []float64 {
+	core := Coreness(g)
+	out := make([]float64, len(core))
+	for v, c := range core {
+		out[v] = float64(c)
+	}
+	return out
+}

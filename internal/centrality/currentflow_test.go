@@ -1,0 +1,137 @@
+package centrality_test
+
+import (
+	"math"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+func TestCurrentFlowBetweennessPathEqualsShortestPath(t *testing.T) {
+	// On a tree every unit of current follows the unique path, so
+	// current-flow betweenness equals shortest-path betweenness.
+	g := gen.Path(7)
+	cfb, err := centrality.CurrentFlowBetweenness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	for v := range cfb {
+		if math.Abs(cfb[v]-bc[v]) > 1e-9 {
+			t.Errorf("path CFB(%d) = %v, want BC %v", v, cfb[v], bc[v])
+		}
+	}
+}
+
+func TestCurrentFlowBetweennessStar(t *testing.T) {
+	g := gen.Star(6)
+	cfb, err := centrality.CurrentFlowBetweenness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfb[0]-10) > 1e-9 { // all C(5,2) pairs flow via the hub
+		t.Errorf("CFB(hub) = %v, want 10", cfb[0])
+	}
+	for v := 1; v < 6; v++ {
+		if math.Abs(cfb[v]) > 1e-9 {
+			t.Errorf("CFB(leaf %d) = %v, want 0", v, cfb[v])
+		}
+	}
+}
+
+func TestCurrentFlowBetweennessVertexTransitive(t *testing.T) {
+	g := gen.Cycle(8)
+	cfb, err := centrality.CurrentFlowBetweenness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 8; v++ {
+		if math.Abs(cfb[v]-cfb[0]) > 1e-9 {
+			t.Errorf("cycle CFB not uniform: %v vs %v", cfb[v], cfb[0])
+		}
+	}
+	// On a cycle (two parallel paths) current spreads beyond shortest
+	// paths, so CFB must strictly exceed shortest-path BC.
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	if cfb[0] <= bc[0] {
+		t.Errorf("cycle CFB %v should exceed BC %v", cfb[0], bc[0])
+	}
+}
+
+func TestCurrentFlowBetweennessErrors(t *testing.T) {
+	if _, err := centrality.CurrentFlowBetweenness(graph.NewWithNodes(1)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	disc := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := centrality.CurrentFlowBetweenness(disc); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestCurrentFlowMultiPointMaxGainBehaviour(t *testing.T) {
+	// The multi-point strategy behaves like maximum gain for CFB:
+	// pendant nodes carry no transit current, so original-pair
+	// contributions are unchanged and the target collects the full new
+	// pair currents.
+	g := gen.Cycle(6)
+	before, err := centrality.CurrentFlowBetweenness(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	target := 2
+	var pend []int
+	for i := 0; i < 3; i++ {
+		w := g2.AddNode()
+		g2.AddEdge(target, w)
+		pend = append(pend, w)
+	}
+	after, err := centrality.CurrentFlowBetweenness(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range pend {
+		if math.Abs(after[w]) > 1e-9 {
+			t.Errorf("pendant CFB = %v, want 0", after[w])
+		}
+	}
+	gainT := after[target] - before[target]
+	for v := 0; v < g.N(); v++ {
+		gain := after[v] - before[v]
+		if gain < -1e-9 {
+			t.Errorf("node %d lost current-flow betweenness: %v", v, gain)
+		}
+		if gain > gainT+1e-9 {
+			t.Errorf("node %d gained more than the target: %v > %v", v, gain, gainT)
+		}
+	}
+}
+
+func TestEffectiveResistance(t *testing.T) {
+	// Series: R across a 3-edge path = 3. Parallel: R across one edge
+	// of a 4-cycle = 1*3/(1+3) = 0.75.
+	p := gen.Path(4)
+	r, err := centrality.EffectiveResistance(p, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 1e-9 {
+		t.Errorf("series resistance = %v, want 3", r)
+	}
+	c := gen.Cycle(4)
+	r, err = centrality.EffectiveResistance(c, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.75) > 1e-9 {
+		t.Errorf("parallel resistance = %v, want 0.75", r)
+	}
+	if r, _ := centrality.EffectiveResistance(c, 2, 2); r != 0 {
+		t.Errorf("self resistance = %v, want 0", r)
+	}
+	if _, err := centrality.EffectiveResistance(c, 0, 9); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package centrality
+
+import "promonet/internal/graph"
+
+// ReciprocalEccentricity returns ĒC(v) = max_u dist(v, u) for every node
+// — the quantity tabulated in Tables XIII/XIV — computed by all-pairs
+// BFS. Nodes in other components are ignored (the paper assumes
+// connected graphs).
+func ReciprocalEccentricity(g *graph.Graph) []int32 {
+	n := g.N()
+	out := make([]int32, n)
+	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {
+		_, ecc := sc.run(g, s)
+		out[s] = ecc
+	})
+	return out
+}
+
+// Eccentricity returns EC(v) = 1 / max_u dist(v, u) for every node
+// (Definition 2.2). A node with eccentricity zero (singleton graph) gets
+// score 0 to avoid dividing by zero.
+func Eccentricity(g *graph.Graph) []float64 {
+	recip := ReciprocalEccentricity(g)
+	out := make([]float64, len(recip))
+	for v, e := range recip {
+		if e > 0 {
+			out[v] = 1 / float64(e)
+		}
+	}
+	return out
+}
+
+// Diameter returns the largest reciprocal eccentricity, i.e.
+// max_v ĒC(v), the statistic in the paper's Table VI. It uses the
+// Takes–Kosters bound refinement, so it is usually much cheaper than
+// all-pairs BFS.
+func Diameter(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	ecc := EccentricityBounded(g)
+	max := int32(0)
+	for _, e := range ecc {
+		if e > max {
+			max = e
+		}
+	}
+	return int(max)
+}
+
+// Radius returns the smallest reciprocal eccentricity min_v ĒC(v).
+func Radius(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	ecc := EccentricityBounded(g)
+	min := ecc[0]
+	for _, e := range ecc[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return int(min)
+}

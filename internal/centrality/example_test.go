@@ -1,0 +1,57 @@
+package centrality_test
+
+import (
+	"fmt"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+// Competition ranking per Section III: ties share the best position.
+func ExampleRanks() {
+	scores := []float64{3, 1, 4, 1, 5}
+	fmt.Println(centrality.Ranks(scores))
+	// Output:
+	// [3 4 2 4 1]
+}
+
+// Closeness on the paper's Fig. 1 example: CC(v1) = 1/14.
+func ExampleCloseness() {
+	g := datasets.Fig1()
+	cc := centrality.Closeness(g)
+	fmt.Printf("CC(v1) = 1/%.0f\n", 1/cc[datasets.V1])
+	// Output:
+	// CC(v1) = 1/14
+}
+
+// The k highest-closeness nodes without computing all of them.
+func ExampleTopKCloseness() {
+	g := datasets.Fig1()
+	for _, ns := range centrality.TopKCloseness(g, 2) {
+		fmt.Printf("node v%d: 1/%.0f\n", ns.Node+1, 1/ns.Score)
+	}
+	// Output:
+	// node v6: 1/12
+	// node v1: 1/14
+}
+
+// Coreness via the bucket k-core decomposition.
+func ExampleCoreness() {
+	g := datasets.Fig1()
+	fmt.Println("RC(v1) =", centrality.Coreness(g)[datasets.V1])
+	// Output:
+	// RC(v1) = 3
+}
+
+// Incremental k-core maintenance under edge insertions.
+func ExampleCoreMaintainer() {
+	cm := centrality.NewCoreMaintainer(gen.Clique(3))
+	w := cm.AddNode()
+	cm.AddEdge(w, 0)
+	cm.AddEdge(w, 1)
+	cm.AddEdge(w, 2)
+	fmt.Println("coreness of the new node:", cm.Coreness(w))
+	// Output:
+	// coreness of the new node: 3
+}

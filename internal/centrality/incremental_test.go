@@ -1,0 +1,126 @@
+package centrality_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+func TestCoreMaintainerSimple(t *testing.T) {
+	// Grow a triangle into K4 and check corenesses along the way.
+	g := graph.NewWithNodes(3)
+	cm := centrality.NewCoreMaintainer(g)
+	cm.AddEdge(0, 1)
+	cm.AddEdge(1, 2)
+	cm.AddEdge(2, 0)
+	for v := 0; v < 3; v++ {
+		if cm.Coreness(v) != 2 {
+			t.Fatalf("triangle coreness(%d) = %d, want 2", v, cm.Coreness(v))
+		}
+	}
+	w := cm.AddNode()
+	if cm.Coreness(w) != 0 {
+		t.Fatalf("fresh node coreness = %d, want 0", cm.Coreness(w))
+	}
+	cm.AddEdge(w, 0)
+	cm.AddEdge(w, 1)
+	cm.AddEdge(w, 2)
+	for v := 0; v < 4; v++ {
+		if cm.Coreness(v) != 3 {
+			t.Fatalf("K4 coreness(%d) = %d, want 3", v, cm.Coreness(v))
+		}
+	}
+	if err := cm.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreMaintainerDuplicateEdge(t *testing.T) {
+	g := graph.NewWithNodes(2)
+	cm := centrality.NewCoreMaintainer(g)
+	if !cm.AddEdge(0, 1) {
+		t.Fatal("first insert returned false")
+	}
+	if cm.AddEdge(0, 1) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if err := cm.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCoreMaintainerMatchesBatch: random edge-insertion streams
+// keep the maintained vector identical to a from-scratch decomposition.
+func TestPropertyCoreMaintainerMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		cm := centrality.NewCoreMaintainer(graph.NewWithNodes(n))
+		for i := 0; i < 4*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				cm.AddEdge(u, v)
+			}
+		}
+		return cm.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoreMaintainerUnderPromotion: maintaining coreness through a
+// single-clique promotion reproduces the batch result — the fast path
+// for repeated coreness promotion evaluation.
+func TestCoreMaintainerUnderPromotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.BarabasiAlbert(rng, 200, 3)
+	cm := centrality.NewCoreMaintainer(g.Clone())
+	target := 7
+	p := 8
+	// Apply the single-clique strategy through the maintainer.
+	ins := make([]int, p)
+	for i := range ins {
+		ins[i] = cm.AddNode()
+	}
+	for i, w := range ins {
+		cm.AddEdge(target, w)
+		for _, x := range ins[i+1:] {
+			cm.AddEdge(w, x)
+		}
+	}
+	if err := cm.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.Coreness(target); got < p {
+		t.Errorf("target coreness after clique = %d, want >= %d", got, p)
+	}
+	for _, w := range ins {
+		if cm.Coreness(w) != p {
+			t.Errorf("inserted node coreness = %d, want %d (Lemma S.8)", cm.Coreness(w), p)
+		}
+	}
+}
+
+func TestCoreMaintainerGrowsWithChains(t *testing.T) {
+	// A path never exceeds coreness 1 no matter how long it grows.
+	cm := centrality.NewCoreMaintainer(graph.NewWithNodes(1))
+	prev := 0
+	for i := 0; i < 30; i++ {
+		v := cm.AddNode()
+		cm.AddEdge(prev, v)
+		prev = v
+	}
+	if err := cm.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < cm.Graph().N(); v++ {
+		if cm.Coreness(v) != 1 {
+			t.Fatalf("path coreness(%d) = %d, want 1", v, cm.Coreness(v))
+		}
+	}
+}

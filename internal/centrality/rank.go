@@ -1,0 +1,59 @@
+package centrality
+
+import "sort"
+
+// Ranks returns the centrality ranking of every node under the paper's
+// Section III definition: R(v) = |{u : C(u) > C(v)}| + 1 (competition
+// ranking — ties share the best position). Rank 1 is the highest score.
+func Ranks(scores []float64) []int {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	ranks := make([]int, n)
+	for pos := 0; pos < n; pos++ {
+		v := idx[pos]
+		if pos > 0 && scores[v] == scores[idx[pos-1]] {
+			ranks[v] = ranks[idx[pos-1]]
+		} else {
+			ranks[v] = pos + 1
+		}
+	}
+	return ranks
+}
+
+// RankOf returns R(v) for a single node without materializing the full
+// ranking: the number of strictly larger scores plus one.
+func RankOf(scores []float64, v int) int {
+	rank := 1
+	sv := scores[v]
+	for _, s := range scores {
+		if s > sv {
+			rank++
+		}
+	}
+	return rank
+}
+
+// RankingVariation returns Δ_R(t) = R(t) − R′(t), the paper's measure of
+// promotion success (> 0 means the ranking improved). before and after
+// are the score vectors in G and G′; nodes added by the promotion are
+// treated as having score 0 in G, per Section III. t indexes into
+// before; after may be longer (the inserted nodes take the tail IDs).
+func RankingVariation(before, after []float64, t int) int {
+	// R(t) in G is unaffected by padding Δ_V with zero scores: all
+	// supported measures are non-negative, so the padded nodes never
+	// score strictly above t and competition ranking ignores ties.
+	return RankOf(before, t) - RankOf(after, t)
+}
+
+// Ratio returns the paper's relative ranking variation metric
+// Ratio = Δ_R(t)/n × 100%.
+func Ratio(deltaRank, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(deltaRank) / float64(n) * 100
+}

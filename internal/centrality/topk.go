@@ -1,0 +1,174 @@
+package centrality
+
+import (
+	"sort"
+
+	"promonet/internal/graph"
+)
+
+// NodeScore pairs a node with its centrality score.
+type NodeScore struct {
+	Node  int
+	Score float64
+}
+
+// TopKCloseness returns the k nodes with the highest closeness in
+// non-increasing score order, using the cutoff technique behind
+// efficient top-k closeness search [5]: candidates are processed in
+// decreasing-degree order (high-degree nodes tend to have low farness),
+// and each BFS is aborted as soon as a lower bound on its farness —
+// partial sum plus (unreached count) x (next level) — exceeds the
+// current k-th best, which avoids most full traversals on small-world
+// graphs. Exact: the result always equals the top of a full Closeness
+// computation (ties broken by node ID). The graph must be connected
+// (the paper's setting): the cutoff bound assumes every unreached node
+// will eventually contribute, which fails across components.
+func TopKCloseness(g *graph.Graph, k int) []NodeScore {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	// best holds the k smallest farness values found so far (max-heap
+	// by farness so the worst kept value is at the root).
+	heap := make([]farEntry, 0, k)
+	worst := int64(-1) // farness of the k-th best once the heap is full
+
+	sc := newBFSScratch(n)
+	for _, s := range order {
+		far, completed := farnessWithCutoff(g, s, sc, worst)
+		if !completed {
+			continue
+		}
+		if len(heap) < k {
+			heapPush(&heap, farEntry{far, s})
+			if len(heap) == k {
+				worst = heap[0].far
+			}
+		} else if far < heap[0].far || (far == heap[0].far && s < heap[0].node) {
+			heap[0] = farEntry{far, s}
+			heapDown(heap, 0)
+			worst = heap[0].far
+		}
+	}
+
+	out := make([]NodeScore, len(heap))
+	sort.Slice(heap, func(a, b int) bool {
+		if heap[a].far != heap[b].far {
+			return heap[a].far < heap[b].far
+		}
+		return heap[a].node < heap[b].node
+	})
+	for i, e := range heap {
+		score := 0.0
+		if e.far > 0 {
+			score = 1 / float64(e.far)
+		}
+		out[i] = NodeScore{Node: e.node, Score: score}
+	}
+	return out
+}
+
+// farnessWithCutoff runs a BFS from s but aborts once the farness lower
+// bound exceeds cutoff (cutoff < 0 disables the cutoff). The lower
+// bound after finishing level d with `sum` accumulated and `reached`
+// nodes seen is sum + (n - reached) * (d + 1): every unreached node is
+// at distance at least d+1.
+func farnessWithCutoff(g *graph.Graph, s int, sc *bfsScratch, cutoff int64) (far int64, completed bool) {
+	n := g.N()
+	dist := sc.dist
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	q := append(sc.queue[:0], int32(s))
+	reached := 1
+	var sum int64
+	level := int32(0)
+	for len(q) > 0 {
+		var next []int32
+		for _, v := range q {
+			for _, u := range g.Adjacency(int(v)) {
+				if dist[u] == Unreachable {
+					dist[u] = level + 1
+					sum += int64(level + 1)
+					reached++
+					next = append(next, u)
+				}
+			}
+		}
+		level++
+		if cutoff >= 0 && reached < n {
+			// Lower bound: all unreached nodes are at distance >= level+1.
+			lb := sum + int64(n-reached)*int64(level+1)
+			if lb > cutoff {
+				return 0, false
+			}
+		}
+		q = next
+	}
+	sc.queue = sc.queue[:0]
+	return sum, true
+}
+
+type farEntry struct {
+	far  int64
+	node int
+}
+
+// heapPush / heapDown implement a max-heap on farness (worst kept entry
+// at the root) with node-ID tie breaking, small enough not to warrant
+// container/heap's interface indirection.
+func heapPush(h *[]farEntry, e farEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !farLess((*h)[parent], (*h)[i]) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func heapDown(h []farEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && farLess(h[largest], h[l]) {
+			largest = l
+		}
+		if r < len(h) && farLess(h[largest], h[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// farLess orders entries by (farness, node) ascending — used inverted
+// to keep the max at the heap root.
+func farLess(a, b farEntry) bool {
+	if a.far != b.far {
+		return a.far < b.far
+	}
+	return a.node < b.node
+}

@@ -1,0 +1,96 @@
+package centrality_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestTopKClosenessFig1(t *testing.T) {
+	g := datasets.Fig1()
+	top := centrality.TopKCloseness(g, 3)
+	// From Table V farness: v6 (12), then v1 and v5 (14).
+	if len(top) != 3 {
+		t.Fatalf("got %d results, want 3", len(top))
+	}
+	if top[0].Node != datasets.V6 {
+		t.Errorf("top-1 = %d, want v6", top[0].Node)
+	}
+	if top[1].Node != datasets.V1 || top[2].Node != datasets.V5 {
+		t.Errorf("top-2/3 = %d, %d, want v1, v5 (ID tie-break)", top[1].Node, top[2].Node)
+	}
+}
+
+func TestTopKClosenessEdgeCases(t *testing.T) {
+	g := gen.Path(5)
+	if out := centrality.TopKCloseness(g, 0); out != nil {
+		t.Errorf("k=0 returned %v", out)
+	}
+	out := centrality.TopKCloseness(g, 100)
+	if len(out) != 5 {
+		t.Errorf("k>n returned %d results, want 5", len(out))
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Errorf("scores not sorted: %v", out)
+		}
+	}
+}
+
+// TestPropertyTopKMatchesFull: on random connected hosts, TopKCloseness
+// agrees with a full closeness computation for every k.
+func TestPropertyTopKMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 20+rng.Intn(60), 2)
+		far := centrality.Farness(g)
+		k := 1 + rng.Intn(10)
+		top := centrality.TopKCloseness(g, k)
+		if len(top) != min(k, g.N()) {
+			return false
+		}
+		// Build the expected ordering: farness ascending, node ID
+		// ascending.
+		type fe struct {
+			far  int64
+			node int
+		}
+		all := make([]fe, g.N())
+		for v := range all {
+			all[v] = fe{far[v], v}
+		}
+		for i := range top {
+			// Selection check: find the i-th smallest by (far, node).
+			best := -1
+			for v := range all {
+				if all[v].node == -1 {
+					continue
+				}
+				if best == -1 || all[v].far < all[best].far ||
+					(all[v].far == all[best].far && all[v].node < all[best].node) {
+					best = v
+				}
+			}
+			if top[i].Node != all[best].node {
+				return false
+			}
+			all[best].node = -1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

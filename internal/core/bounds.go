@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// This file implements the theoretical promotion sizes p′ of Remark 2:
+// with p > p′ the boost property is guaranteed, so by Theorems 5.1/5.2
+// the target's ranking strictly improves.
+
+// BoostSizeBetweenness returns the p′ of Lemma 5.3: with the multi-point
+// strategy and p > p′ = √(BC(v) − BC(t)) + 1, the target's betweenness
+// exceeds that of a node v that scored BC(v) > BC(t) in G. Scores must
+// use the unordered-pairs convention, under which
+// Δ_C(t) − Δ_C(v) >= p(p−1)/2 + ... >= (p−1)².
+func BoostSizeBetweenness(bcT, bcV float64) float64 {
+	if bcV <= bcT {
+		return 0
+	}
+	return math.Sqrt(bcV-bcT) + 1
+}
+
+// BoostSizeCoreness returns the p′ of Lemma 5.6: with the single-clique
+// strategy and p > p′ = RC(v) + 1, the target's coreness exceeds that of
+// a node v with RC(v) > RC(t) in G.
+func BoostSizeCoreness(rcV int) float64 { return float64(rcV + 1) }
+
+// BoostSizeCloseness returns the p′ of Lemma 5.9: with the multi-point
+// strategy and p > p′ = (ĈC(t) − ĈC(v)) / dist(v, t), the target's
+// closeness exceeds that of a node v with CC(v) > CC(t) in G.
+func BoostSizeCloseness(farT, farV int64, distVT int) float64 {
+	if distVT <= 0 {
+		return math.Inf(1)
+	}
+	if farV >= farT {
+		return 0
+	}
+	return float64(farT-farV) / float64(distVT)
+}
+
+// BoostSizeEccentricity returns the p′ of Lemma 5.12: with the
+// double-line strategy and p > p′ = 2·ĒC(t), the target's eccentricity
+// exceeds that of every node v with EC(v) > EC(t) in G. (The paper
+// writes 2×EC(t); by the proof — dist_G′(t, Δ_V) = p/2 must exceed
+// dist_G′(t, V) = ĒC(t) — the bound is in terms of the reciprocal score
+// ĒC, the max distance.)
+func BoostSizeEccentricity(eccRecipT int) float64 { return 2 * float64(eccRecipT) }
+
+// GuaranteedSize returns the smallest promotion size p that provably
+// improves t's ranking of measure m on g, i.e. the smallest integer
+// exceeding the measure's p′ bound taken against the easiest-to-overtake
+// node ranked strictly above t. It returns (0, false) when t is already
+// at rank 1, so no promotion is needed.
+//
+// Supported measures: betweenness, coreness, closeness, eccentricity
+// (the four with proved lemmas). Other measures return an error.
+func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
+	if t < 0 || t >= g.N() {
+		return 0, false, fmt.Errorf("core: target %d outside [0, %d)", t, g.N())
+	}
+	switch m.(type) {
+	case BetweennessMeasure:
+		bc := centrality.Betweenness(g, centrality.PairsUnordered)
+		best := math.Inf(1)
+		for v := range bc {
+			if bc[v] > bc[t] {
+				if p := BoostSizeBetweenness(bc[t], bc[v]); p < best {
+					best = p
+				}
+			}
+		}
+		return finishBound(best)
+	case CorenessMeasure:
+		rc := centrality.Coreness(g)
+		best := math.Inf(1)
+		for v := range rc {
+			if rc[v] > rc[t] {
+				if p := BoostSizeCoreness(rc[v]); p < best {
+					best = p
+				}
+			}
+		}
+		return finishBound(best)
+	case ClosenessMeasure:
+		far := centrality.Farness(g)
+		dist := centrality.Distances(g, t)
+		best := math.Inf(1)
+		for v := range far {
+			if v != t && far[v] < far[t] && dist[v] > 0 {
+				if p := BoostSizeCloseness(far[t], far[v], int(dist[v])); p < best {
+					best = p
+				}
+			}
+		}
+		return finishBound(best)
+	case EccentricityMeasure:
+		ecc := centrality.ReciprocalEccentricity(g)
+		hasHigher := false
+		for v := range ecc {
+			if ecc[v] < ecc[t] && ecc[v] > 0 {
+				hasHigher = true
+				break
+			}
+		}
+		if !hasHigher {
+			return 0, false, nil
+		}
+		return finishBound(BoostSizeEccentricity(int(ecc[t])))
+	default:
+		return 0, false, fmt.Errorf("core: no p′ bound proved for measure %q", m.Name())
+	}
+}
+
+// finishBound converts the real-valued bound p′ into the smallest
+// integer promotion size strictly exceeding it.
+func finishBound(bound float64) (int, bool, error) {
+	if math.IsInf(bound, 1) {
+		return 0, false, nil // already rank 1 among comparable nodes
+	}
+	p := int(math.Floor(bound)) + 1
+	if p < 1 {
+		p = 1
+	}
+	return p, true, nil
+}

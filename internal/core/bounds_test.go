@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestBoostSizeBetweenness(t *testing.T) {
+	// Example 5.1: p' = sqrt(BC(v5) - BC(v4)) + 1 = sqrt(4) + 1 = 3.
+	if got := BoostSizeBetweenness(0, 4); got != 3 {
+		t.Errorf("BoostSizeBetweenness(0, 4) = %v, want 3", got)
+	}
+	if got := BoostSizeBetweenness(5, 4); got != 0 {
+		t.Errorf("already ahead: got %v, want 0", got)
+	}
+}
+
+func TestBoostSizeCoreness(t *testing.T) {
+	if got := BoostSizeCoreness(7); got != 8 {
+		t.Errorf("BoostSizeCoreness(7) = %v, want 8", got)
+	}
+}
+
+func TestBoostSizeCloseness(t *testing.T) {
+	// Example 5.2: p' = (ĈC(v4) - ĈC(v2)) / dist(v4, v2) = (23-22)/3.
+	got := BoostSizeCloseness(23, 22, 3)
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("BoostSizeCloseness(23, 22, 3) = %v, want 1/3", got)
+	}
+	if got := BoostSizeCloseness(20, 22, 3); got != 0 {
+		t.Errorf("already ahead: got %v, want 0", got)
+	}
+	if got := BoostSizeCloseness(23, 22, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero distance must yield +Inf, got %v", got)
+	}
+}
+
+func TestBoostSizeEccentricity(t *testing.T) {
+	if got := BoostSizeEccentricity(4); got != 8 {
+		t.Errorf("BoostSizeEccentricity(4) = %v, want 8", got)
+	}
+}
+
+func TestGuaranteedSizeFig1Closeness(t *testing.T) {
+	// For v4 on Fig. 1, the easiest higher-closeness node is v2 with
+	// p' = 1/3 (Example 5.2), so the guaranteed size is 1.
+	g := datasets.Fig1()
+	p, needed, err := GuaranteedSize(g, ClosenessMeasure{}, datasets.V4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !needed || p != 1 {
+		t.Errorf("GuaranteedSize = (%d, %v), want (1, true)", p, needed)
+	}
+}
+
+func TestGuaranteedSizeFig1Betweenness(t *testing.T) {
+	// For v4 (BC 0), the easiest higher node is v5 (BC 4): p' = 3, so
+	// the smallest guaranteed integer is 4.
+	g := datasets.Fig1()
+	p, needed, err := GuaranteedSize(g, BetweennessMeasure{Counting: centrality.PairsUnordered}, datasets.V4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !needed || p != 4 {
+		t.Errorf("GuaranteedSize = (%d, %v), want (4, true)", p, needed)
+	}
+}
+
+func TestGuaranteedSizeAtTop(t *testing.T) {
+	g := gen.Star(6)
+	// The hub dominates degree-related and distance measures already.
+	for _, m := range []Measure{BetweennessMeasure{Counting: centrality.PairsUnordered}, ClosenessMeasure{}, CorenessMeasure{}} {
+		_, needed, err := GuaranteedSize(g, m, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if needed {
+			t.Errorf("%s: hub should need no promotion", m.Name())
+		}
+	}
+}
+
+func TestGuaranteedSizeErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := GuaranteedSize(g, ClosenessMeasure{}, 10); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, _, err := GuaranteedSize(g, HarmonicMeasure{}, 1); err == nil {
+		t.Error("unproved measure should be rejected")
+	}
+}
+
+func TestGuaranteedSizeEccentricityUniform(t *testing.T) {
+	// On a cycle every node has the same eccentricity: nobody is
+	// strictly higher, so no promotion is needed.
+	g := gen.Cycle(8)
+	_, needed, err := GuaranteedSize(g, EccentricityMeasure{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if needed {
+		t.Error("uniform eccentricity should need no promotion")
+	}
+}

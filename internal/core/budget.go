@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"promonet/internal/graph"
+)
+
+// This file implements budgeted promotion, the second future-work topic
+// of Remark 1 ("the maximal promotion effect under certain budgets"):
+// given a budget of b inserted edges, choose the size (and optionally
+// the strategy) that maximizes the target's ranking improvement.
+
+// MaxSizeWithinBudget returns the largest promotion size p such that the
+// strategy type's edge cost stays within budget edges. It returns 0 if
+// even p = 1 does not fit.
+func MaxSizeWithinBudget(t StrategyType, budget int) int {
+	switch t {
+	case SingleClique:
+		// cost(p) = p + p(p-1)/2; grow p while affordable.
+		p := 0
+		for (Strategy{Size: p + 1, Type: SingleClique}).NumEdges() <= budget {
+			p++
+		}
+		return p
+	default:
+		// Multi-point and double-line cost exactly p edges.
+		if budget < 0 {
+			return 0
+		}
+		return budget
+	}
+}
+
+// PromoteBudgeted promotes t under measure m spending at most budget
+// inserted edges, using the principle-guided strategy at its maximal
+// affordable size. It returns an error if the budget does not admit
+// even a single inserted node.
+func PromoteBudgeted(g *graph.Graph, m Measure, t, budget int) (*graph.Graph, *Outcome, error) {
+	p := MaxSizeWithinBudget(m.Strategy(), budget)
+	if p < 1 {
+		return nil, nil, fmt.Errorf("core: budget %d admits no insertion under %s", budget, m.Strategy())
+	}
+	return Promote(g, m, t, p)
+}
+
+// BestStrategyWithinBudget tries all three strategy types at their
+// maximal affordable sizes and returns the outcome with the largest
+// ranking improvement (ties broken toward the principle-guided type).
+// This is an empirical search; only the principle-guided choice carries
+// the paper's guarantee.
+func BestStrategyWithinBudget(g *graph.Graph, m Measure, t, budget int) (*graph.Graph, *Outcome, error) {
+	var bestG *graph.Graph
+	var best *Outcome
+	guided := m.Strategy()
+	for _, typ := range []StrategyType{MultiPoint, DoubleLine, SingleClique} {
+		p := MaxSizeWithinBudget(typ, budget)
+		if p < 1 {
+			continue
+		}
+		g2, o, err := PromoteWith(g, m, Strategy{Target: t, Size: p, Type: typ})
+		if err != nil {
+			return nil, nil, err
+		}
+		better := best == nil || o.DeltaRank > best.DeltaRank ||
+			(o.DeltaRank == best.DeltaRank && typ == guided && best.Strategy.Type != guided)
+		if better {
+			bestG, best = g2, o
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: budget %d admits no insertion", budget)
+	}
+	return bestG, best, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/gen"
+)
+
+func TestMaxSizeWithinBudget(t *testing.T) {
+	cases := []struct {
+		typ    StrategyType
+		budget int
+		want   int
+	}{
+		{MultiPoint, 10, 10},
+		{DoubleLine, 7, 7},
+		{MultiPoint, 0, 0},
+		{SingleClique, 1, 1},  // cost(1) = 1
+		{SingleClique, 2, 1},  // cost(2) = 3
+		{SingleClique, 3, 2},  // cost(2) = 3
+		{SingleClique, 10, 4}, // cost(4) = 10
+		{SingleClique, 14, 4}, // cost(5) = 15
+		{SingleClique, 15, 5},
+		{SingleClique, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := MaxSizeWithinBudget(tc.typ, tc.budget); got != tc.want {
+			t.Errorf("MaxSizeWithinBudget(%v, %d) = %d, want %d", tc.typ, tc.budget, got, tc.want)
+		}
+	}
+}
+
+// TestPropertyBudgetNeverExceeded: the affordable size's edge cost never
+// exceeds the budget, and size+1 always would.
+func TestPropertyBudgetNeverExceeded(t *testing.T) {
+	f := func(raw uint8) bool {
+		budget := int(raw)
+		for _, typ := range []StrategyType{MultiPoint, DoubleLine, SingleClique} {
+			p := MaxSizeWithinBudget(typ, budget)
+			if p > 0 && (Strategy{Size: p, Type: typ}).NumEdges() > budget {
+				return false
+			}
+			if (Strategy{Size: p + 1, Type: typ}).NumEdges() <= budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPromoteBudgeted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbert(rng, 60, 2)
+	_, o, err := PromoteBudgeted(g, CorenessMeasure{}, 30, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-clique within 15 edges: p = 5.
+	if o.Strategy.Size != 5 || o.Strategy.Type != SingleClique {
+		t.Errorf("budgeted strategy = %v, want [_, 5, single-clique]", o.Strategy)
+	}
+	if _, _, err := PromoteBudgeted(g, CorenessMeasure{}, 30, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestBestStrategyWithinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(rng, 80, 2)
+	// Pick a low-closeness node.
+	m := ClosenessMeasure{}
+	scores := m.Scores(g)
+	target := 0
+	for v := range scores {
+		if scores[v] < scores[target] {
+			target = v
+		}
+	}
+	_, best, err := BestStrategyWithinBudget(g, m, target, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner must at least match the guided strategy's result.
+	_, guided, err := PromoteBudgeted(g, m, target, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.DeltaRank < guided.DeltaRank {
+		t.Errorf("best-of-three Δ_R=%d worse than guided Δ_R=%d", best.DeltaRank, guided.DeltaRank)
+	}
+	if _, _, err := BestStrategyWithinBudget(g, m, target, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

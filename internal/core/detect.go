@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// This file implements the detectability analysis the paper defers to
+// future work (Remark 1): "other equally important topics, such as the
+// detectability of strategies". It gives the network owner's view — a
+// battery of structural statistics comparing an observed graph against a
+// baseline, plus signatures that flag each strategy's footprint.
+
+// DetectionReport quantifies how visible a promotion is to a network
+// owner comparing a current snapshot against an earlier one.
+type DetectionReport struct {
+	// NodesAdded / EdgesAdded are the raw deltas.
+	NodesAdded, EdgesAdded int
+
+	// PendantFractionBefore/After is the share of degree-1 nodes — the
+	// multi-point strategy's footprint (it adds p pendants at once).
+	PendantFractionBefore, PendantFractionAfter float64
+
+	// ClusteringBefore/After is the average local clustering
+	// coefficient — the single-clique strategy's footprint (a (p+1)-
+	// clique of fresh perfectly-clustered nodes).
+	ClusteringBefore, ClusteringAfter float64
+
+	// DegreeKS is the two-sample Kolmogorov–Smirnov statistic between
+	// the degree distributions (0 = identical, 1 = disjoint).
+	DegreeKS float64
+
+	// MaxDegreeJump is the largest single-node degree increase among
+	// surviving nodes — all three strategies raise the target's degree
+	// by p (multi-point, single-clique) or 2 (double-line).
+	MaxDegreeJump     int
+	MaxDegreeJumpNode int
+
+	// SuspectedStrategy is the strategy whose signature matches best,
+	// or -1 if nothing suspicious was found.
+	SuspectedStrategy StrategyType
+	Suspicious        bool
+}
+
+// String summarizes the report.
+func (r *DetectionReport) String() string {
+	verdict := "no promotion signature detected"
+	if r.Suspicious {
+		verdict = fmt.Sprintf("suspected %s promotion around node %d", r.SuspectedStrategy, r.MaxDegreeJumpNode)
+	}
+	return fmt.Sprintf("+%d nodes, +%d edges; pendant %.3f->%.3f, clustering %.3f->%.3f, degree-KS %.3f, max degree jump %+d @%d: %s",
+		r.NodesAdded, r.EdgesAdded, r.PendantFractionBefore, r.PendantFractionAfter,
+		r.ClusteringBefore, r.ClusteringAfter, r.DegreeKS, r.MaxDegreeJump, r.MaxDegreeJumpNode, verdict)
+}
+
+// Detect compares an observed graph against a baseline snapshot (the
+// first len(baseline-nodes) node IDs of observed must correspond to the
+// baseline's nodes, which holds for every strategy in this package) and
+// reports the promotion signatures it finds.
+func Detect(baseline, observed *graph.Graph) (*DetectionReport, error) {
+	nb := baseline.N()
+	if observed.N() < nb {
+		return nil, fmt.Errorf("core: observed graph has fewer nodes (%d) than baseline (%d)", observed.N(), nb)
+	}
+	r := &DetectionReport{
+		NodesAdded: observed.N() - nb,
+		EdgesAdded: observed.M() - baseline.M(),
+	}
+	r.PendantFractionBefore = pendantFraction(baseline)
+	r.PendantFractionAfter = pendantFraction(observed)
+	r.ClusteringBefore = centrality.AverageClustering(baseline)
+	r.ClusteringAfter = centrality.AverageClustering(observed)
+	r.DegreeKS = degreeKS(baseline, observed)
+
+	for v := 0; v < nb; v++ {
+		if jump := observed.Degree(v) - baseline.Degree(v); jump > r.MaxDegreeJump {
+			r.MaxDegreeJump = jump
+			r.MaxDegreeJumpNode = v
+		}
+	}
+
+	r.SuspectedStrategy = StrategyType(-1)
+	if r.NodesAdded == 0 {
+		return r, nil
+	}
+	// Classify the appended structure by inspecting the new nodes.
+	newDeg1, newDeg2, interEdges := 0, 0, 0
+	for w := nb; w < observed.N(); w++ {
+		switch observed.Degree(w) {
+		case 1:
+			newDeg1++
+		case 2:
+			newDeg2++
+		}
+		for _, u := range observed.Adjacency(w) {
+			if int(u) >= nb && int(u) > w {
+				interEdges++
+			}
+		}
+	}
+	p := r.NodesAdded
+	switch {
+	case interEdges == p*(p-1)/2 && p >= 2:
+		r.SuspectedStrategy = SingleClique
+		r.Suspicious = true
+	case newDeg1 == p && interEdges == 0:
+		r.SuspectedStrategy = MultiPoint
+		r.Suspicious = true
+	case interEdges == p-minInt(p, 2) && newDeg1 <= 2 && p >= 2:
+		// Two chains: p-2 internal chain edges (p-1 for a single line).
+		r.SuspectedStrategy = DoubleLine
+		r.Suspicious = true
+	default:
+		// Appended nodes with an unrecognized shape are still worth a
+		// flag when they all attach through one original node.
+		attach := map[int]bool{}
+		for w := nb; w < observed.N(); w++ {
+			for _, u := range observed.Adjacency(w) {
+				if int(u) < nb {
+					attach[int(u)] = true
+				}
+			}
+		}
+		if len(attach) == 1 {
+			r.Suspicious = true
+		}
+	}
+	return r, nil
+}
+
+func pendantFraction(g *graph.Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	c := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			c++
+		}
+	}
+	return float64(c) / float64(g.N())
+}
+
+// degreeKS computes the two-sample Kolmogorov–Smirnov statistic between
+// the degree multisets of a and b.
+func degreeKS(a, b *graph.Graph) float64 {
+	da := sortedDegrees(a)
+	db := sortedDegrees(b)
+	if len(da) == 0 || len(db) == 0 {
+		return 0
+	}
+	i, j := 0, 0
+	maxDiff := 0.0
+	for i < len(da) && j < len(db) {
+		var x int
+		if da[i] <= db[j] {
+			x = da[i]
+		} else {
+			x = db[j]
+		}
+		for i < len(da) && da[i] <= x {
+			i++
+		}
+		for j < len(db) && db[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(da)) - float64(j)/float64(len(db)))
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return maxDiff
+}
+
+func sortedDegrees(g *graph.Graph) []int {
+	out := make([]int, g.N())
+	for v := range out {
+		out[v] = g.Degree(v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

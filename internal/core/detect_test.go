@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestDetectMultiPoint(t *testing.T) {
+	g := datasets.Fig1()
+	g2, _, err := (Strategy{datasets.V4, 6, MultiPoint}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Detect(g, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Suspicious || r.SuspectedStrategy != MultiPoint {
+		t.Errorf("multi-point not detected: %v", r)
+	}
+	if r.MaxDegreeJumpNode != datasets.V4 || r.MaxDegreeJump != 6 {
+		t.Errorf("degree jump %d@%d, want 6@%d", r.MaxDegreeJump, r.MaxDegreeJumpNode, datasets.V4)
+	}
+	if r.PendantFractionAfter <= r.PendantFractionBefore {
+		t.Error("pendant fraction should rise under multi-point")
+	}
+}
+
+func TestDetectSingleClique(t *testing.T) {
+	g := datasets.Fig1()
+	g2, _, err := (Strategy{datasets.V4, 5, SingleClique}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Detect(g, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Suspicious || r.SuspectedStrategy != SingleClique {
+		t.Errorf("single-clique not detected: %v", r)
+	}
+	if r.ClusteringAfter <= r.ClusteringBefore {
+		t.Error("clustering should rise under single-clique")
+	}
+}
+
+func TestDetectDoubleLine(t *testing.T) {
+	g := datasets.Fig1()
+	g2, _, err := (Strategy{datasets.V4, 6, DoubleLine}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Detect(g, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Suspicious || r.SuspectedStrategy != DoubleLine {
+		t.Errorf("double-line not detected: %v", r)
+	}
+}
+
+func TestDetectNothing(t *testing.T) {
+	g := datasets.Fig1()
+	r, err := Detect(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Suspicious {
+		t.Errorf("false positive on identical graphs: %v", r)
+	}
+	if r.DegreeKS != 0 {
+		t.Errorf("KS = %v on identical graphs, want 0", r.DegreeKS)
+	}
+}
+
+func TestDetectOrganicGrowthNotFlaggedAsStrategy(t *testing.T) {
+	// Organic growth: new nodes attach preferentially to several
+	// different hosts — should not match a one-attachment-point
+	// strategy signature.
+	rng := rand.New(rand.NewSource(4))
+	g := gen.BarabasiAlbert(rng, 100, 3)
+	g2 := g.Clone()
+	for i := 0; i < 5; i++ {
+		v := g2.AddNode()
+		for added := 0; added < 3; {
+			u := rng.Intn(100)
+			if g2.AddEdge(v, u) {
+				added++
+			}
+		}
+	}
+	r, err := Detect(g, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Suspicious && r.SuspectedStrategy >= 0 {
+		t.Errorf("organic growth misclassified as %v", r.SuspectedStrategy)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	g := datasets.Fig1()
+	small := gen.Path(3)
+	if _, err := Detect(g, small); err == nil {
+		t.Error("shrunken graph accepted")
+	}
+}
+
+func TestDetectionReportString(t *testing.T) {
+	g := datasets.Fig1()
+	g2, _, _ := (Strategy{datasets.V4, 4, MultiPoint}).Apply(g)
+	r, _ := Detect(g, g2)
+	if s := r.String(); s == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestDegreeKSRisesWithPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.BarabasiAlbert(rng, 150, 3)
+	g2 := g.Clone()
+	// Add many pendants: the degree distribution shifts.
+	hub := 0
+	for i := 0; i < 80; i++ {
+		w := g2.AddNode()
+		g2.AddEdge(hub, w)
+	}
+	r, err := Detect(g, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DegreeKS <= 0.1 {
+		t.Errorf("KS = %v after 80 pendants on 150 nodes, want clearly > 0.1", r.DegreeKS)
+	}
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+
+	"promonet/internal/core"
+	"promonet/internal/datasets"
+)
+
+// The library's headline call: promote a node's closeness ranking on a
+// black-box host with the principle-guided strategy of Table I.
+func ExamplePromote() {
+	g := datasets.Fig1()
+	_, outcome, err := core.Promote(g, core.ClosenessMeasure{}, datasets.V4, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rank %d -> %d (Δ_R = %+d)\n", outcome.RankBefore, outcome.RankAfter, outcome.DeltaRank)
+	fmt.Printf("properties: gain=%v dominance=%v boost=%v\n",
+		outcome.Check.Gain, outcome.Check.Dominance, outcome.Check.Boost)
+	// Output:
+	// rank 9 -> 5 (Δ_R = +4)
+	// properties: gain=true dominance=true boost=true
+}
+
+// Strategies can be applied directly when only the updated graph is
+// needed, without any measurement.
+func ExampleStrategy_Apply() {
+	g := datasets.Fig1()
+	s := core.Strategy{Target: datasets.V4, Size: 4, Type: core.MultiPoint}
+	g2, inserted, err := s.Apply(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	fmt.Printf("G: %v, G': %v, inserted %v\n", g, g2, inserted)
+	// Output:
+	// [3, 4, multi-point]
+	// G: graph(n=10, m=15), G': graph(n=14, m=19), inserted [10 11 12 13]
+}
+
+// The theoretical sufficient size of Remark 2 for each measure.
+func ExampleGuaranteedSize() {
+	g := datasets.Fig1()
+	p, needed, err := core.GuaranteedSize(g, core.ClosenessMeasure{}, datasets.V4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("needed=%v p=%d\n", needed, p)
+	// Output:
+	// needed=true p=1
+}
+
+// Owner-side detection of a promotion (Remark 1 future work).
+func ExampleDetect() {
+	g := datasets.Fig1()
+	g2, _, err := (core.Strategy{Target: datasets.V4, Size: 5, Type: core.SingleClique}).Apply(g)
+	if err != nil {
+		panic(err)
+	}
+	report, err := core.Detect(g, g2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("suspicious=%v strategy=%v around node %d\n",
+		report.Suspicious, report.SuspectedStrategy, report.MaxDegreeJumpNode)
+	// Output:
+	// suspicious=true strategy=single-clique around node 3
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// This file covers two multi-step scenarios built on the single-shot
+// Promote: the arms race the paper's introduction warns about (several
+// nodes promoting simultaneously — the reason rankings, not scores, are
+// the right objective), and goal-directed promotion ("get me into the
+// top r").
+
+// CompetitorOutcome is one participant's result in a simultaneous
+// promotion.
+type CompetitorOutcome struct {
+	Target     int
+	RankBefore int
+	RankAfter  int
+	DeltaRank  int
+}
+
+// PromoteAll applies the measure's principle-guided strategy of size p
+// to every target simultaneously (all structures attached to the same
+// host) and reports each participant's ranking movement. Theorems
+// 5.3–5.6 guarantee nothing here — each proof assumes a single, frozen
+// promotion — which is exactly why the experiment is interesting: it
+// quantifies how much of the single-promoter guarantee survives an arms
+// race. Targets must be distinct.
+func PromoteAll(g *graph.Graph, m Measure, targets []int, p int) (*graph.Graph, []CompetitorOutcome, error) {
+	seen := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if t < 0 || t >= g.N() {
+			return nil, nil, fmt.Errorf("core: target %d outside [0, %d)", t, g.N())
+		}
+		if seen[t] {
+			return nil, nil, fmt.Errorf("core: duplicate target %d", t)
+		}
+		seen[t] = true
+	}
+	if p < 1 {
+		return nil, nil, fmt.Errorf("core: promotion size %d, want >= 1", p)
+	}
+	before := m.Scores(g)
+	g2 := g.Clone()
+	styp := m.Strategy()
+	for _, t := range targets {
+		if _, err := (Strategy{Target: t, Size: p, Type: styp}).ApplyInPlace(g2); err != nil {
+			return nil, nil, err
+		}
+	}
+	after := m.Scores(g2)
+	outcomes := make([]CompetitorOutcome, len(targets))
+	for i, t := range targets {
+		rb := centrality.RankOf(before, t)
+		ra := centrality.RankOf(after, t)
+		outcomes[i] = CompetitorOutcome{Target: t, RankBefore: rb, RankAfter: ra, DeltaRank: rb - ra}
+	}
+	return g2, outcomes, nil
+}
+
+// PromoteToRank repeatedly promotes t (each round with the smallest
+// provably sufficient size on the current graph) until its ranking of m
+// reaches goal or better, or until maxRounds promotions have been
+// applied. Each round's Theorem 5.1/5.2 guarantee lifts the rank by at
+// least one, so the loop terminates within R(t) − goal rounds. It
+// returns the final graph, the per-round outcomes, and whether the goal
+// was met.
+func PromoteToRank(g *graph.Graph, m Measure, t, goal, maxRounds int) (*graph.Graph, []*Outcome, bool, error) {
+	if goal < 1 {
+		return nil, nil, false, fmt.Errorf("core: rank goal %d, want >= 1", goal)
+	}
+	if maxRounds < 1 {
+		return nil, nil, false, fmt.Errorf("core: maxRounds %d, want >= 1", maxRounds)
+	}
+	cur := g
+	var rounds []*Outcome
+	for len(rounds) < maxRounds {
+		rank := centrality.RankOf(m.Scores(cur), t)
+		if rank <= goal {
+			return cur, rounds, true, nil
+		}
+		next, o, err := PromoteGuaranteed(cur, m, t)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if o == nil {
+			// Already rank 1 among comparable nodes — can't do better.
+			return cur, rounds, rank <= goal, nil
+		}
+		rounds = append(rounds, o)
+		cur = next
+	}
+	rank := centrality.RankOf(m.Scores(cur), t)
+	return cur, rounds, rank <= goal, nil
+}
+
+// ArmsRaceSummary aggregates a PromoteAll result: how many participants
+// still improved, and the spread of their movements.
+func ArmsRaceSummary(outcomes []CompetitorOutcome) (improved, unchanged, demoted int, meanDelta float64) {
+	if len(outcomes) == 0 {
+		return 0, 0, 0, 0
+	}
+	total := 0
+	for _, o := range outcomes {
+		switch {
+		case o.DeltaRank > 0:
+			improved++
+		case o.DeltaRank == 0:
+			unchanged++
+		default:
+			demoted++
+		}
+		total += o.DeltaRank
+	}
+	return improved, unchanged, demoted, float64(total) / float64(len(outcomes))
+}
+
+// SortCompetitors orders outcomes by final rank ascending (winners
+// first), for display.
+func SortCompetitors(outcomes []CompetitorOutcome) {
+	sort.Slice(outcomes, func(a, b int) bool {
+		return outcomes[a].RankAfter < outcomes[b].RankAfter
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestPromoteAllSingleEqualsPromote(t *testing.T) {
+	g := datasets.Fig1()
+	m := ClosenessMeasure{}
+	_, solo, err := Promote(g, m, datasets.V4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outcomes, err := PromoteAll(g, m, []int{datasets.V4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].DeltaRank != solo.DeltaRank {
+		t.Errorf("PromoteAll with one target Δ_R=%d, Promote Δ_R=%d",
+			outcomes[0].DeltaRank, solo.DeltaRank)
+	}
+}
+
+func TestPromoteAllArmsRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.BarabasiAlbert(rng, 120, 2)
+	m := ClosenessMeasure{}
+	scores := m.Scores(g)
+	// The five lowest-closeness nodes all promote at once.
+	idx := make([]int, g.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if scores[idx[j]] < scores[idx[i]] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	targets := idx[:5]
+	g2, outcomes, err := PromoteAll(g, m, targets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N()+5*8 {
+		t.Fatalf("G' n=%d, want %d", g2.N(), g.N()+5*8)
+	}
+	improved, unchanged, demoted, mean := ArmsRaceSummary(outcomes)
+	if improved+unchanged+demoted != 5 {
+		t.Fatalf("summary doesn't partition: %d+%d+%d", improved, unchanged, demoted)
+	}
+	// Peripheral nodes promoting against each other still mostly win:
+	// everyone's pendants hurt the *rest of the graph* more than each
+	// other.
+	if improved == 0 {
+		t.Errorf("no participant improved in the arms race: %+v", outcomes)
+	}
+	if mean < 0 {
+		t.Errorf("mean Δ_R = %v < 0 for peripheral co-promoters", mean)
+	}
+	SortCompetitors(outcomes)
+	for i := 1; i < len(outcomes); i++ {
+		if outcomes[i].RankAfter < outcomes[i-1].RankAfter {
+			t.Error("SortCompetitors did not sort by final rank")
+		}
+	}
+}
+
+func TestPromoteAllErrors(t *testing.T) {
+	g := gen.Path(5)
+	m := ClosenessMeasure{}
+	if _, _, err := PromoteAll(g, m, []int{1, 1}, 2); err == nil {
+		t.Error("duplicate targets accepted")
+	}
+	if _, _, err := PromoteAll(g, m, []int{9}, 2); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, _, err := PromoteAll(g, m, []int{1}, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestPromoteToRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := gen.BarabasiAlbert(rng, 80, 2)
+	m := CorenessMeasure{}
+	scores := m.Scores(g)
+	target := 0
+	for v := range scores {
+		if scores[v] < scores[target] {
+			target = v
+		}
+	}
+	goal := 3
+	g2, rounds, ok, err := PromoteToRank(g, m, target, goal, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("goal rank %d not reached in %d rounds", goal, len(rounds))
+	}
+	finalRank := centrality.RankOf(m.Scores(g2), target)
+	if finalRank > goal {
+		t.Errorf("final rank %d > goal %d despite ok=true", finalRank, goal)
+	}
+	// Every round must have strictly improved the ranking.
+	for i, o := range rounds {
+		if o.DeltaRank <= 0 {
+			t.Errorf("round %d did not improve: %v", i, o)
+		}
+	}
+}
+
+func TestPromoteToRankAlreadyThere(t *testing.T) {
+	g := gen.Star(9)
+	g2, rounds, ok, err := PromoteToRank(g, ClosenessMeasure{}, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(rounds) != 0 {
+		t.Errorf("hub at rank 1: ok=%v rounds=%d", ok, len(rounds))
+	}
+	if g2 != g {
+		t.Error("graph changed when goal already met")
+	}
+}
+
+func TestPromoteToRankErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, _, err := PromoteToRank(g, ClosenessMeasure{}, 1, 0, 5); err == nil {
+		t.Error("goal 0 accepted")
+	}
+	if _, _, _, err := PromoteToRank(g, ClosenessMeasure{}, 1, 1, 0); err == nil {
+		t.Error("maxRounds 0 accepted")
+	}
+}
+
+func TestArmsRaceSummaryEmpty(t *testing.T) {
+	i, u, d, m := ArmsRaceSummary(nil)
+	if i != 0 || u != 0 || d != 0 || m != 0 {
+		t.Error("empty summary not zero")
+	}
+}

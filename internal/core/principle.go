@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+
+	"promonet/internal/graph"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// PropertyCheck records whether an applied strategy satisfied the three
+// properties of its principle (Definitions 5.1 / 5.2) on a concrete
+// graph, as the paper's experiments verify in Sections VII-A/B.
+type PropertyCheck struct {
+	Principle Principle
+
+	// Gain holds for maximum gain: Δ_C(t) >= Δ_C(v) >= 0 for all v ∈ V
+	// (maximum property); for minimum loss: Δ̄_C(v) >= Δ̄_C(t) >= 0
+	// (minimum property).
+	Gain bool
+	// Dominance: C′(t) >= C′(w) for every inserted node w ∈ Δ_V.
+	Dominance bool
+	// Boost: the target overtook at least one node that scored strictly
+	// higher in G. Vacuously true when no node scored higher (the
+	// target was already rank 1).
+	Boost bool
+	// HadHigher reports whether any node scored strictly above the
+	// target in G, i.e. whether Boost was non-vacuous.
+	HadHigher bool
+
+	// MaxOtherVariation is max_{v ∈ V\t} Δ_C(v) (maximum gain) or
+	// min_{v ∈ V\t} Δ̄_C(v) (minimum loss) — the competitor column the
+	// paper reports in Tables VII/IX/XI/XIII.
+	TargetVariation   float64
+	MaxOtherVariation float64
+	// MaxOtherNode is the argmax/argmin above, or -1 when V = {t}.
+	MaxOtherNode int
+}
+
+// Holds reports whether all three properties held.
+func (c PropertyCheck) Holds() bool { return c.Gain && c.Dominance && c.Boost }
+
+// CheckMaximumGain verifies the maximum gain principle (Definition 5.1)
+// empirically. before are the scores C(v) on G (length n); after are the
+// scores C′(v) on G′ (length n+p, inserted nodes last); t is the target.
+func CheckMaximumGain(before, after []float64, t int) PropertyCheck {
+	n := len(before)
+	check := PropertyCheck{Principle: MaximumGain, Gain: true, MaxOtherNode: -1}
+	check.TargetVariation = after[t] - before[t]
+	for v := 0; v < n; v++ {
+		dv := after[v] - before[v]
+		if dv < -eps || dv > check.TargetVariation+eps {
+			check.Gain = false
+		}
+		if v == t {
+			continue
+		}
+		if check.MaxOtherNode == -1 || dv > check.MaxOtherVariation {
+			check.MaxOtherVariation = dv
+			check.MaxOtherNode = v
+		}
+	}
+	check.Dominance = dominates(after, t, n)
+	check.Boost, check.HadHigher = boosted(before, after, t, n)
+	return check
+}
+
+// CheckMinimumLoss verifies the minimum loss principle (Definition 5.2)
+// empirically. beforeRecip/afterRecip are the reciprocal scores C̄ on
+// G/G′ (for closeness: farness; for eccentricity: max distance);
+// afterScores are the actual scores C′ on G′ used for the dominance and
+// boost properties.
+func CheckMinimumLoss(beforeRecip, afterRecip, beforeScores, afterScores []float64, t int) PropertyCheck {
+	n := len(beforeRecip)
+	check := PropertyCheck{Principle: MinimumLoss, Gain: true, MaxOtherNode: -1}
+	check.TargetVariation = afterRecip[t] - beforeRecip[t]
+	if check.TargetVariation < -eps {
+		check.Gain = false // reciprocal score may not shrink (footnote 5)
+	}
+	for v := 0; v < n; v++ {
+		dv := afterRecip[v] - beforeRecip[v]
+		if dv < check.TargetVariation-eps {
+			check.Gain = false // someone lost less than the target
+		}
+		if v == t {
+			continue
+		}
+		if check.MaxOtherNode == -1 || dv < check.MaxOtherVariation {
+			check.MaxOtherVariation = dv
+			check.MaxOtherNode = v
+		}
+	}
+	check.Dominance = dominates(afterScores, t, n)
+	check.Boost, check.HadHigher = boosted(beforeScores, afterScores, t, n)
+	return check
+}
+
+const eps = 1e-9
+
+// dominates reports C′(t) >= C′(w) for all inserted nodes w (IDs >= n).
+func dominates(after []float64, t, n int) bool {
+	for w := n; w < len(after); w++ {
+		if after[w] > after[t]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// boosted reports whether the target overtook at least one node that
+// scored strictly higher before, and whether such a node existed.
+func boosted(before, after []float64, t, n int) (ok, hadHigher bool) {
+	for v := 0; v < n; v++ {
+		if v == t || before[v] <= before[t]+eps {
+			continue
+		}
+		hadHigher = true
+		if after[t] > after[v]+eps {
+			return true, true
+		}
+	}
+	return !hadHigher, hadHigher // vacuously true at rank 1
+}
+
+// CheckStrategy applies s to g, evaluates m before and after, and runs
+// the principle checker that m declares. It is the one-call version of
+// the paper's Exp 1-1/1-2/1-3 verification protocol.
+func CheckStrategy(g *graph.Graph, m Measure, s Strategy) (PropertyCheck, error) {
+	before := m.Scores(g)
+	g2, _, err := s.Apply(g)
+	if err != nil {
+		return PropertyCheck{}, err
+	}
+	after := m.Scores(g2)
+	if m.Principle() == MaximumGain {
+		return CheckMaximumGain(before, after, s.Target), nil
+	}
+	rs, ok := m.(ReciprocalScorer)
+	if !ok {
+		// Fall back to literal reciprocals of the scores.
+		return CheckMinimumLoss(reciprocals(before), reciprocals(after), before, after, s.Target), nil
+	}
+	beforeR := rs.Reciprocals(g)
+	afterR := rs.Reciprocals(g2)
+	return CheckMinimumLoss(beforeR, afterR, before, after, s.Target), nil
+}
+
+func reciprocals(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		if s != 0 {
+			out[i] = 1 / s
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestPrincipleString(t *testing.T) {
+	if MaximumGain.String() != "maximum gain" || MinimumLoss.String() != "minimum loss" {
+		t.Error("principle names wrong")
+	}
+	if StrategyType(9).String() == "" || Principle(9).String() == "" {
+		t.Error("unknown enum values must still stringify")
+	}
+}
+
+func TestCheckMaximumGainCraftedVectors(t *testing.T) {
+	// n = 3 original nodes, 2 inserted; target = 0.
+	cases := []struct {
+		name          string
+		before, after []float64
+		gain, dom     bool
+		boost         bool
+	}{
+		{
+			name:   "all properties hold",
+			before: []float64{1, 5, 2},
+			after:  []float64{7, 5.5, 2, 1, 1}, // t gains 6, others <= 0.5, t overtakes node 1
+			gain:   true, dom: true, boost: true,
+		},
+		{
+			name:   "another node gains more",
+			before: []float64{1, 5, 2},
+			after:  []float64{2, 9, 2, 0, 0},
+			gain:   false, dom: true, boost: false,
+		},
+		{
+			name:   "a node loses score",
+			before: []float64{1, 5, 2},
+			after:  []float64{3, 4, 2, 0, 0}, // node 1 lost: violates Δ >= 0
+			gain:   false, dom: true, boost: true,
+		},
+		{
+			name:   "inserted node dominates",
+			before: []float64{1, 5, 2},
+			after:  []float64{6, 5, 2, 8, 0},
+			gain:   true, dom: false, boost: true,
+		},
+		{
+			name:   "no higher node existed (vacuous boost)",
+			before: []float64{9, 5, 2},
+			after:  []float64{12, 5, 2, 0, 0},
+			gain:   true, dom: true, boost: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := CheckMaximumGain(tc.before, tc.after, 0)
+			if c.Gain != tc.gain || c.Dominance != tc.dom || c.Boost != tc.boost {
+				t.Errorf("got gain=%v dom=%v boost=%v, want %v %v %v",
+					c.Gain, c.Dominance, c.Boost, tc.gain, tc.dom, tc.boost)
+			}
+		})
+	}
+}
+
+func TestCheckMinimumLossCraftedVectors(t *testing.T) {
+	// Reciprocal scores (farness-like): smaller is better.
+	beforeR := []float64{10, 6, 8}
+	afterR := []float64{12, 11, 13, 20, 20} // t loses 2, others lose 5; inserted worst
+	before := reciprocals(beforeR)
+	after := reciprocals(afterR)
+	c := CheckMinimumLoss(beforeR, afterR, before, after, 0)
+	if !c.Gain {
+		t.Errorf("minimum property should hold: %+v", c)
+	}
+	if !c.Dominance {
+		t.Errorf("dominance should hold: %+v", c)
+	}
+	// t's score 1/12 overtook node 2's 1/13 (was 1/8 > 1/10): boost.
+	if !c.Boost {
+		t.Errorf("boost should hold: %+v", c)
+	}
+	if c.TargetVariation != 2 {
+		t.Errorf("Δ̄(t) = %v, want 2", c.TargetVariation)
+	}
+
+	// Target losing more than another node violates the minimum
+	// property.
+	badAfterR := []float64{18, 7, 9, 20, 20}
+	c = CheckMinimumLoss(beforeR, badAfterR, before, reciprocals(badAfterR), 0)
+	if c.Gain {
+		t.Errorf("minimum property should fail when target loses most: %+v", c)
+	}
+
+	// A shrinking reciprocal (score increase) also violates it
+	// (footnote 5: Δ̄ must be >= 0).
+	shrinkR := []float64{9, 7, 9, 20, 20}
+	c = CheckMinimumLoss(beforeR, shrinkR, before, reciprocals(shrinkR), 0)
+	if c.Gain {
+		t.Errorf("negative reciprocal variation must fail the property: %+v", c)
+	}
+}
+
+func TestCheckStrategyDispatch(t *testing.T) {
+	g := datasets.Fig1()
+	// Maximum-gain path.
+	c, err := CheckStrategy(g, BetweennessMeasure{Counting: centrality.PairsUnordered},
+		Strategy{datasets.V4, 4, MultiPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Principle != MaximumGain || !c.Holds() {
+		t.Errorf("BC check: %+v", c)
+	}
+	// Minimum-loss path with reciprocal scorer.
+	c, err = CheckStrategy(g, ClosenessMeasure{}, Strategy{datasets.V4, 4, MultiPoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Principle != MinimumLoss || !c.Holds() {
+		t.Errorf("CC check: %+v", c)
+	}
+	// Invalid strategy surfaces the error.
+	if _, err := CheckStrategy(g, ClosenessMeasure{}, Strategy{99, 4, MultiPoint}); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+}
+
+// TestLemmaS11ClosedForm: under multi-point, every inserted node's
+// farness is exactly ĈC′(t) + n + p − 2 (one hop to t, then t's
+// distances; w is not its own destination). This is the closed form
+// behind the dominance proof of Lemma S.8/S.11, checked on random
+// hosts.
+func TestLemmaS11ClosedForm(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(rng, 20+rng.Intn(40), 2)
+		target := rng.Intn(g.N())
+		p := 1 + rng.Intn(8)
+		g2, ins, err := (Strategy{target, p, MultiPoint}).Apply(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		far := centrality.Farness(g2)
+		want := far[target] + int64(g.N()+p-2)
+		for _, w := range ins {
+			if far[w] != want {
+				t.Fatalf("seed %d: farness(w=%d) = %d, want ĈC'(t)+n+p-2 = %d",
+					seed, w, far[w], want)
+			}
+		}
+	}
+}
+
+// TestFrozenStructureInvariants verifies Lemmas S.2 and S.12 directly:
+// multi-point insertion changes neither the pairwise distances nor the
+// shortest-path counts among the original nodes.
+func TestFrozenStructureInvariants(t *testing.T) {
+	g := gen.Grid(4, 5)
+	g2, _, err := (Strategy{7, 5, MultiPoint}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < g.N(); s++ {
+		before := centrality.Distances(g, s)
+		after := centrality.Distances(g2, s)
+		for v := 0; v < g.N(); v++ {
+			if before[v] != after[v] {
+				t.Fatalf("dist(%d, %d) changed: %d -> %d (violates Lemma S.12)", s, v, before[v], after[v])
+			}
+		}
+	}
+	// Lemma 5.1's closed form: the target's betweenness gain under
+	// multi-point is exactly (n-1)p + C(p,2) pairs (unordered), and
+	// every other node gains at most (n-1)p·(its pair dependency) — in
+	// particular the *score restricted to pairs within V* is unchanged.
+	// Check the closed form on the target.
+	m := BetweennessMeasure{Counting: centrality.PairsUnordered}
+	before := m.Scores(g)
+	after := m.Scores(g2)
+	n, p := g.N(), 5
+	wantGain := float64((n-1)*p + p*(p-1)/2)
+	if gain := after[7] - before[7]; math.Abs(gain-wantGain) > 1e-9 {
+		t.Errorf("target BC gain = %v, want closed-form %v", gain, wantGain)
+	}
+}

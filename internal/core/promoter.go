@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// Outcome records everything about one promotion: the strategy applied,
+// the score and ranking movement of the target (Section III's Δ_C, Δ̄_C,
+// Δ_R and the experiments' Ratio metric), and the empirical property
+// check for the measure's principle.
+type Outcome struct {
+	Strategy Strategy
+	Measure  string
+	Inserted []int // IDs of Δ_V in the updated graph
+
+	Before []float64 // C(v) on G, indexed by original node ID
+	After  []float64 // C′(v) on G′, inserted nodes last
+
+	// Reciprocal scores, only populated for minimum-loss measures that
+	// implement ReciprocalScorer (closeness, eccentricity).
+	BeforeRecip []float64
+	AfterRecip  []float64
+
+	ScoreVariation float64 // Δ_C(t) = C′(t) − C(t)
+	RankBefore     int     // R(t) in G
+	RankAfter      int     // R′(t) in G′
+	DeltaRank      int     // Δ_R(t) = R(t) − R′(t); > 0 means success
+	Ratio          float64 // Δ_R(t)/n × 100%
+
+	Check PropertyCheck
+}
+
+// Effective reports the paper's success criterion Δ_R(t) > 0.
+func (o *Outcome) Effective() bool { return o.DeltaRank > 0 }
+
+// String renders a one-line summary of the outcome.
+func (o *Outcome) String() string {
+	return fmt.Sprintf("%s %s: rank %d -> %d (Δ_R=%+d, ratio=%.2f%%), Δ_C=%.4g, properties gain=%v dominance=%v boost=%v",
+		o.Measure, o.Strategy, o.RankBefore, o.RankAfter, o.DeltaRank, o.Ratio,
+		o.ScoreVariation, o.Check.Gain, o.Check.Dominance, o.Check.Boost)
+}
+
+// Promote applies the measure's principle-guided strategy (Table I) of
+// size p to target t, returning the updated graph and the full outcome.
+// It is the library's headline API: the caller needs no knowledge of the
+// host graph beyond the target's identity.
+func Promote(g *graph.Graph, m Measure, t, p int) (*graph.Graph, *Outcome, error) {
+	return PromoteWith(g, m, Strategy{Target: t, Size: p, Type: m.Strategy()})
+}
+
+// PromoteWith applies an explicit strategy (not necessarily the
+// recommended one — useful for the ablations) and evaluates the outcome
+// under measure m.
+func PromoteWith(g *graph.Graph, m Measure, s Strategy) (*graph.Graph, *Outcome, error) {
+	if err := s.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	before := m.Scores(g)
+	g2, inserted, err := s.Apply(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	after := m.Scores(g2)
+
+	o := &Outcome{
+		Strategy:       s,
+		Measure:        m.Name(),
+		Inserted:       inserted,
+		Before:         before,
+		After:          after,
+		ScoreVariation: after[s.Target] - before[s.Target],
+		RankBefore:     centrality.RankOf(before, s.Target),
+		RankAfter:      centrality.RankOf(after, s.Target),
+	}
+	o.DeltaRank = o.RankBefore - o.RankAfter
+	o.Ratio = centrality.Ratio(o.DeltaRank, g.N())
+
+	if m.Principle() == MaximumGain {
+		o.Check = CheckMaximumGain(before, after, s.Target)
+	} else {
+		if rs, ok := m.(ReciprocalScorer); ok {
+			o.BeforeRecip = rs.Reciprocals(g)
+			o.AfterRecip = rs.Reciprocals(g2)
+			o.Check = CheckMinimumLoss(o.BeforeRecip, o.AfterRecip, before, after, s.Target)
+		} else {
+			o.Check = CheckMinimumLoss(reciprocals(before), reciprocals(after), before, after, s.Target)
+		}
+	}
+	return g2, o, nil
+}
+
+// PromoteGuaranteed promotes t using the smallest provably sufficient
+// size (GuaranteedSize). If t is already rank 1 it returns a nil outcome
+// and no error.
+func PromoteGuaranteed(g *graph.Graph, m Measure, t int) (*graph.Graph, *Outcome, error) {
+	p, needed, err := GuaranteedSize(g, m, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !needed {
+		return g, nil, nil
+	}
+	return Promote(g, m, t, p)
+}

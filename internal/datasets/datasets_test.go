@@ -1,0 +1,106 @@
+package datasets
+
+import (
+	"testing"
+
+	"promonet/internal/centrality"
+)
+
+func TestFig1Shape(t *testing.T) {
+	g := Fig1()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("Fig1: n=%d m=%d, want 10 15", g.N(), g.M())
+	}
+	// Example 2.1: N(v5) = {v1, v3, v6, v9}, deg(v5) = 4.
+	want := []int{V1, V3, V6, V9}
+	got := g.NeighborSlice(V5)
+	if len(got) != len(want) {
+		t.Fatalf("N(v5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("N(v5) = %v, want %v", got, want)
+		}
+	}
+	// The induced subgraph on {v1, v3, v5, v6} is a 4-clique (Example 2.2
+	// needs deg >= 3 everywhere).
+	sub, _ := g.InducedSubgraph([]int{V1, V3, V5, V6})
+	if sub.M() != 6 {
+		t.Errorf("G[{v1,v3,v5,v6}] has %d edges, want 6 (clique)", sub.M())
+	}
+	if !g.IsConnected() {
+		t.Error("Fig1 should be connected")
+	}
+}
+
+func TestFig1PublishedVectorsAreConsistent(t *testing.T) {
+	// Farness must match Table V (redundant with centrality tests, but
+	// guards the fixture constants themselves).
+	g := Fig1()
+	far := centrality.Farness(g)
+	for v, want := range Fig1Farness {
+		if far[v] != want {
+			t.Errorf("farness(v%d) = %d, want %d", v+1, far[v], want)
+		}
+	}
+}
+
+func TestProfilesBuild(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g := p.Build(1, 0.02)
+			if g.N() < 50 {
+				t.Fatalf("%s: n=%d too small", p.Name, g.N())
+			}
+			if !g.IsConnected() {
+				t.Errorf("%s: Build must return a connected LCC", p.Name)
+			}
+			// Social profile sanity: a hub well above the mean degree.
+			avg := 2 * g.M() / g.N()
+			if g.MaxDegree() < 2*avg {
+				t.Errorf("%s: max degree %d not hub-like (avg %d)", p.Name, g.MaxDegree(), avg)
+			}
+		})
+	}
+}
+
+func TestProfilesDeterministic(t *testing.T) {
+	p, err := ByName("WIKI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Build(42, 0.02)
+	b := p.Build(42, 0.02)
+	if !a.Equal(b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := p.Build(43, 0.02)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("FACEBOOK"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestHEPPHighDegeneracy(t *testing.T) {
+	p, _ := ByName("HEPP")
+	g := p.Build(1, 0.05)
+	// The embedded big collaboration must push degeneracy well above
+	// the other profiles' (paper: 238 vs 53/67/54).
+	if d := centrality.Degeneracy(g); d < 8 {
+		t.Errorf("HEPP degeneracy = %d, expected clique-driven core >= 8", d)
+	}
+}
+
+func TestWIKISmallDiameter(t *testing.T) {
+	p, _ := ByName("WIKI")
+	g := p.Build(1, 0.05)
+	if d := centrality.Diameter(g); d > 8 {
+		t.Errorf("WIKI diameter = %d, expected small-world <= 8", d)
+	}
+}

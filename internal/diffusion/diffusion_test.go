@@ -1,0 +1,156 @@
+package diffusion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+func TestIndependentCascadeProbOne(t *testing.T) {
+	g := gen.Path(6)
+	rng := rand.New(rand.NewSource(1))
+	active, rounds := IndependentCascade(g, rng, []int{0}, 1.0)
+	for v, a := range active {
+		if !a {
+			t.Fatalf("node %d not activated at prob 1", v)
+		}
+	}
+	if rounds != 5 {
+		t.Errorf("rounds = %d, want 5 (path length)", rounds)
+	}
+}
+
+func TestIndependentCascadeProbZero(t *testing.T) {
+	g := gen.Clique(5)
+	rng := rand.New(rand.NewSource(2))
+	active, rounds := IndependentCascade(g, rng, []int{2}, 0)
+	count := 0
+	for _, a := range active {
+		if a {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("activated %d nodes at prob 0, want 1", count)
+	}
+	if rounds != 0 {
+		t.Errorf("rounds = %d, want 0 (nothing ever activated)", rounds)
+	}
+}
+
+func TestIndependentCascadePanicsOnBadSeed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad seed did not panic")
+		}
+	}()
+	IndependentCascade(gen.Path(3), rand.New(rand.NewSource(1)), []int{9}, 0.5)
+}
+
+func TestCascadeSizeMonotoneInProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(rng, 200, 3)
+	low := CascadeSize(g, rand.New(rand.NewSource(4)), []int{0}, 0.02, 60)
+	high := CascadeSize(g, rand.New(rand.NewSource(4)), []int{0}, 0.4, 60)
+	if high <= low {
+		t.Errorf("cascade size not monotone in prob: %v (p=0.02) vs %v (p=0.4)", low, high)
+	}
+}
+
+func TestCascadeSizeHubBeatsLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.BarabasiAlbert(rng, 300, 2)
+	hub := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	leaf := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < g.Degree(leaf) {
+			leaf = v
+		}
+	}
+	hubSize := CascadeSize(g, rand.New(rand.NewSource(6)), []int{hub}, 0.1, 80)
+	leafSize := CascadeSize(g, rand.New(rand.NewSource(6)), []int{leaf}, 0.1, 80)
+	if hubSize <= leafSize {
+		t.Errorf("hub cascade %v <= leaf cascade %v", hubSize, leafSize)
+	}
+}
+
+func TestSpreadTimePath(t *testing.T) {
+	g := gen.Path(9)
+	// From the end, reaching everyone takes 8 rounds; from the middle, 4.
+	if got := SpreadTime(g, 0, 1.0); got != 8 {
+		t.Errorf("SpreadTime(end) = %d, want 8", got)
+	}
+	if got := SpreadTime(g, 4, 1.0); got != 4 {
+		t.Errorf("SpreadTime(middle) = %d, want 4", got)
+	}
+	if got := SpreadTime(g, 0, 0.1); got != 0 {
+		t.Errorf("SpreadTime(frac=0.1) = %d, want 0 (seed alone suffices)", got)
+	}
+}
+
+func TestSpreadTimeDisconnected(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	// frac is relative to the seed's component, so this succeeds.
+	if got := SpreadTime(g, 0, 1.0); got != 1 {
+		t.Errorf("SpreadTime on 2-node component = %d, want 1", got)
+	}
+}
+
+func TestRumorContainmentBlockersHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.BarabasiAlbert(rng, 300, 2)
+	// Blocking the top-degree hubs must shrink the rumor's reach.
+	type dv struct{ d, v int }
+	hubs := []int{}
+	best := make([]dv, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		best = append(best, dv{g.Degree(v), v})
+	}
+	for i := 0; i < 10; i++ {
+		mx := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].d > best[mx].d {
+				mx = j
+			}
+		}
+		best[i], best[mx] = best[mx], best[i]
+		hubs = append(hubs, best[i].v)
+	}
+	unblocked := RumorContainment(g, rand.New(rand.NewSource(8)), nil, 0.2, 80)
+	blocked := RumorContainment(g, rand.New(rand.NewSource(8)), hubs, 0.2, 80)
+	if blocked >= unblocked {
+		t.Errorf("hub blockers did not reduce rumor reach: %v >= %v", blocked, unblocked)
+	}
+}
+
+// TestPropertyCascadeBounded: activation counts never exceed n and
+// always include the seeds.
+func TestPropertyCascadeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 10+rng.Intn(30), 40)
+		s := rng.Intn(g.N())
+		active, _ := IndependentCascade(g, rng, []int{s}, rng.Float64())
+		if !active[s] {
+			return false
+		}
+		count := 0
+		for _, a := range active {
+			if a {
+				count++
+			}
+		}
+		return count >= 1 && count <= g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

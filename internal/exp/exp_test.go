@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testConfig is a fast, deterministic configuration for CI: tiny hosts,
+// few targets, small sweep.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.012
+	cfg.NumTargets = 4
+	cfg.NumTableTargets = 2
+	cfg.Sizes = []int{4, 8, 16}
+	cfg.BCSampleThreshold = 0 // exact everywhere at this scale
+	cfg.GreedyBudget = 3
+	cfg.GreedyTargets = 2
+	cfg.GreedyCandidateSample = 20
+	cfg.GreedyPivotSources = 0
+	return cfg
+}
+
+func TestTableVI(t *testing.T) {
+	tab, err := TableVI(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table VI has %d rows, want 4", len(tab.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tab.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"WIKI", "HEPP", "EPIN", "SLAS"} {
+		if !names[want] {
+			t.Errorf("Table VI missing dataset %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Degeneracy") {
+		t.Error("rendered Table VI missing header")
+	}
+}
+
+func TestDatasetFilter(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"HEPP"}
+	tab, err := TableVI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "HEPP" {
+		t.Errorf("filtered Table VI rows = %v", tab.Rows)
+	}
+	cfg.Datasets = []string{"NOPE"}
+	if _, err := TableVI(cfg); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// parseCells extracts the numeric t/v column pairs from a variation or
+// dominance table row (after the two label columns).
+func parseCells(t *testing.T, row []string) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(row)-2)
+	for _, s := range row[2:] {
+		var x float64
+		if _, err := sscan(s, &x); err != nil {
+			t.Fatalf("non-numeric cell %q in row %v", s, row)
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func TestVariationTablesRespectPrinciples(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI", "HEPP"}
+	for _, k := range []Kind{KindBC, KindRC, KindCC, KindEC} {
+		k := k
+		t.Run(k.Short, func(t *testing.T) {
+			tab, err := VariationTable(cfg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) != 2*cfg.NumTableTargets {
+				t.Fatalf("%s rows = %d, want %d", tab.ID, len(tab.Rows), 2*cfg.NumTableTargets)
+			}
+			for _, row := range tab.Rows {
+				vals := parseCells(t, row)
+				for i := 0; i+1 < len(vals); i += 2 {
+					tv, ov := vals[i], vals[i+1]
+					if k.Short == "BC" || k.Short == "RC" {
+						// Maximum property: Δ_C(t) >= Δ_C(v).
+						if tv < ov-1e-9 {
+							t.Errorf("%s row %v: target var %v < other var %v", tab.ID, row[:2], tv, ov)
+						}
+					} else {
+						// Minimum property: Δ̄_C(t) <= Δ̄_C(v).
+						if tv > ov+1e-9 {
+							t.Errorf("%s row %v: target recip var %v > other %v", tab.ID, row[:2], tv, ov)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDominanceTablesRespectDominance(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI", "HEPP"}
+	for _, k := range []Kind{KindBC, KindRC, KindCC, KindEC} {
+		k := k
+		t.Run(k.Short, func(t *testing.T) {
+			tab, err := DominanceTable(cfg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range tab.Rows {
+				vals := parseCells(t, row)
+				for i := 0; i+1 < len(vals); i += 2 {
+					tv, wv := vals[i], vals[i+1]
+					if k.Short == "CC" || k.Short == "EC" {
+						// Reciprocal scores: target must be <= inserted.
+						if tv > wv+1e-9 {
+							t.Errorf("%s row %v: target recip %v > inserted %v", tab.ID, row[:2], tv, wv)
+						}
+					} else {
+						if tv < wv-1e-9 {
+							t.Errorf("%s row %v: target score %v < inserted %v", tab.ID, row[:2], tv, wv)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRatioFiguresShapes(t *testing.T) {
+	cfg := testConfig()
+	for _, k := range []Kind{KindBC, KindRC, KindCC, KindEC} {
+		k := k
+		t.Run(k.Short, func(t *testing.T) {
+			fig, err := RatioFigure(cfg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fig.Curves) != 4 {
+				t.Fatalf("%s has %d curves, want 4", fig.ID, len(fig.Curves))
+			}
+			for _, c := range fig.Curves {
+				// Theorems 5.3-5.6: the principle-guided strategy never
+				// demotes, so min Ratio >= 0 at every size.
+				for i, v := range c.Min {
+					if v < 0 {
+						t.Errorf("%s %s: min Ratio %v < 0 at p=%d", fig.ID, c.Dataset, v, c.X[i])
+					}
+				}
+				// Paper shape: Ratio grows with p — check max band is
+				// non-decreasing up to small noise and positive by the
+				// largest size.
+				last := len(c.Max) - 1
+				if c.Max[last] <= 0 {
+					t.Errorf("%s %s: max Ratio %v at largest p, want > 0", fig.ID, c.Dataset, c.Max[last])
+				}
+				if c.Avg[last] < c.Avg[0]-1e-9 {
+					t.Errorf("%s %s: avg Ratio decreased across sweep: %v -> %v",
+						fig.ID, c.Dataset, c.Avg[0], c.Avg[last])
+				}
+			}
+			var buf bytes.Buffer
+			if err := fig.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "Ratio") {
+				t.Error("figure render missing y-label")
+			}
+		})
+	}
+}
+
+func TestGreedyComparison(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	ratioFig, scoreFig, err := GreedyComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratioFig.Curves) != 2 || len(scoreFig.Curves) != 2 {
+		t.Fatalf("comparison curves: %d/%d, want 2/2", len(ratioFig.Curves), len(scoreFig.Curves))
+	}
+	for _, f := range []*Figure{ratioFig, scoreFig} {
+		for _, c := range f.Curves {
+			if len(c.X) != cfg.GreedyBudget {
+				t.Errorf("%s %s: %d points, want %d", f.ID, c.Dataset, len(c.X), cfg.GreedyBudget)
+			}
+		}
+	}
+	// Both methods must strictly increase the target's score by the
+	// final budget (positive avg score variation).
+	for _, c := range scoreFig.Curves {
+		if c.Avg[len(c.Avg)-1] <= 0 {
+			t.Errorf("Fig. 9 %s: final avg score variation %v, want > 0", c.Dataset, c.Avg[len(c.Avg)-1])
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	tab, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("ablation rows = %d, want 8 (4 measures x 2 strategies)", len(tab.Rows))
+	}
+	// Every guided row must report gain+dominance holding.
+	for _, row := range tab.Rows {
+		if row[2] == "yes" && (row[3] != "yes" || row[4] != "yes") {
+			t.Errorf("guided strategy violated its principle: %v", row)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"xxx", "y"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+}
+
+// sscan is a tiny strconv wrapper so tests read naturally.
+func sscan(s string, x *float64) (int, error) {
+	return fmt.Sscan(s, x)
+}
+
+func TestKindByShort(t *testing.T) {
+	for _, s := range []string{"BC", "RC", "CC", "EC"} {
+		k, err := KindByShort(s)
+		if err != nil || k.Short != s {
+			t.Errorf("KindByShort(%q) = %v, %v", s, k.Short, err)
+		}
+	}
+	if _, err := KindByShort("XX"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

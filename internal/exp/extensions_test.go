@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestGuaranteeTable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	tab, err := GuaranteeTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4*cfg.NumTableTargets {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 4*cfg.NumTableTargets)
+	}
+	for _, row := range tab.Rows {
+		if row[5] == "already rank 1" {
+			continue
+		}
+		// Soundness: promoting at the bound is always effective, and
+		// the smallest effective size never exceeds the bound.
+		if row[5] != "yes" {
+			t.Errorf("bound not sufficient in row %v", row)
+		}
+		bound, err1 := strconv.Atoi(row[3])
+		smallest, err2 := strconv.Atoi(row[4])
+		if err1 == nil && err2 == nil && smallest > bound {
+			t.Errorf("smallest effective %d exceeds bound %d: %v", smallest, bound, row)
+		}
+	}
+}
+
+func TestDetectabilityTable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	tab, err := DetectabilityTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*len(cfg.Sizes) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 3*len(cfg.Sizes))
+	}
+	// The simple strategies of Section IV are always detectable by an
+	// owner who keeps snapshots — every row must be flagged and
+	// correctly classified.
+	for _, row := range tab.Rows {
+		if row[2] != "yes" {
+			t.Errorf("strategy not detected: %v", row)
+		}
+		if row[3] != "yes" {
+			t.Errorf("strategy misclassified: %v", row)
+		}
+	}
+}
+
+func TestClosenessComparison(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	ratioFig, farFig, err := ClosenessComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratioFig.Curves) != 2 || len(farFig.Curves) != 2 {
+		t.Fatalf("curves: %d/%d, want 2/2", len(ratioFig.Curves), len(farFig.Curves))
+	}
+	var mp, gr Curve
+	for _, c := range farFig.Curves {
+		switch c.Dataset {
+		case "WIKI Multi-Point":
+			mp = c
+		case "WIKI Greedy":
+			gr = c
+		}
+	}
+	// The score-vs-ranking contrast: multi-point *raises* the target's
+	// farness (negative reduction) while greedy lowers it.
+	last := len(mp.Avg) - 1
+	if mp.Avg[last] >= 0 {
+		t.Errorf("multi-point farness reduction %v, want negative (pendants add distance)", mp.Avg[last])
+	}
+	if gr.Avg[last] <= 0 {
+		t.Errorf("greedy farness reduction %v, want positive", gr.Avg[last])
+	}
+	// Yet multi-point still achieves positive ranking improvement.
+	for _, c := range ratioFig.Curves {
+		if c.Dataset == "WIKI Multi-Point" && c.Avg[len(c.Avg)-1] <= 0 {
+			t.Errorf("multi-point avg Ratio %v at final p, want > 0", c.Avg[len(c.Avg)-1])
+		}
+	}
+}
+
+func TestArmsRaceTable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	tab, err := ArmsRaceTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 4 measures x 3 participant counts
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		i, _ := strconv.Atoi(row[2])
+		u, _ := strconv.Atoi(row[3])
+		d, _ := strconv.Atoi(row[4])
+		k, _ := strconv.Atoi(row[1])
+		if i+u+d != k {
+			t.Errorf("counts don't partition participants: %v", row)
+		}
+	}
+}
+
+func TestBaselineTable(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI"}
+	tab, err := BaselineTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 measures x 2 methods)", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		if tab.Rows[i][2] != "no" || tab.Rows[i+1][2] != "yes" {
+			t.Errorf("row pairing broken at %d: %v / %v", i, tab.Rows[i], tab.Rows[i+1])
+		}
+	}
+}
+
+func TestExtensionFigure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Datasets = []string{"WIKI", "HEPP"}
+	fig, err := ExtensionFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 6 { // 2 datasets x 3 measures
+		t.Fatalf("curves = %d, want 6", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		for i, v := range c.Min {
+			if v < 0 {
+				t.Errorf("%s: extension measure demoted a target at p=%d (Ratio %v)", c.Dataset, c.X[i], v)
+			}
+		}
+	}
+}

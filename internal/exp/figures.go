@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/graph"
+	"promonet/internal/greedy"
+)
+
+// RatioFigure reproduces Figs. 4–7: for each dataset, the maximum,
+// average, and minimum relative ranking variation (Ratio) over
+// cfg.NumTargets random targets at each promotion size.
+func RatioFigure(cfg Config, k Kind) (*Figure, error) {
+	results, err := runDetail(cfg, k, cfg.NumTargets, 0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     k.FigID,
+		Title:  "Relative ranking variations (" + k.Short + ")",
+		YLabel: "Ratio (%)",
+	}
+	for _, res := range results {
+		c := Curve{Dataset: res.dataset, X: cfg.Sizes}
+		for si := range cfg.Sizes {
+			maxR, minR, sum := 0.0, 0.0, 0.0
+			for ti := range res.cells {
+				r := res.cells[ti][si].Ratio
+				if ti == 0 || r > maxR {
+					maxR = r
+				}
+				if ti == 0 || r < minR {
+					minR = r
+				}
+				sum += r
+			}
+			c.Max = append(c.Max, maxR)
+			c.Min = append(c.Min, minR)
+			c.Avg = append(c.Avg, sum/float64(len(res.cells)))
+		}
+		f.Curves = append(f.Curves, c)
+	}
+	return f, nil
+}
+
+// GreedyComparison reproduces Figs. 8 and 9 (Exps 5–6): the multi-point
+// strategy versus the structure-aware Greedy baseline [18] for
+// betweenness, on the first two datasets, averaged over
+// cfg.GreedyTargets low-betweenness targets, for p = 1..GreedyBudget
+// inserted nodes (Multi-Point) or edges (Greedy).
+//
+// The returned figures carry one curve per method and dataset: ratioFig
+// has Y = average Ratio (%), scoreFig has Y = average score variation.
+// The Avg band holds the average; Max/Min are the per-target extremes.
+func GreedyComparison(cfg Config) (ratioFig, scoreFig *Figure, err error) {
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(profiles) > 2 {
+		profiles = profiles[:2]
+	}
+	sizes := make([]int, cfg.GreedyBudget)
+	for i := range sizes {
+		sizes[i] = i + 1
+	}
+	ratioFig = &Figure{ID: "Fig. 8", Title: "Comparison of relative ranking variations (BC): Multi-Point vs Greedy", YLabel: "avg Ratio (%)"}
+	scoreFig = &Figure{ID: "Fig. 9", Title: "Comparison of score variations (BC): Multi-Point vs Greedy", YLabel: "avg Δ_C(t)"}
+
+	for _, p := range profiles {
+		g := p.Build(cfg.Seed, cfg.Scale)
+		m := cfg.betweenness(g)
+		before := m.Scores(g)
+		rng := newSeededRand(cfg.Seed, p.Name, "greedy-cmp")
+		targets := pickLowTargets(rng, before, cfg.GreedyTargets)
+
+		nT := len(targets)
+		mpRatio := make([][]float64, nT) // [target][size]
+		mpScore := make([][]float64, nT)
+		grRatio := make([][]float64, nT)
+		grScore := make([][]float64, nT)
+
+		for ti, target := range targets {
+			// Multi-Point at every p.
+			for _, size := range sizes {
+				s := core.Strategy{Target: target, Size: size, Type: core.MultiPoint}
+				g2, _, err := s.Apply(g)
+				if err != nil {
+					return nil, nil, err
+				}
+				after := m.Scores(g2)
+				dr := centrality.RankingVariation(before, after, target)
+				mpRatio[ti] = append(mpRatio[ti], centrality.Ratio(dr, g.N()))
+				mpScore[ti] = append(mpScore[ti], after[target]-before[target])
+			}
+			// Greedy once with the full budget; per-round vectors give
+			// every p.
+			opts := greedy.Options{Counting: centrality.PairsOrdered}
+			if cfg.GreedyCandidateSample > 0 || cfg.GreedyPivotSources > 0 {
+				opts.CandidateSample = cfg.GreedyCandidateSample
+				opts.PivotSources = cfg.GreedyPivotSources
+				opts.Rand = newSeededRand(cfg.Seed, p.Name, "greedy-inner")
+			}
+			_, res, err := greedy.Improve(g, target, cfg.GreedyBudget, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, after := range res.AfterPerRound {
+				dr := centrality.RankingVariation(before, after, target)
+				grRatio[ti] = append(grRatio[ti], centrality.Ratio(dr, g.N()))
+				grScore[ti] = append(grScore[ti], after[target]-before[target])
+			}
+			// If Greedy ran out of candidates early, repeat its final
+			// state for the remaining sizes.
+			for len(grRatio[ti]) < len(sizes) {
+				last := len(grRatio[ti]) - 1
+				grRatio[ti] = append(grRatio[ti], grRatio[ti][last])
+				grScore[ti] = append(grScore[ti], grScore[ti][last])
+			}
+		}
+
+		ratioFig.Curves = append(ratioFig.Curves,
+			bandOver(p.Name+" Multi-Point", sizes, mpRatio),
+			bandOver(p.Name+" Greedy", sizes, grRatio))
+		scoreFig.Curves = append(scoreFig.Curves,
+			bandOver(p.Name+" Multi-Point", sizes, mpScore),
+			bandOver(p.Name+" Greedy", sizes, grScore))
+	}
+	return ratioFig, scoreFig, nil
+}
+
+// bandOver aggregates per-target series into a max/avg/min band.
+func bandOver(name string, sizes []int, perTarget [][]float64) Curve {
+	c := Curve{Dataset: name, X: sizes}
+	for si := range sizes {
+		maxV, minV, sum := 0.0, 0.0, 0.0
+		for ti := range perTarget {
+			v := perTarget[ti][si]
+			if ti == 0 || v > maxV {
+				maxV = v
+			}
+			if ti == 0 || v < minV {
+				minV = v
+			}
+			sum += v
+		}
+		c.Max = append(c.Max, maxV)
+		c.Min = append(c.Min, minV)
+		c.Avg = append(c.Avg, sum/float64(len(perTarget)))
+	}
+	return c
+}
+
+// Ablation applies the wrong strategy per Table I to each measure (e.g.
+// double-line for coreness) and reports the property-check outcome next
+// to the principle-guided strategy's — the DESIGN.md §6.4 ablation. Each
+// row is one (measure, strategy) pair averaged over cfg.NumTargets
+// random targets on the first dataset at the middle promotion size.
+func Ablation(cfg Config) (*Table, error) {
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	p := profiles[0]
+	size := cfg.Sizes[len(cfg.Sizes)/2]
+	t := &Table{
+		ID:    "Ablation",
+		Title: "Strategy mismatch ablation on " + p.Name + ": principle-guided vs wrong strategy",
+		Columns: []string{"Measure", "Strategy", "Guided?", "gain holds", "dominance holds",
+			"avg Δ_R", "avg Ratio (%)", "effective (of targets)"},
+	}
+	kinds := []Kind{KindBC, KindRC, KindCC, KindEC}
+	wrong := map[string]core.StrategyType{
+		// The most adversarial mismatch for each measure.
+		"BC": core.DoubleLine,   // kills the pairwise gain of multi-point
+		"RC": core.MultiPoint,   // pendant nodes never raise coreness
+		"CC": core.DoubleLine,   // long chains inflate the target's farness
+		"EC": core.SingleClique, // clique keeps others' eccentricity intact
+	}
+	for _, k := range kinds {
+		for _, strat := range []core.StrategyType{k.strategy, wrong[k.Short]} {
+			run := newPromotionRun(cfg, p, func(g *graph.Graph) core.Measure { return k.mk(cfg, g) }, strat)
+			rng := newSeededRand(cfg.Seed, p.Name, "ablation", k.Short)
+			targets := pickTargets(rng, run.g, cfg.NumTargets)
+			gainAll, domAll := true, true
+			sumDR, sumRatio, eff := 0, 0.0, 0
+			for _, target := range targets {
+				c := run.measureCell(target, size)
+				gainAll = gainAll && c.Check.Gain
+				domAll = domAll && c.Check.Dominance
+				sumDR += c.DeltaRank
+				sumRatio += c.Ratio
+				if c.DeltaRank > 0 {
+					eff++
+				}
+			}
+			nT := float64(len(targets))
+			t.Rows = append(t.Rows, []string{
+				k.Short, strat.String(), boolMark(strat == k.strategy),
+				boolMark(gainAll), boolMark(domAll),
+				fnum(float64(sumDR) / nT), fnum(sumRatio / nT),
+				fnum(float64(eff)) + "/" + fnum(nT),
+			})
+		}
+	}
+	return t, nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

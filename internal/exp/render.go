@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: an identifier matching the
+// paper ("Table VII"), column headers, and string rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Curve is one max/avg/min band of a figure, per dataset.
+type Curve struct {
+	Dataset string
+	X       []int // promotion sizes p
+	Max     []float64
+	Avg     []float64
+	Min     []float64
+}
+
+// Figure is a reproduced paper figure: Ratio (or score variation) bands
+// per dataset across promotion sizes.
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Curves []Curve
+}
+
+// Render writes the figure as one aligned text block per dataset.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (y = %s)\n", f.ID, f.Title, f.YLabel)
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, "  %s\n", c.Dataset)
+		fmt.Fprintf(&b, "    %-6s", "p")
+		for _, x := range c.X {
+			fmt.Fprintf(&b, "  %10d", x)
+		}
+		b.WriteByte('\n')
+		writeBand := func(name string, ys []float64) {
+			fmt.Fprintf(&b, "    %-6s", name)
+			for _, y := range ys {
+				fmt.Fprintf(&b, "  %10.3f", y)
+			}
+			b.WriteByte('\n')
+		}
+		writeBand("max", c.Max)
+		writeBand("avg", c.Avg)
+		writeBand("min", c.Min)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table,
+// for pasting experiment output straight into EXPERIMENTS.md.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s: %s**\n\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteByte('|')
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the figure as one markdown table per dataset
+// curve, with p columns and max/avg/min rows.
+func (f *Figure) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s: %s** (y = %s)\n", f.ID, f.Title, f.YLabel)
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, "\n*%s*\n\n| p |", c.Dataset)
+		for _, x := range c.X {
+			fmt.Fprintf(&b, " %d |", x)
+		}
+		b.WriteString("\n|---|")
+		for range c.X {
+			b.WriteString("---|")
+		}
+		b.WriteByte('\n')
+		band := func(name string, ys []float64) {
+			fmt.Fprintf(&b, "| %s |", name)
+			for _, y := range ys {
+				fmt.Fprintf(&b, " %.3f |", y)
+			}
+			b.WriteByte('\n')
+		}
+		band("max", c.Max)
+		band("avg", c.Avg)
+		band("min", c.Min)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes each curve of the figure as CSV rows
+// (dataset,band,p,value), ready for gnuplot/pandas plotting.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("dataset,band,p,value\n")
+	for _, c := range f.Curves {
+		for _, band := range []struct {
+			name string
+			ys   []float64
+		}{{"max", c.Max}, {"avg", c.Avg}, {"min", c.Min}} {
+			for i, y := range band.ys {
+				fmt.Fprintf(&b, "%s,%s,%d,%g\n", csvEscape(c.Dataset), band.name, c.X[i], y)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV with a header row.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// fnum formats a float compactly (integers without decimals).
+func fnum(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.1f", x)
+}

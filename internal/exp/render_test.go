@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	return &Table{
+		ID: "Table Z", Title: "demo | with pipe",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "x|y"}},
+	}
+}
+
+func demoFigure() *Figure {
+	return &Figure{
+		ID: "Fig. Z", Title: "demo", YLabel: "Ratio (%)",
+		Curves: []Curve{{
+			Dataset: "WIKI",
+			X:       []int{4, 8},
+			Max:     []float64{2, 4},
+			Avg:     []float64{1, 2},
+			Min:     []float64{0, 1},
+		}},
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**Table Z", "| a | b |", "|---|---|", "| 1 | 2 |", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**Fig. Z", "*WIKI*", "| p | 4 | 8 |", "| avg | 1.000 | 2.000 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WIKI") {
+		t.Error("text render missing curve name")
+	}
+}
+
+func TestFnum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{5.25, "5.2"},
+		{-3, "-3"},
+		{0, "0"},
+	}
+	for _, tc := range cases {
+		if got := fnum(tc.in); got != tc.want {
+			t.Errorf("fnum(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// "x|y" has no comma or quote, so it is written unescaped.
+	for _, want := range []string{"a,b\n", "1,2\n", "3,x|y\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dataset,band,p,value", "WIKI,max,4,2", "WIKI,min,8,1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":     "plain",
+		"a,b":       `"a,b"`,
+		`say "hi"`:  `"say ""hi"""`,
+		"line\nTwo": "\"line\nTwo\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

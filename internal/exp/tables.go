@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"promonet/internal/centrality"
+	"promonet/internal/core"
+	"promonet/internal/graph"
+)
+
+// Kind identifies one of the four headline (measure, strategy)
+// experiments of Section VII and carries the paper's table/figure
+// numbering for it.
+type Kind struct {
+	Short      string // BC, RC, CC, EC
+	VarTableID string // score/reciprocal variation table
+	DomTableID string // dominance table
+	FigID      string // ratio figure
+	strategy   core.StrategyType
+	mk         func(Config, *graph.Graph) core.Measure
+}
+
+// The four experiment kinds, matching Exps 1–4.
+var (
+	KindBC = Kind{"BC", "Table VII", "Table VIII", "Fig. 4", core.MultiPoint,
+		func(c Config, g *graph.Graph) core.Measure { return c.betweenness(g) }}
+	KindRC = Kind{"RC", "Table IX", "Table X", "Fig. 5", core.SingleClique,
+		func(Config, *graph.Graph) core.Measure { return core.CorenessMeasure{} }}
+	KindCC = Kind{"CC", "Table XI", "Table XII", "Fig. 6", core.MultiPoint,
+		func(Config, *graph.Graph) core.Measure { return core.ClosenessMeasure{} }}
+	KindEC = Kind{"EC", "Table XIII", "Table XIV", "Fig. 7", core.DoubleLine,
+		func(Config, *graph.Graph) core.Measure { return core.EccentricityMeasure{} }}
+)
+
+// KindByShort resolves BC/RC/CC/EC.
+func KindByShort(s string) (Kind, error) {
+	switch s {
+	case "BC":
+		return KindBC, nil
+	case "RC":
+		return KindRC, nil
+	case "CC":
+		return KindCC, nil
+	case "EC":
+		return KindEC, nil
+	default:
+		return Kind{}, fmt.Errorf("exp: unknown experiment kind %q", s)
+	}
+}
+
+// TableVI reproduces the dataset-description table: measured n, m,
+// diameter, and degeneracy of each synthetic stand-in next to the
+// original's statistics.
+func TableVI(cfg Config) (*Table, error) {
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Table VI",
+		Title: fmt.Sprintf("Description of datasets (synthetic stand-ins, scale=%g, seed=%d)", cfg.Scale, cfg.Seed),
+		Columns: []string{"Name", "Stands in for", "n", "m", "Diameter", "Degeneracy",
+			"paper n", "paper m", "paper diam", "paper degen"},
+	}
+	for _, p := range profiles {
+		g := p.Build(cfg.Seed, cfg.Scale)
+		t.Rows = append(t.Rows, []string{
+			p.Name, p.SNAPName,
+			strconv.Itoa(g.N()), strconv.Itoa(g.M()),
+			strconv.Itoa(centrality.Diameter(g)), strconv.Itoa(centrality.Degeneracy(g)),
+			strconv.Itoa(p.PaperN), strconv.Itoa(p.PaperM),
+			strconv.Itoa(p.PaperDiameter), strconv.Itoa(p.PaperDegeneracy),
+		})
+	}
+	return t, nil
+}
+
+// detailCells runs the per-target/per-size sweep the detailed tables
+// need, on the first two configured datasets (the paper prints WIKI and
+// HEPP only, "due to space limitations").
+type detailResult struct {
+	dataset string
+	n       int
+	targets []int
+	cells   [][]cell // [targetIdx][sizeIdx]
+}
+
+func runDetail(cfg Config, k Kind, numTargets int, datasetLimit int) ([]detailResult, error) {
+	profiles, err := cfg.profiles()
+	if err != nil {
+		return nil, err
+	}
+	if datasetLimit > 0 && len(profiles) > datasetLimit {
+		profiles = profiles[:datasetLimit]
+	}
+	var out []detailResult
+	for _, p := range profiles {
+		run := newPromotionRun(cfg, p, func(g *graph.Graph) core.Measure { return k.mk(cfg, g) }, k.strategy)
+		rng := newSeededRand(cfg.Seed, p.Name, k.Short)
+		targets := pickTargets(rng, run.g, numTargets)
+		res := detailResult{dataset: p.Name, n: run.g.N(), targets: targets}
+		for _, target := range targets {
+			row := make([]cell, len(cfg.Sizes))
+			for i, size := range cfg.Sizes {
+				row[i] = run.measureCell(target, size)
+			}
+			res.cells = append(res.cells, row)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// VariationTable reproduces Tables VII/IX/XI/XIII: per target (rows) and
+// size (column pairs), the target's variation next to the extremal other
+// node's variation. For maximum-gain measures these are score
+// variations Δ_C (target should be larger); for minimum-loss measures
+// reciprocal score variations Δ̄_C (target should be smaller).
+func VariationTable(cfg Config, k Kind) (*Table, error) {
+	results, err := runDetail(cfg, k, cfg.NumTableTargets, 2)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: k.VarTableID}
+	if k.Short == "CC" || k.Short == "EC" {
+		t.Title = fmt.Sprintf("Reciprocal score variations of V (%s): target t vs extremal other v", k.Short)
+	} else {
+		t.Title = fmt.Sprintf("Score variations of V (%s): target t vs extremal other v", k.Short)
+	}
+	t.Columns = []string{"Dataset", "ID"}
+	for _, s := range cfg.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("p=%d t", s), fmt.Sprintf("p=%d v", s))
+	}
+	for _, res := range results {
+		for ti, row := range res.cells {
+			cells := []string{res.dataset, strconv.Itoa(ti + 1)}
+			for _, c := range row {
+				cells = append(cells, fnum(c.TargetVar), fnum(c.OtherVar))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+	return t, nil
+}
+
+// DominanceTable reproduces Tables VIII/X/XII/XIV: the target's score
+// C′(t) next to the best inserted node's score. For CC/EC the printed
+// values are the reciprocal scores (the paper prints fractions 1/x̄; we
+// print x̄).
+func DominanceTable(cfg Config, k Kind) (*Table, error) {
+	results, err := runDetail(cfg, k, cfg.NumTableTargets, 2)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: k.DomTableID}
+	if k.Short == "CC" || k.Short == "EC" {
+		t.Title = fmt.Sprintf("Reciprocal scores of target t and best w in Δ_V (%s); smaller = higher score", k.Short)
+	} else {
+		t.Title = fmt.Sprintf("Scores of target t and best w in Δ_V (%s)", k.Short)
+	}
+	t.Columns = []string{"Dataset", "ID"}
+	for _, s := range cfg.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("p=%d t", s), fmt.Sprintf("p=%d w", s))
+	}
+	for _, res := range results {
+		for ti, row := range res.cells {
+			cells := []string{res.dataset, strconv.Itoa(ti + 1)}
+			for _, c := range row {
+				cells = append(cells, fnum(c.TargetScore), fnum(c.InsertedScore))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+	return t, nil
+}
+
+// newSeededRand derives an independent deterministic stream per
+// (dataset, experiment) pair from the master seed.
+func newSeededRand(seed int64, parts ...string) *rand.Rand {
+	h := seed
+	for _, p := range parts {
+		for _, c := range p {
+			h = h*131 + int64(c)
+		}
+	}
+	return rand.New(rand.NewSource(h))
+}

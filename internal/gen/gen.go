@@ -1,0 +1,279 @@
+// Package gen generates synthetic graphs. The experiment harness uses it
+// to build stand-ins for the four SNAP datasets the paper evaluates on
+// (Wiki-Vote, CA-HepPh, Epinions, Slashdot), which are not available
+// offline. Each generator takes an explicit *rand.Rand so every
+// experiment is reproducible from a seed.
+//
+// All generators return simple undirected graphs. Generators that can
+// produce disconnected graphs are typically followed by
+// (*graph.Graph).LargestComponent in callers, mirroring the paper's
+// preprocessing ("for a disconnected graph, we performed experiments on
+// the largest connected component").
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"promonet/internal/graph"
+)
+
+// Path returns the path graph with n nodes: 0-1-2-...-(n-1).
+func Path(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph with n nodes (n >= 3).
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: Cycle(%d): need n >= 3", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Star returns the star graph: node 0 connected to nodes 1..n-1.
+func Star(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes.
+func Clique(n int) *graph.Graph {
+	g := graph.NewWithNodes(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols 2D lattice graph.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.NewWithNodes(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// ErdosRenyi returns a G(n, m) uniform random graph with exactly m
+// distinct edges. It panics if m exceeds the number of possible edges.
+func ErdosRenyi(rng *rand.Rand, n, m int) *graph.Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("gen: ErdosRenyi(n=%d, m=%d): at most %d edges possible", n, m, max))
+	}
+	g := graph.NewWithNodes(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: it starts from
+// a clique on m0 = k+1 nodes and attaches each subsequent node to k
+// distinct existing nodes chosen proportionally to degree. The result is
+// connected with heavy-tailed degrees and small diameter, the profile of
+// the social graphs in the paper.
+func BarabasiAlbert(rng *rand.Rand, n, k int) *graph.Graph {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert(n=%d, k=%d): need k >= 1 and n >= k+1", n, k))
+	}
+	g := Clique(k + 1)
+	g.AddNodes(n - (k + 1))
+	// targets is the degree-weighted multiset of endpoints: each edge
+	// contributes both endpoints, so sampling uniformly from it is
+	// preferential attachment.
+	targets := make([]int32, 0, 2*k*n)
+	g.Edges(func(u, v int) bool {
+		targets = append(targets, int32(u), int32(v))
+		return true
+	})
+	for v := k + 1; v < n; v++ {
+		added := 0
+		for added < k {
+			u := int(targets[rng.Intn(len(targets))])
+			if u != v && g.AddEdge(u, v) {
+				targets = append(targets, int32(u), int32(v))
+				added++
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// node connects to its k nearest neighbors on each side, with each edge
+// rewired to a uniform random endpoint with probability beta. Rewirings
+// that would create self-loops or duplicate edges are skipped.
+func WattsStrogatz(rng *rand.Rand, n, k int, beta float64) *graph.Graph {
+	if k < 1 || n < 2*k+1 {
+		panic(fmt.Sprintf("gen: WattsStrogatz(n=%d, k=%d): need n >= 2k+1", n, k))
+	}
+	g := graph.NewWithNodes(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			g.AddEdge(v, (v+j)%n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			if rng.Float64() >= beta {
+				continue
+			}
+			u := (v + j) % n
+			if !g.HasEdge(v, u) {
+				continue // already rewired away
+			}
+			w := rng.Intn(n)
+			if w == v || g.HasEdge(v, w) {
+				continue
+			}
+			g.RemoveEdge(v, u)
+			g.AddEdge(v, w)
+		}
+	}
+	return g
+}
+
+// ConfigurationModel returns a simple graph whose degree sequence
+// approximates degrees. It uses the erased configuration model: stubs are
+// matched uniformly at random and self-loops/multi-edges are dropped, so
+// realized degrees can be slightly below the request.
+func ConfigurationModel(rng *rand.Rand, degrees []int) *graph.Graph {
+	n := len(degrees)
+	var stubs []int32
+	for v, d := range degrees {
+		if d < 0 {
+			panic(fmt.Sprintf("gen: ConfigurationModel: negative degree %d for node %d", d, v))
+		}
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.NewWithNodes(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := int(stubs[i]), int(stubs[i+1])
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PowerLawDegrees samples n degrees from a discrete power law with
+// exponent gamma on [dmin, dmax], the degree profile of the social
+// networks in the paper's Table VI.
+func PowerLawDegrees(rng *rand.Rand, n int, gamma float64, dmin, dmax int) []int {
+	if dmin < 1 || dmax < dmin {
+		panic(fmt.Sprintf("gen: PowerLawDegrees: bad range [%d, %d]", dmin, dmax))
+	}
+	// Build the (unnormalized) CDF once.
+	weights := make([]float64, dmax-dmin+1)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(dmin+i), -gamma)
+		total += weights[i]
+	}
+	out := make([]int, n)
+	for i := range out {
+		r := rng.Float64() * total
+		acc := 0.0
+		for j, w := range weights {
+			acc += w
+			if r <= acc {
+				out[i] = dmin + j
+				break
+			}
+		}
+		if out[i] == 0 {
+			out[i] = dmax
+		}
+	}
+	return out
+}
+
+// CliqueCover returns an overlapping-clique graph modeling a
+// co-authorship network: papers are cliques whose sizes are drawn from
+// sizes[], and each paper's authors are a mix of new and existing nodes.
+// This yields the high-degeneracy, longer-diameter profile of CA-HepPh.
+// n is the target node count; generation stops once reached.
+func CliqueCover(rng *rand.Rand, n int, minSize, maxSize int, reuse float64) *graph.Graph {
+	if minSize < 2 || maxSize < minSize {
+		panic(fmt.Sprintf("gen: CliqueCover: bad clique size range [%d, %d]", minSize, maxSize))
+	}
+	g := graph.NewWithNodes(0)
+	for g.N() < n {
+		size := minSize + rng.Intn(maxSize-minSize+1)
+		members := make([]int, 0, size)
+		used := make(map[int]bool, size)
+		for len(members) < size {
+			if g.N() > 0 && rng.Float64() < reuse {
+				v := rng.Intn(g.N())
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				members = append(members, v)
+			} else {
+				v := g.AddNode()
+				used[v] = true
+				members = append(members, v)
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				g.AddEdge(members[i], members[j])
+			}
+		}
+	}
+	return g
+}
+
+// TriadicClosure adds up to extra edges to g by closing open triangles:
+// it repeatedly picks a random node and connects two of its random
+// neighbors. This raises clustering and degeneracy without changing the
+// degree profile much, tightening BA output toward real social graphs.
+func TriadicClosure(rng *rand.Rand, g *graph.Graph, extra int) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	attempts := 0
+	for added := 0; added < extra && attempts < 50*extra+100; attempts++ {
+		v := rng.Intn(n)
+		d := g.Degree(v)
+		if d < 2 {
+			continue
+		}
+		adj := g.Adjacency(v)
+		a := int(adj[rng.Intn(d)])
+		b := int(adj[rng.Intn(d)])
+		if a != b && g.AddEdge(a, b) {
+			added++
+		}
+	}
+}

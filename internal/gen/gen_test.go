@@ -1,0 +1,251 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("Path(5): n=%d m=%d, want 5 4", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("path endpoint/interior degrees wrong")
+	}
+	if !g.IsConnected() {
+		t.Error("path disconnected")
+	}
+	if p1 := Path(1); p1.N() != 1 || p1.M() != 0 {
+		t.Error("Path(1) should be a single isolated node")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("Cycle(6): n=%d m=%d, want 6 6", g.N(), g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("cycle degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCyclePanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	if g.Degree(0) != 6 {
+		t.Errorf("star hub degree = %d, want 6", g.Degree(0))
+	}
+	for v := 1; v < 7; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("star leaf degree(%d) = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(6)
+	if g.M() != 15 {
+		t.Errorf("Clique(6) m = %d, want 15", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("clique degree(%d) = %d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("Grid(3,4) n = %d, want 12", g.N())
+	}
+	// rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17
+	if g.M() != 17 {
+		t.Errorf("Grid(3,4) m = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid disconnected")
+	}
+}
+
+func TestErdosRenyiExactEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(rng, 50, 200)
+	if g.N() != 50 || g.M() != 200 {
+		t.Errorf("ER(50,200): n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestErdosRenyiPanicsOnOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull ER did not panic")
+		}
+	}()
+	ErdosRenyi(rand.New(rand.NewSource(1)), 4, 10)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, k := 300, 4
+	g := BarabasiAlbert(rng, n, k)
+	if g.N() != n {
+		t.Fatalf("BA n = %d, want %d", g.N(), n)
+	}
+	// m = C(k+1, 2) + (n-k-1)*k
+	wantM := (k+1)*k/2 + (n-k-1)*k
+	if g.M() != wantM {
+		t.Errorf("BA m = %d, want %d", g.M(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph disconnected")
+	}
+	// Preferential attachment must produce a hub noticeably above k.
+	if g.MaxDegree() < 3*k {
+		t.Errorf("BA max degree = %d, expected a hub >= %d", g.MaxDegree(), 3*k)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := WattsStrogatz(rng, 100, 3, 0.1)
+	if g.N() != 100 {
+		t.Fatalf("WS n = %d", g.N())
+	}
+	// Rewiring preserves edge count.
+	if g.M() != 300 {
+		t.Errorf("WS m = %d, want 300", g.M())
+	}
+}
+
+func TestWattsStrogatzZeroBeta(t *testing.T) {
+	g := WattsStrogatz(rand.New(rand.NewSource(4)), 20, 2, 0)
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("ring lattice degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestConfigurationModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	degs := make([]int, 200)
+	for i := range degs {
+		degs[i] = 3
+	}
+	g := ConfigurationModel(rng, degs)
+	if g.N() != 200 {
+		t.Fatalf("CM n = %d", g.N())
+	}
+	// Erased model: realized degree never exceeds requested.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 3 {
+			t.Fatalf("CM degree(%d) = %d > requested 3", v, g.Degree(v))
+		}
+	}
+	// Most stubs should survive erasure.
+	if g.M() < 250 {
+		t.Errorf("CM m = %d, expected most of 300 edges to survive", g.M())
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	degs := PowerLawDegrees(rng, 5000, 2.2, 2, 100)
+	if len(degs) != 5000 {
+		t.Fatalf("len = %d", len(degs))
+	}
+	low, high := 0, 0
+	for _, d := range degs {
+		if d < 2 || d > 100 {
+			t.Fatalf("degree %d outside [2, 100]", d)
+		}
+		if d <= 4 {
+			low++
+		}
+		if d >= 50 {
+			high++
+		}
+	}
+	if low < high {
+		t.Errorf("power law not heavy on the left: %d low vs %d high", low, high)
+	}
+	if high == 0 {
+		t.Error("power law produced no tail at all in 5000 samples")
+	}
+}
+
+func TestCliqueCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := CliqueCover(rng, 500, 3, 10, 0.4)
+	if g.N() < 500 {
+		t.Fatalf("CliqueCover n = %d, want >= 500", g.N())
+	}
+	// Clique structure implies high clustering; check max degree grew
+	// beyond single-clique membership.
+	if g.MaxDegree() < 10 {
+		t.Errorf("CliqueCover max degree = %d, expected overlap to exceed one clique", g.MaxDegree())
+	}
+}
+
+func TestTriadicClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := BarabasiAlbert(rng, 200, 3)
+	before := g.M()
+	TriadicClosure(rng, g, 100)
+	if g.M() != before+100 {
+		t.Errorf("TriadicClosure added %d edges, want 100", g.M()-before)
+	}
+}
+
+func TestTriadicClosureEmptyGraph(t *testing.T) {
+	g := Path(0)
+	TriadicClosure(rand.New(rand.NewSource(9)), g, 10) // must not panic
+	if g.M() != 0 {
+		t.Error("edges appeared in empty graph")
+	}
+}
+
+// TestPropertyGeneratorsSimple: every generator emits a simple graph
+// (handshake lemma holds and no self-loops by construction of AddEdge).
+func TestPropertyGeneratorsSimple(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gs := []interface {
+			N() int
+			M() int
+			Degree(int) int
+		}{
+			ErdosRenyi(rng, 30, 60),
+			BarabasiAlbert(rng, 30, 2),
+			WattsStrogatz(rng, 30, 2, 0.3),
+			CliqueCover(rng, 30, 3, 6, 0.3),
+		}
+		for _, g := range gs {
+			sum := 0
+			for v := 0; v < g.N(); v++ {
+				sum += g.Degree(v)
+			}
+			if sum != 2*g.M() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import "sort"
+
+// ConnectedComponents returns one slice of node IDs per connected
+// component, each sorted ascending, ordered by their smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					comp = append(comp, int(u))
+					queue = append(queue, u)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected. The empty graph is
+// considered connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component together with the mapping from new node IDs to original IDs.
+// Ties are broken by smallest member. If g is empty, it returns an empty
+// graph and a nil mapping.
+func (g *Graph) LargestComponent() (sub *Graph, origID []int) {
+	comps := g.ConnectedComponents()
+	if len(comps) == 0 {
+		return New(0), nil
+	}
+	best := comps[0]
+	for _, c := range comps[1:] {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return g.InducedSubgraph(best)
+}
+
+// InducedSubgraph returns the subgraph induced by the node set S together
+// with the mapping origID from new IDs (0..len(S)-1) to the original IDs.
+// Duplicate entries in S are ignored; node order in the result follows
+// the first appearance in S.
+func (g *Graph) InducedSubgraph(S []int) (sub *Graph, origID []int) {
+	newID := make(map[int]int, len(S))
+	origID = make([]int, 0, len(S))
+	for _, v := range S {
+		if _, dup := newID[v]; dup {
+			continue
+		}
+		newID[v] = len(origID)
+		origID = append(origID, v)
+	}
+	sub = NewWithNodes(len(origID))
+	for nv, ov := range origID {
+		for _, ou := range g.adj[ov] {
+			if nu, ok := newID[int(ou)]; ok && nv < nu {
+				sub.AddEdge(nv, nu)
+			}
+		}
+	}
+	return sub, origID
+}

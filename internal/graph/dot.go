@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes g in Graphviz DOT format for visualization. highlight
+// maps node IDs to a fill color name (e.g. the promotion target in red
+// and the inserted nodes in gray); nodes absent from the map render
+// with default styling. A nil map is fine.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight map[int]string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for v := 0; v < g.N(); v++ {
+		if color, ok := highlight[v]; ok {
+			fmt.Fprintf(bw, "  %d [style=filled, fillcolor=%q];\n", v, color)
+		} else if g.Degree(v) == 0 {
+			fmt.Fprintf(bw, "  %d;\n", v) // keep isolated nodes visible
+		}
+	}
+	var werr error
+	g.Edges(func(u, v int) bool {
+		_, werr = fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, "demo", map[int]string{1: "red"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "demo" {`,
+		`1 [style=filled, fillcolor="red"];`,
+		"0 -- 1;",
+		"1 -- 2;",
+		"3;", // isolated node stays visible
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "G" {`) {
+		t.Errorf("default name missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the parser with arbitrary inputs: it must
+// never panic, and on success the resulting graph must satisfy basic
+// invariants (simple, symmetric, label vector consistent).
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"0 1\n1 2\n",
+		"# comment\n\n5\t7\n7,9\n",
+		"% c\n1 1\n2 3\n2 3\n",
+		"9999999999999999999999 1\n",
+		"a b\n",
+		"1",
+		strings.Repeat("1 2\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, labels, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if g.N() != len(labels) {
+			t.Fatalf("n=%d but %d labels", g.N(), len(labels))
+		}
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+			if g.HasEdge(v, v) {
+				t.Fatalf("self-loop at %d", v)
+			}
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("handshake violated: sum=%d m=%d", sum, g.M())
+		}
+		// Round trip must reproduce the same structure sizes.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.M() != g.M() {
+			t.Fatalf("round trip m: %d -> %d", g.M(), h.M())
+		}
+	})
+}

@@ -1,0 +1,211 @@
+// Package graph provides a mutable, undirected, simple graph with
+// contiguous integer node identifiers. It is the substrate shared by the
+// centrality algorithms, the promotion strategies, and the experiment
+// harness.
+//
+// Nodes are identified by ints in [0, N()). Adjacency lists are kept
+// sorted, which makes HasEdge a binary search and makes traversal order
+// deterministic — important for reproducible experiments.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph. The zero value is an empty graph
+// ready for use. Graph is not safe for concurrent mutation; concurrent
+// reads are safe.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int32, 0, n)}
+}
+
+// NewWithNodes returns a graph with n isolated nodes, labeled 0..n-1.
+func NewWithNodes(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddNode appends a new isolated node and returns its identifier.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddNodes appends k isolated nodes and returns the identifier of the
+// first one. The new nodes are first, first+1, ..., first+k-1.
+func (g *Graph) AddNodes(k int) (first int) {
+	first = len(g.adj)
+	for i := 0; i < k; i++ {
+		g.adj = append(g.adj, nil)
+	}
+	return first
+}
+
+// valid reports whether v is an existing node.
+func (g *Graph) valid(v int) bool { return v >= 0 && v < len(g.adj) }
+
+// HasEdge reports whether the edge (u, v) exists. Self-loops never exist.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.valid(u) || !g.valid(v) || u == v {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// AddEdge inserts the undirected edge (u, v). It returns true if the edge
+// was inserted, and false if it already existed. AddEdge panics if u or v
+// is not an existing node or if u == v (self-loops are not allowed in a
+// simple graph).
+func (g *Graph) AddEdge(u, v int) bool {
+	if !g.valid(u) || !g.valid(v) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) outside node range [0, %d)", u, v, len(g.adj)))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) would create a self-loop", u, v))
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.insertArc(u, v)
+	g.insertArc(v, u)
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v), reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.removeArc(u, v)
+	g.removeArc(v, u)
+	g.m--
+	return true
+}
+
+func (g *Graph) insertArc(u, v int) {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = int32(v)
+	g.adj[u] = a
+}
+
+func (g *Graph) removeArc(u, v int) {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	copy(a[i:], a[i+1:])
+	g.adj[u] = a[:len(a)-1]
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for each neighbor of v in ascending order. It stops
+// early if fn returns false.
+func (g *Graph) Neighbors(v int, fn func(u int) bool) {
+	for _, u := range g.adj[v] {
+		if !fn(int(u)) {
+			return
+		}
+	}
+}
+
+// NeighborSlice returns a copy of v's neighbor list in ascending order.
+func (g *Graph) NeighborSlice(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, u := range g.adj[v] {
+		out[i] = int(u)
+	}
+	return out
+}
+
+// Adjacency returns the raw sorted adjacency row of v. The returned slice
+// must not be modified; it remains valid until the next mutation of g.
+// It exists so that hot algorithm loops (BFS, Brandes) can iterate
+// without a callback or a copy.
+func (g *Graph) Adjacency(v int) []int32 { return g.adj[v] }
+
+// Edges calls fn for every undirected edge (u, v) with u < v, in
+// lexicographic order. It stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				if !fn(u, int(v)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList returns all undirected edges as [2]int pairs with u < v.
+func (g *Graph) EdgeList() [][2]int {
+	out := make([][2]int, 0, g.m)
+	g.Edges(func(u, v int) bool {
+		out = append(out, [2]int{u, v})
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	for v, a := range g.adj {
+		c.adj[v] = append([]int32(nil), a...)
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node counts and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := range g.adj {
+		a, b := g.adj[v], h.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDegree returns the largest degree in g (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String returns a short human-readable summary, e.g. "graph(n=10, m=15)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
+}

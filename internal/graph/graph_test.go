@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d, want 0 0", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("empty graph should be considered connected")
+	}
+	if g.MaxDegree() != 0 {
+		t.Errorf("MaxDegree = %d, want 0", g.MaxDegree())
+	}
+}
+
+func TestAddNodesAndEdges(t *testing.T) {
+	g := New(4)
+	a := g.AddNode()
+	b := g.AddNode()
+	c := g.AddNode()
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("AddNode IDs = %d,%d,%d, want 0,1,2", a, b, c)
+	}
+	if !g.AddEdge(a, b) {
+		t.Error("AddEdge(a,b) = false on first insert")
+	}
+	if g.AddEdge(b, a) {
+		t.Error("AddEdge(b,a) = true on duplicate insert")
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Error("edge (a,b) missing after insert")
+	}
+	if g.HasEdge(a, c) {
+		t.Error("phantom edge (a,c)")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(a) != 1 || g.Degree(b) != 1 || g.Degree(c) != 0 {
+		t.Errorf("degrees = %d,%d,%d, want 1,1,0", g.Degree(a), g.Degree(b), g.Degree(c))
+	}
+}
+
+func TestAddNodesBatch(t *testing.T) {
+	g := NewWithNodes(2)
+	first := g.AddNodes(3)
+	if first != 2 {
+		t.Fatalf("AddNodes first = %d, want 2", first)
+	}
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge(v, v) did not panic")
+		}
+	}()
+	g := NewWithNodes(2)
+	g.AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	g := NewWithNodes(2)
+	g.AddEdge(0, 5)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewWithNodes(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge existing = false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge missing = true")
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edge survived removal")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestNeighborsSortedAndEarlyStop(t *testing.T) {
+	g := NewWithNodes(5)
+	for _, v := range []int{4, 2, 1, 3} {
+		g.AddEdge(0, v)
+	}
+	got := g.NeighborSlice(0)
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NeighborSlice(0) = %v, want %v", got, want)
+		}
+	}
+	count := 0
+	g.Neighbors(0, func(u int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early-stopped Neighbors visited %d, want 2", count)
+	}
+}
+
+func TestEdgesOrderAndEarlyStop(t *testing.T) {
+	g := FromEdges(4, [][2]int{{2, 3}, {0, 1}, {0, 2}})
+	var got [][2]int
+	g.Edges(func(u, v int) bool {
+		got = append(got, [2]int{u, v})
+		return true
+	})
+	want := [][2]int{{0, 1}, {0, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Edges visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges order = %v, want %v", got, want)
+		}
+	}
+	n := 0
+	g.Edges(func(u, v int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stopped Edges visited %d, want 1", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}})
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddEdge(1, 2)
+	if g.Equal(c) {
+		t.Error("mutating clone affected Equal")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	b := FromEdges(3, [][2]int{{1, 2}, {0, 1}})
+	if !a.Equal(b) {
+		t.Error("same edge sets not Equal")
+	}
+	c := FromEdges(3, [][2]int{{0, 1}, {0, 2}})
+	if a.Equal(c) {
+		t.Error("different edge sets Equal")
+	}
+	d := FromEdges(4, [][2]int{{0, 1}, {1, 2}})
+	if a.Equal(d) {
+		t.Error("different node counts Equal")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2]), len(comps[3])}
+	want := []int{3, 2, 1, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("component sizes = %v, want %v", sizes, want)
+		}
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := FromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}})
+	sub, orig := g.LargestComponent()
+	if sub.N() != 4 || sub.M() != 4 {
+		t.Fatalf("largest component n=%d m=%d, want 4 4", sub.N(), sub.M())
+	}
+	wantOrig := []int{4, 5, 6, 7}
+	for i, v := range wantOrig {
+		if orig[i] != v {
+			t.Fatalf("origID = %v, want %v", orig, wantOrig)
+		}
+	}
+	// The cycle structure must be preserved under relabeling.
+	for v := 0; v < sub.N(); v++ {
+		if sub.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d in 4-cycle, want 2", v, sub.Degree(v))
+		}
+	}
+}
+
+func TestInducedSubgraphDuplicates(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	sub, orig := g.InducedSubgraph([]int{2, 1, 2, 1})
+	if sub.N() != 2 || sub.M() != 1 {
+		t.Fatalf("sub n=%d m=%d, want 2 1", sub.N(), sub.M())
+	}
+	if orig[0] != 2 || orig[1] != 1 {
+		t.Fatalf("origID = %v, want [2 1]", orig)
+	}
+}
+
+// TestPropertyEdgeSymmetry: for random graphs, HasEdge is symmetric and M
+// equals the number of pairs visited by Edges.
+func TestPropertyEdgeSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := NewWithNodes(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		count := 0
+		ok := true
+		g.Edges(func(u, v int) bool {
+			count++
+			if !g.HasEdge(v, u) {
+				ok = false
+			}
+			return true
+		})
+		return ok && count == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDegreeSum: the handshake lemma — degrees sum to 2m.
+func TestPropertyDegreeSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := NewWithNodes(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComponentsPartition: components partition the node set.
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := NewWithNodes(n)
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		seen := make(map[int]bool)
+		for _, c := range g.ConnectedComponents() {
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInducedSubgraphAdjacency: for random graphs and node
+// subsets, the induced subgraph has an edge exactly where the original
+// has one between selected nodes.
+func TestPropertyInducedSubgraphAdjacency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := NewWithNodes(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		var S []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				S = append(S, v)
+			}
+		}
+		sub, orig := g.InducedSubgraph(S)
+		for a := 0; a < sub.N(); a++ {
+			for b := a + 1; b < sub.N(); b++ {
+				if sub.HasEdge(a, b) != g.HasEdge(orig[a], orig[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}})
+	if got := g.String(); got != "graph(n=3, m=1)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAdjacencyAndEdgeList(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 2}, {0, 1}, {2, 3}})
+	adj := g.Adjacency(0)
+	if len(adj) != 2 || adj[0] != 1 || adj[1] != 2 {
+		t.Errorf("Adjacency(0) = %v, want [1 2]", adj)
+	}
+	el := g.EdgeList()
+	if len(el) != 3 || el[0] != [2]int{0, 1} {
+		t.Errorf("EdgeList = %v", el)
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a SNAP-style edge list: one "u v" pair per line,
+// whitespace separated (spaces, tabs, or commas), with '#' and '%'
+// comment lines and blank lines ignored. Node labels may be arbitrary
+// non-negative integers; they are compacted to contiguous IDs in order of
+// first appearance. Self-loops and duplicate edges are dropped (the graph
+// is simple and undirected). It returns the graph and the mapping from
+// compact ID to original label.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	g := New(0)
+	id := make(map[int64]int)
+	var labels []int64
+	lookup := func(label int64) int {
+		if v, ok := id[label]; ok {
+			return v
+		}
+		v := g.AddNode()
+		id[label] = v
+		labels = append(labels, label)
+		return v
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		line = strings.ReplaceAll(line, ",", " ")
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad node label %q: %v", lineNo, fields[0], err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad node label %q: %v", lineNo, fields[1], err)
+		}
+		u, v := lookup(a), lookup(b)
+		if u != v {
+			g.AddEdge(u, v) // duplicate edges return false and are ignored
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return g, labels, nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list with a header comment.
+// Each undirected edge appears once as "u<TAB>v" with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected simple graph: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) bool {
+		_, werr = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeListFile reads an edge list from the named file.
+func LoadEdgeListFile(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// SaveEdgeListFile writes g to the named file, creating or truncating it.
+func SaveEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FromEdges builds a graph with n nodes from a list of undirected edges.
+// It panics on out-of-range endpoints or self-loops; duplicate edges are
+// ignored.
+func FromEdges(n int, edges [][2]int) *Graph {
+	g := NewWithNodes(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}

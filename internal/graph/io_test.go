@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% another comment
+
+0 1
+1	2
+2,3
+3 0
+0 1
+1 1
+`
+	g, labels, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Errorf("n = %d, want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Errorf("m = %d, want 4 (duplicate and self-loop dropped)", g.M())
+	}
+	wantLabels := []int64{0, 1, 2, 3}
+	for i, l := range wantLabels {
+		if labels[i] != l {
+			t.Fatalf("labels = %v, want %v", labels, wantLabels)
+		}
+	}
+}
+
+func TestReadEdgeListSparseLabels(t *testing.T) {
+	in := "100 200\n200 4000000000\n"
+	g, labels, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 3 2", g.N(), g.M())
+	}
+	if labels[2] != 4000000000 {
+		t.Errorf("labels[2] = %d, want 4000000000", labels[2])
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"single field", "42\n"},
+		{"non-numeric", "a b\n"},
+		{"second field bad", "1 x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadEdgeList(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, labels, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadEdgeList compacts labels in order of first appearance, so map
+	// back through the label vector before comparing edge sets.
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed size: %v -> %v", g, h)
+	}
+	h.Edges(func(u, v int) bool {
+		ou, ov := int(labels[u]), int(labels[v])
+		if !g.HasEdge(ou, ov) {
+			t.Errorf("round trip invented edge (%d, %d)", ou, ov)
+		}
+		return true
+	})
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err := SaveEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Error("file round trip changed graph")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadEdgeListFile("/nonexistent/path/graph.txt"); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}

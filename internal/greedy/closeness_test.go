@@ -1,0 +1,99 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestImproveClosenessReducesFarness(t *testing.T) {
+	g := datasets.Fig1()
+	g2, res, err := ImproveCloseness(g, datasets.V10, 2, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M()+2 {
+		t.Fatalf("added %d edges, want 2", g2.M()-g.M())
+	}
+	if res.AfterFarness[datasets.V10] >= res.BeforeFarness[datasets.V10] {
+		t.Errorf("farness did not drop: %d -> %d",
+			res.BeforeFarness[datasets.V10], res.AfterFarness[datasets.V10])
+	}
+	// The per-round farness must be consistent with a real recompute.
+	wantFinal := centrality.Farness(g2)[datasets.V10]
+	got := res.FarnessPerRound[len(res.FarnessPerRound)-1]
+	if got != wantFinal {
+		t.Errorf("incremental farness %d != recomputed %d", got, wantFinal)
+	}
+	// Per-round farness is non-increasing (more edges never hurt
+	// closeness).
+	for i := 1; i < len(res.FarnessPerRound); i++ {
+		if res.FarnessPerRound[i] > res.FarnessPerRound[i-1] {
+			t.Errorf("farness rose between rounds: %v", res.FarnessPerRound)
+		}
+	}
+}
+
+func TestImproveClosenessOptimalFirstPick(t *testing.T) {
+	// On a path, the best single edge for an endpoint is to the node
+	// minimizing the merged distance sum; verify against brute force.
+	g := gen.Path(9)
+	_, res, err := ImproveCloseness(g, 0, 1, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestFar, bestV := int64(1<<62), -1
+	for v := 2; v < 9; v++ { // v=1 is already a neighbor
+		h := g.Clone()
+		h.AddEdge(0, v)
+		if far := centrality.Farness(h)[0]; far < bestFar {
+			bestFar, bestV = far, v
+		}
+	}
+	if res.Edges[0][0] != bestV {
+		t.Errorf("greedy picked %d (farness %d), brute force says %d (farness %d)",
+			res.Edges[0][0], res.FarnessPerRound[0], bestV, bestFar)
+	}
+	if res.FarnessPerRound[0] != bestFar {
+		t.Errorf("greedy farness %d, brute force %d", res.FarnessPerRound[0], bestFar)
+	}
+}
+
+func TestImproveClosenessErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := ImproveCloseness(g, 11, 1, ClosenessOptions{}); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, _, err := ImproveCloseness(g, 1, 0, ClosenessOptions{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := ImproveCloseness(g, 1, 1, ClosenessOptions{CandidateSample: 2}); err == nil {
+		t.Error("sampling without Rand accepted")
+	}
+}
+
+func TestImproveClosenessClique(t *testing.T) {
+	g := gen.Clique(5)
+	g2, res, err := ImproveCloseness(g, 0, 3, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 0 || g2.M() != g.M() {
+		t.Error("edges added inside a clique")
+	}
+}
+
+func TestImproveClosenessWithSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.BarabasiAlbert(rng, 150, 2)
+	_, res, err := ImproveCloseness(g, 9, 2, ClosenessOptions{CandidateSample: 10, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 2 {
+		t.Fatalf("selected %d edges, want 2", len(res.Edges))
+	}
+}

@@ -1,0 +1,61 @@
+package greedy
+
+import (
+	"fmt"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// ImproveCoreness is the structure-aware counterpart for coreness, in
+// the spirit of the k-core edge-addition problems of Chitnis and Talmon
+// [19]: add b edges incident to the target to maximize its coreness.
+// Each round greedily picks the edge (t, v) with the largest resulting
+// RC(t), breaking ties toward candidates inside deeper cores (which are
+// the useful ones: a node's coreness can only grow by connecting to
+// nodes of coreness above its own).
+func ImproveCoreness(g *graph.Graph, target, budget int, opts ClosenessOptions) (*graph.Graph, *CorenessResult, error) {
+	if target < 0 || target >= g.N() {
+		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
+	}
+	if budget < 1 {
+		return nil, nil, fmt.Errorf("greedy: budget %d, want >= 1", budget)
+	}
+	if opts.CandidateSample > 0 && opts.Rand == nil {
+		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
+	}
+	work := g.Clone()
+	res := &CorenessResult{Before: centrality.Coreness(g)}
+
+	for round := 0; round < budget; round++ {
+		cands := nonNeighbors(work, target, opts.CandidateSample, opts.Rand)
+		if len(cands) == 0 {
+			break
+		}
+		cur := centrality.Coreness(work)
+		bestV, bestCore, bestCandCore := -1, -1, -1
+		for _, v := range cands {
+			work.AddEdge(target, v)
+			c := centrality.Coreness(work)[target]
+			work.RemoveEdge(target, v)
+			if c > bestCore || (c == bestCore && cur[v] > bestCandCore) {
+				bestV, bestCore, bestCandCore = v, c, cur[v]
+			}
+		}
+		work.AddEdge(target, bestV)
+		res.Edges = append(res.Edges, [2]int{bestV, target})
+		res.CorePerRound = append(res.CorePerRound, bestCore)
+	}
+	res.After = centrality.Coreness(work)
+	return work, res, nil
+}
+
+// CorenessResult reports one greedy coreness run.
+type CorenessResult struct {
+	// Edges are the selected edges (v, t) in order.
+	Edges [][2]int
+	// CorePerRound[i] is RC(t) after i+1 edges.
+	CorePerRound []int
+	// Before/After are the full coreness vectors.
+	Before, After []int
+}

@@ -1,0 +1,93 @@
+package greedy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// ImproveEccentricity is the structure-aware counterpart for
+// eccentricity, in the spirit of the constrained edge-addition
+// algorithms of Perumal et al. [20]: add b edges incident to the target
+// to minimize its maximum distance. Like the other baselines it needs
+// the full network structure.
+//
+// Candidate pricing is exact and cheap: with edge (t, v) added,
+// dist′(t, u) = min(dist(t, u), 1 + dist(v, u)), so one BFS from v
+// prices the candidate's new eccentricity in O(m).
+func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptions) (*graph.Graph, *EccentricityResult, error) {
+	if target < 0 || target >= g.N() {
+		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
+	}
+	if budget < 1 {
+		return nil, nil, fmt.Errorf("greedy: budget %d, want >= 1", budget)
+	}
+	if opts.CandidateSample > 0 && opts.Rand == nil {
+		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
+	}
+	work := g.Clone()
+	res := &EccentricityResult{Before: centrality.ReciprocalEccentricity(g)}
+	bfs := centrality.NewBFS(g.N())
+
+	for round := 0; round < budget; round++ {
+		dT := append([]int32(nil), bfs.Distances(work, target)...)
+		cands := nonNeighbors(work, target, opts.CandidateSample, opts.Rand)
+		if len(cands) == 0 {
+			break
+		}
+		bestV, bestEcc := -1, int32(0)
+		for _, v := range cands {
+			dV := bfs.Distances(work, v)
+			var ecc int32
+			for u := 0; u < work.N(); u++ {
+				if u == target {
+					continue
+				}
+				d := dT[u]
+				if dV[u] >= 0 && (d < 0 || dV[u]+1 < d) {
+					d = dV[u] + 1
+				}
+				if d > ecc {
+					ecc = d
+				}
+			}
+			if bestV == -1 || ecc < bestEcc {
+				bestV, bestEcc = v, ecc
+			}
+		}
+		work.AddEdge(target, bestV)
+		res.Edges = append(res.Edges, [2]int{bestV, target})
+		res.EccPerRound = append(res.EccPerRound, bestEcc)
+	}
+	res.After = centrality.ReciprocalEccentricity(work)
+	return work, res, nil
+}
+
+// EccentricityResult reports one greedy eccentricity run.
+type EccentricityResult struct {
+	// Edges are the selected edges (v, t) in order.
+	Edges [][2]int
+	// EccPerRound[i] is the target's reciprocal eccentricity (max
+	// distance) after i+1 edges.
+	EccPerRound []int32
+	// Before/After are the full reciprocal-eccentricity vectors.
+	Before, After []int32
+}
+
+// nonNeighbors lists nodes not adjacent to target (and not target),
+// optionally subsampled.
+func nonNeighbors(g *graph.Graph, target, sample int, rng *rand.Rand) []int {
+	var all []int
+	for v := 0; v < g.N(); v++ {
+		if v != target && !g.HasEdge(target, v) {
+			all = append(all, v)
+		}
+	}
+	if sample > 0 && sample < len(all) {
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		all = all[:sample]
+	}
+	return all
+}

@@ -1,0 +1,118 @@
+// Package greedy implements the structure-aware baseline the paper
+// compares against in Section VII-C: the greedy edge-addition algorithm
+// of Bergamini et al. [18] for improving a target node's betweenness
+// score. Unlike the black-box strategies of internal/core, Greedy
+// requires full knowledge of the network structure — it evaluates the
+// betweenness gain of every candidate edge each round.
+package greedy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"promonet/internal/centrality"
+	"promonet/internal/graph"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// Counting is the betweenness pair convention (must match whatever
+	// the black-box side uses when comparing).
+	Counting centrality.PairCounting
+	// CandidateSample, when > 0, evaluates only that many uniformly
+	// sampled non-neighbor candidates per round instead of all of them.
+	// This only weakens the baseline and is off (0 = exhaustive) for
+	// the paper-comparison experiments; it exists to keep the baseline
+	// usable on large hosts.
+	CandidateSample int
+	// PivotSources, when > 0, estimates betweenness from that many BFS
+	// pivots (Brandes–Pich) instead of exactly. 0 means exact.
+	PivotSources int
+	// Rand supplies randomness for sampling; required when
+	// CandidateSample or PivotSources is set.
+	Rand *rand.Rand
+}
+
+// Result reports one Greedy run.
+type Result struct {
+	// Edges are the b selected edges (v, t) in selection order.
+	Edges [][2]int
+	// ScorePerRound[i] is BC(t) after inserting i+1 edges.
+	ScorePerRound []float64
+	// AfterPerRound[i] is the full betweenness vector after inserting
+	// i+1 edges — what the comparison experiments (Figs. 8–9) need to
+	// rank the target at every budget.
+	AfterPerRound [][]float64
+	// Before and After are the full betweenness vectors on G and the
+	// final G′ (same node set — Greedy adds no nodes).
+	Before, After []float64
+}
+
+// Improve runs the greedy algorithm: b rounds, each inserting the edge
+// (v, t) with v ∉ N(t) that maximizes the betweenness improvement
+// Δ_C(t | v) of the target. The input graph is not modified; the updated
+// graph is returned alongside the result.
+func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *Result, error) {
+	if target < 0 || target >= g.N() {
+		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
+	}
+	if budget < 1 {
+		return nil, nil, fmt.Errorf("greedy: budget %d, want >= 1", budget)
+	}
+	if (opts.CandidateSample > 0 || opts.PivotSources > 0) && opts.Rand == nil {
+		return nil, nil, fmt.Errorf("greedy: sampling options require Options.Rand")
+	}
+
+	work := g.Clone()
+	res := &Result{Before: scores(g, opts)}
+
+	for round := 0; round < budget; round++ {
+		cands := candidates(work, target, opts)
+		if len(cands) == 0 {
+			break // target already adjacent to everyone
+		}
+		bestV, bestScore := -1, 0.0
+		var bestVector []float64
+		for _, v := range cands {
+			work.AddEdge(target, v)
+			vec := scores(work, opts)
+			work.RemoveEdge(target, v)
+			if s := vec[target]; bestV == -1 || s > bestScore {
+				bestV, bestScore, bestVector = v, s, vec
+			}
+		}
+		work.AddEdge(target, bestV)
+		res.Edges = append(res.Edges, [2]int{bestV, target})
+		res.ScorePerRound = append(res.ScorePerRound, bestScore)
+		res.AfterPerRound = append(res.AfterPerRound, bestVector)
+	}
+	if len(res.AfterPerRound) > 0 {
+		res.After = res.AfterPerRound[len(res.AfterPerRound)-1]
+	} else {
+		res.After = scores(work, opts)
+	}
+	return work, res, nil
+}
+
+// candidates returns the nodes not adjacent to target (and not target
+// itself), optionally subsampled.
+func candidates(g *graph.Graph, target int, opts Options) []int {
+	var all []int
+	for v := 0; v < g.N(); v++ {
+		if v != target && !g.HasEdge(target, v) {
+			all = append(all, v)
+		}
+	}
+	if opts.CandidateSample > 0 && opts.CandidateSample < len(all) {
+		opts.Rand.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		all = all[:opts.CandidateSample]
+	}
+	return all
+}
+
+func scores(g *graph.Graph, opts Options) []float64 {
+	if opts.PivotSources > 0 && opts.PivotSources < g.N() {
+		return centrality.BetweennessSampled(g, opts.Counting, opts.PivotSources, opts.Rand)
+	}
+	return centrality.Betweenness(g, opts.Counting)
+}

@@ -1,0 +1,124 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+func TestImproveIncreasesScore(t *testing.T) {
+	g := datasets.Fig1()
+	// v10 is peripheral with BC = 0.
+	g2, res, err := Improve(g, datasets.V10, 3, Options{Counting: centrality.PairsUnordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M()+3 {
+		t.Errorf("added %d edges, want 3", g2.M()-g.M())
+	}
+	if len(res.Edges) != 3 {
+		t.Fatalf("selected %d edges, want 3", len(res.Edges))
+	}
+	if res.After[datasets.V10] <= res.Before[datasets.V10] {
+		t.Errorf("greedy did not improve BC: %v -> %v",
+			res.Before[datasets.V10], res.After[datasets.V10])
+	}
+	// Scores per round must be non-decreasing: each round keeps its
+	// best edge, which can only add shortest paths through t... not a
+	// theorem in general, but greedy picks max so round i+1's base
+	// includes round i's edge; the recorded best scores should not
+	// decrease on this host.
+	for i := 1; i < len(res.ScorePerRound); i++ {
+		if res.ScorePerRound[i] < res.ScorePerRound[i-1]-1e-9 {
+			t.Errorf("round %d score %v < round %d score %v",
+				i, res.ScorePerRound[i], i-1, res.ScorePerRound[i-1])
+		}
+	}
+	// The input graph is untouched.
+	if g.M() != 15 {
+		t.Error("Improve mutated its input")
+	}
+}
+
+func TestImproveGreedyBeatsRandomEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.BarabasiAlbert(rng, 80, 2)
+	bc := centrality.Betweenness(g, centrality.PairsUnordered)
+	// Pick a low-betweenness target, as in Section VII-C.
+	target := 0
+	for v := range bc {
+		if bc[v] < bc[target] {
+			target = v
+		}
+	}
+	_, res, err := Improve(g, target, 1, Options{Counting: centrality.PairsUnordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyGain := res.After[target] - res.Before[target]
+
+	// Compare to the average gain of a few random edges.
+	randomTotal := 0.0
+	trials := 5
+	for i := 0; i < trials; i++ {
+		h := g.Clone()
+		for {
+			v := rng.Intn(h.N())
+			if v != target && !h.HasEdge(target, v) {
+				h.AddEdge(target, v)
+				break
+			}
+		}
+		randomTotal += centrality.Betweenness(h, centrality.PairsUnordered)[target] - res.Before[target]
+	}
+	if greedyGain < randomTotal/float64(trials) {
+		t.Errorf("greedy gain %v below average random gain %v", greedyGain, randomTotal/float64(trials))
+	}
+}
+
+func TestImproveErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := Improve(g, 9, 1, Options{}); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, _, err := Improve(g, 1, 0, Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := Improve(g, 1, 1, Options{CandidateSample: 2}); err == nil {
+		t.Error("sampling without Rand accepted")
+	}
+}
+
+func TestImproveBudgetExceedsCandidates(t *testing.T) {
+	g := gen.Clique(4) // node 0 already adjacent to everyone
+	g2, res, err := Improve(g, 0, 5, Options{Counting: centrality.PairsUnordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 0 {
+		t.Errorf("selected %d edges in a clique, want 0", len(res.Edges))
+	}
+	if g2.M() != g.M() {
+		t.Error("edges added in a clique")
+	}
+}
+
+func TestImproveWithSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(rng, 120, 2)
+	_, res, err := Improve(g, 5, 2, Options{
+		Counting:        centrality.PairsUnordered,
+		CandidateSample: 15,
+		PivotSources:    40,
+		Rand:            rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 2 {
+		t.Fatalf("selected %d edges, want 2", len(res.Edges))
+	}
+}

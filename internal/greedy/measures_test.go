@@ -1,0 +1,134 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+)
+
+// --- eccentricity baseline ---
+
+func TestImproveEccentricityReducesMaxDistance(t *testing.T) {
+	g := gen.Path(11) // endpoint 0 has eccentricity 10
+	g2, res, err := ImproveEccentricity(g, 0, 1, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before[0] != 10 {
+		t.Fatalf("before ecc = %d, want 10", res.Before[0])
+	}
+	// Best single edge from an endpoint: to the node minimizing the new
+	// max distance. Brute force the optimum.
+	best := int32(1 << 30)
+	for v := 2; v < 11; v++ {
+		h := g.Clone()
+		h.AddEdge(0, v)
+		if e := centrality.ReciprocalEccentricity(h)[0]; e < best {
+			best = e
+		}
+	}
+	if res.After[0] != best {
+		t.Errorf("greedy ecc %d, brute-force optimum %d", res.After[0], best)
+	}
+	if g2.M() != g.M()+1 {
+		t.Errorf("edges added = %d, want 1", g2.M()-g.M())
+	}
+	// The incremental pricing must agree with the recompute.
+	if res.EccPerRound[0] != res.After[0] {
+		t.Errorf("incremental ecc %d != recomputed %d", res.EccPerRound[0], res.After[0])
+	}
+}
+
+func TestImproveEccentricityErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := ImproveEccentricity(g, 11, 1, ClosenessOptions{}); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, _, err := ImproveEccentricity(g, 1, 0, ClosenessOptions{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := ImproveEccentricity(g, 1, 1, ClosenessOptions{CandidateSample: 2}); err == nil {
+		t.Error("sampling without Rand accepted")
+	}
+}
+
+func TestImproveEccentricityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := gen.WattsStrogatz(rng, 120, 2, 0.05)
+	_, res, err := ImproveEccentricity(g, 5, 4, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.EccPerRound); i++ {
+		if res.EccPerRound[i] > res.EccPerRound[i-1] {
+			t.Errorf("eccentricity rose between rounds: %v", res.EccPerRound)
+		}
+	}
+}
+
+// --- coreness baseline ---
+
+func TestImproveCorenessRaisesCore(t *testing.T) {
+	// K4 plus a pendant: the pendant (coreness 1) can climb by wiring
+	// into the clique.
+	g := gen.Clique(4)
+	pend := g.AddNode()
+	g.AddEdge(0, pend)
+	g2, res, err := ImproveCoreness(g, pend, 3, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before[pend] != 1 {
+		t.Fatalf("before coreness = %d, want 1", res.Before[pend])
+	}
+	// With edges to the three remaining clique members the pendant
+	// joins the 4-core.
+	if res.After[pend] != 4 {
+		t.Errorf("after coreness = %d, want 4", res.After[pend])
+	}
+	if g2.M() != g.M()+3 {
+		t.Errorf("edges added = %d, want 3", g2.M()-g.M())
+	}
+}
+
+func TestImproveCorenessOnFig1(t *testing.T) {
+	g := datasets.Fig1()
+	// v4 (coreness 1) should reach the 3-core {v1,v3,v5,v6} with 3
+	// edges into it.
+	_, res, err := ImproveCoreness(g, datasets.V4, 3, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After[datasets.V4] < 3 {
+		t.Errorf("coreness after 3 greedy edges = %d, want >= 3", res.After[datasets.V4])
+	}
+}
+
+func TestImproveCorenessErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := ImproveCoreness(g, 11, 1, ClosenessOptions{}); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, _, err := ImproveCoreness(g, 1, 0, ClosenessOptions{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestImproveCorenessNeverDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.BarabasiAlbert(rng, 100, 3)
+	_, res, err := ImproveCoreness(g, 17, 4, ClosenessOptions{CandidateSample: 20, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := res.Before[17]
+	for _, c := range res.CorePerRound {
+		if c < prev {
+			t.Errorf("coreness decreased across rounds: %v", res.CorePerRound)
+		}
+		prev = c
+	}
+}
