@@ -172,8 +172,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Fprintf(render.out, "done in %v (seed=%d scale=%g)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale)
-	return nil
+	_, err = fmt.Fprintf(render.out, "done in %v (seed=%d scale=%g)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale)
+	return err
 }
 
 // renderer writes tables and figures in the selected output format.

@@ -165,7 +165,7 @@ func run() error {
 			return err
 		}
 		if err := graph.WriteDOT(f, g2, "promoted", highlight); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,95 @@
+// Command promolint runs promonet's custom static-analysis suite (see
+// internal/lint): five analyzers enforcing the repo-specific invariants
+// that generic tooling cannot know about — the black-box read-only
+// contract on the host graph, seeded-randomness and map-iteration
+// determinism, goroutine fan-out hygiene, error discipline in the CLI
+// and IO layers, and doc coverage of the core exported API.
+//
+// Usage:
+//
+//	promolint [flags] [packages]
+//
+//	promolint ./...                    # the whole module (default)
+//	promolint ./internal/centrality    # one package
+//	promolint -analyzers determinism ./internal/exp/...
+//	promolint -list                    # describe the analyzers
+//
+// promolint exits 0 when the tree is clean, 1 when it has findings
+// (printed one per line as file:line:col: [analyzer] message), and 2 on
+// usage or load errors. Findings are suppressed with an annotation
+// comment //promolint:allow <analyzer> -- reason on the flagged line,
+// the line above it, or in the enclosing function's doc comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"promonet/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	analyzers := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promolint:", err)
+		return 2
+	}
+	var cfg lint.Config
+	if *analyzers != "" {
+		for _, name := range strings.Split(*analyzers, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Enable = append(cfg.Enable, name)
+			}
+		}
+	}
+	diags, err := lint.Run(root, flag.Args(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promolint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "promolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -144,8 +144,8 @@ func betweennessWorkers(g *graph.Graph, sources []int, counting PairCounting, sc
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			acc := make([]float64, n)

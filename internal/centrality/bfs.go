@@ -140,8 +140,8 @@ func forEachSource(g *graph.Graph, workers int, fn func(worker, source int, sc *
 		return lo, hi
 	}
 	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			sc := newBFSScratch(n)

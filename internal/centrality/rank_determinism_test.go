@@ -1,0 +1,56 @@
+package centrality
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRanksTieBreakDeterminism pins the competition-ranking contract
+// under ties: R(v) depends only on the multiset of scores, never on
+// node insertion order or sort instability. The paper's Δ_R metric
+// (Section III) compares ranks across graphs, so any order dependence
+// here would silently corrupt every experiment table.
+func TestRanksTieBreakDeterminism(t *testing.T) {
+	// A score vector with heavy ties, assigned to nodes in shuffled
+	// orders: every permutation must give each *score class* the same
+	// rank.
+	base := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1}
+	wantRankOfScore := func(scores []float64, s float64) int {
+		r := 1
+		for _, x := range scores {
+			if x > s {
+				r++
+			}
+		}
+		return r
+	}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		scores := append([]float64(nil), base...)
+		rng.Shuffle(len(scores), func(i, j int) { scores[i], scores[j] = scores[j], scores[i] })
+
+		ranks := Ranks(scores)
+		for v, s := range scores {
+			if want := wantRankOfScore(scores, s); ranks[v] != want {
+				t.Fatalf("trial %d: node %d (score %g): Ranks gives %d, definition gives %d",
+					trial, v, s, ranks[v], want)
+			}
+			if got := RankOf(scores, v); got != ranks[v] {
+				t.Fatalf("trial %d: node %d: RankOf=%d disagrees with Ranks=%d", trial, v, got, ranks[v])
+			}
+		}
+	}
+}
+
+// TestRanksTiedNodesShareRank verifies ties share the best position and
+// the next distinct score skips the tied block (competition ranking,
+// "1224" style).
+func TestRanksTiedNodesShareRank(t *testing.T) {
+	ranks := Ranks([]float64{10, 8, 8, 7})
+	want := []int{1, 2, 2, 4}
+	for v := range want {
+		if ranks[v] != want[v] {
+			t.Fatalf("ranks=%v, want %v", ranks, want)
+		}
+	}
+}

@@ -2,24 +2,6 @@ package centrality
 
 import "promonet/internal/graph"
 
-// EccentricityBounded computes the exact reciprocal eccentricity
-// ĒC(v) = max_u dist(v, u) of every node using the bound-refinement
-// algorithm of Takes and Kosters [29] (the algorithm behind teexGraph,
-// which the paper used). For small-world graphs it resolves most nodes'
-// eccentricities after a handful of BFS traversals instead of n.
-//
-// The algorithm maintains per-node lower and upper bounds. Each round it
-// BFSes from a still-unresolved node chosen to tighten bounds fastest
-// (alternating between the node with the largest upper bound and the one
-// with the smallest lower bound), then applies
-//
-//	lower(w) = max(lower(w), dist(v, w), ecc(v) - dist(v, w))
-//	upper(w) = min(upper(w), ecc(v) + dist(v, w))
-//
-// and resolves every node whose bounds meet. The graph must be
-// connected; on a disconnected graph, bounds from unreachable sources
-// are simply not applied and the result falls back to per-component
-// eccentricities.
 // DiameterBounded computes only the diameter using the BoundingDiameters
 // algorithm of Takes and Kosters [29] directly: it maintains a global
 // lower bound (the largest eccentricity seen) and per-node upper bounds,
@@ -117,6 +99,24 @@ func maxI32(a, b int32) int32 {
 	return b
 }
 
+// EccentricityBounded computes the exact reciprocal eccentricity
+// ĒC(v) = max_u dist(v, u) of every node using the bound-refinement
+// algorithm of Takes and Kosters [29] (the algorithm behind teexGraph,
+// which the paper used). For small-world graphs it resolves most nodes'
+// eccentricities after a handful of BFS traversals instead of n.
+//
+// The algorithm maintains per-node lower and upper bounds. Each round it
+// BFSes from a still-unresolved node chosen to tighten bounds fastest
+// (alternating between the node with the largest upper bound and the one
+// with the smallest lower bound), then applies
+//
+//	lower(w) = max(lower(w), dist(v, w), ecc(v) - dist(v, w))
+//	upper(w) = min(upper(w), ecc(v) + dist(v, w))
+//
+// and resolves every node whose bounds meet. The graph must be
+// connected; on a disconnected graph, bounds from unreachable sources
+// are simply not applied and the result falls back to per-component
+// eccentricities.
 func EccentricityBounded(g *graph.Graph) []int32 {
 	n := g.N()
 	ecc := make([]int32, n)

@@ -1,0 +1,67 @@
+package centrality
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// FuzzEccentricityTakesKosters differentially tests the Takes–Kosters
+// bound-refinement eccentricity against exact all-pairs BFS on small
+// random graphs, including disconnected ones (where both sides must
+// agree on per-component eccentricities). It complements the
+// structural fuzzing of internal/graph/fuzz_test.go: that one checks
+// the substrate, this one checks an algorithm that prunes work based
+// on bounds — exactly the kind of code where a subtle bound error
+// returns plausible-but-wrong values instead of crashing.
+func FuzzEccentricityTakesKosters(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(10))
+	f.Add(int64(2), uint8(2), uint8(0))
+	f.Add(int64(3), uint8(30), uint8(200)) // dense: tiny diameter
+	f.Add(int64(4), uint8(25), uint8(12))  // sparse: likely disconnected
+	f.Add(int64(5), uint8(1), uint8(0))    // singleton
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw uint8) {
+		n := 1 + int(nRaw)%40
+		maxM := n * (n - 1) / 2
+		m := int(mRaw)
+		if m > maxM {
+			m = maxM
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, n, m)
+
+		got := EccentricityBounded(g)
+		want := ReciprocalEccentricity(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d m=%d seed=%d: eccentricity of node %d: bounded=%d, all-pairs BFS=%d",
+					n, m, seed, v, got[v], want[v])
+			}
+		}
+		if d := DiameterBounded(g); !disconnected(g) {
+			if exact := maxEcc(want); d != exact {
+				t.Fatalf("n=%d m=%d seed=%d: DiameterBounded=%d, exact=%d", n, m, seed, d, exact)
+			}
+		}
+	})
+}
+
+func maxEcc(ecc []int32) int {
+	max := int32(0)
+	for _, e := range ecc {
+		if e > max {
+			max = e
+		}
+	}
+	return int(max)
+}
+
+func disconnected(g *graph.Graph) bool {
+	if g.N() == 0 {
+		return false
+	}
+	reached, _ := newBFSScratch(g.N()).run(g, 0)
+	return reached != g.N()
+}

@@ -52,6 +52,7 @@ func PromoteAll(g *graph.Graph, m Measure, targets []int, p int) (*graph.Graph, 
 			return nil, nil, err
 		}
 	}
+	graph.DebugAssert(g2)
 	after := m.Scores(g2)
 	outcomes := make([]CompetitorOutcome, len(targets))
 	for i, t := range targets {

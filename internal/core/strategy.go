@@ -99,6 +99,7 @@ func (s Strategy) Apply(g *graph.Graph) (*graph.Graph, []int, error) {
 	}
 	g2 := g.Clone()
 	ins := s.applyInPlace(g2)
+	graph.DebugAssert(g2)
 	return g2, ins, nil
 }
 
@@ -109,9 +110,17 @@ func (s Strategy) ApplyInPlace(g *graph.Graph) ([]int, error) {
 	if err := s.Validate(g); err != nil {
 		return nil, err
 	}
-	return s.applyInPlace(g), nil
+	ins := s.applyInPlace(g)
+	graph.DebugAssert(g)
+	return ins, nil
 }
 
+// applyInPlace inserts Δ_V and Δ_E into g. This is the one place in the
+// promotion machinery that is *supposed* to attach structure, so it
+// carries the package's only mutation-safety exemption; everything it
+// adds touches the target only, never edges among original nodes.
+//
+//promolint:allow mutation-safety -- strategy application is the sanctioned mutation point
 func (s Strategy) applyInPlace(g *graph.Graph) []int {
 	first := g.AddNodes(s.Size)
 	ins := make([]int, s.Size)

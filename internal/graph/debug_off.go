@@ -1,0 +1,11 @@
+//go:build !promodebug
+
+package graph
+
+// DebugChecks reports whether runtime invariant checking is compiled
+// in. This build has it off; build with -tags promodebug to enable.
+const DebugChecks = false
+
+// DebugAssert is a no-op in this build. With -tags promodebug it
+// panics if g violates the structural invariants (see CheckInvariants).
+func DebugAssert(*Graph) {}

@@ -1,0 +1,17 @@
+//go:build promodebug
+
+package graph
+
+// DebugChecks reports whether runtime invariant checking is compiled
+// in. This build has it on (-tags promodebug).
+const DebugChecks = true
+
+// DebugAssert panics if g violates the structural invariants (see
+// CheckInvariants). It is compiled to a no-op without -tags promodebug,
+// so callers sprinkle it at mutation boundaries for free in production
+// builds and get full dynamic checking in CI's promodebug test pass.
+func DebugAssert(g *Graph) {
+	if err := g.CheckInvariants(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,53 @@
+package graph
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants every algorithm in
+// this module assumes and returns the first violation found, or nil:
+//
+//   - adjacency rows are strictly increasing (sorted, no duplicates),
+//     which HasEdge's binary search and deterministic traversal depend on;
+//   - neighbor IDs are in [0, N());
+//   - no self-loops (the graph is simple);
+//   - edges are symmetric (v ∈ adj[u] ⇔ u ∈ adj[v]);
+//   - the handshake identity Σ degree = 2·M() holds.
+//
+// It is the dynamic complement to promolint's static mutation-safety
+// analyzer: the analyzer proves read-only code paths never call the
+// mutators, CheckInvariants proves the sanctioned mutation points leave
+// the graph well-formed. It costs O(n + m·log d) and is asserted at
+// strategy-application boundaries when built with -tags promodebug (see
+// DebugAssert).
+func (g *Graph) CheckInvariants() error {
+	n := len(g.adj)
+	degSum := 0
+	// First pass: per-row structure. Sortedness must be established
+	// before the symmetry pass, because symmetry is verified with
+	// HasEdge's binary search, which is meaningless on unsorted rows.
+	for v, row := range g.adj {
+		degSum += len(row)
+		for i, u := range row {
+			if int(u) < 0 || int(u) >= n {
+				return fmt.Errorf("graph: invariant violation: node %d lists neighbor %d outside [0, %d)", v, u, n)
+			}
+			if int(u) == v {
+				return fmt.Errorf("graph: invariant violation: self-loop at node %d", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: invariant violation: adjacency of node %d not strictly increasing at index %d (%d >= %d)", v, i, row[i-1], u)
+			}
+		}
+	}
+	// Second pass: every arc has its reverse.
+	for v, row := range g.adj {
+		for _, u := range row {
+			if !g.HasEdge(int(u), v) {
+				return fmt.Errorf("graph: invariant violation: asymmetric edge: %d lists %d but not vice versa", v, u)
+			}
+		}
+	}
+	if degSum != 2*g.m {
+		return fmt.Errorf("graph: invariant violation: degree sum %d != 2·m = %d", degSum, 2*g.m)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func validFixture() *Graph {
+	g := NewWithNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(0, 4)
+	g.AddEdge(1, 3)
+	return g
+}
+
+func TestCheckInvariantsClean(t *testing.T) {
+	if err := validFixture().CheckInvariants(); err != nil {
+		t.Fatalf("valid graph failed invariants: %v", err)
+	}
+	if err := (&Graph{}).CheckInvariants(); err != nil {
+		t.Fatalf("empty graph failed invariants: %v", err)
+	}
+}
+
+// The corrupt fixtures below reach into the representation directly —
+// the whole point is to verify damage no public API can cause is still
+// caught.
+
+func TestCheckInvariantsUnsortedAdjacency(t *testing.T) {
+	g := validFixture()
+	row := g.adj[1]
+	row[0], row[1] = row[1], row[0]
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("unsorted adjacency not caught: %v", err)
+	}
+}
+
+func TestCheckInvariantsDuplicateNeighbor(t *testing.T) {
+	g := validFixture()
+	g.adj[0] = []int32{1, 1}
+	if err := g.CheckInvariants(); err == nil {
+		t.Fatal("duplicate neighbor not caught")
+	}
+}
+
+func TestCheckInvariantsAsymmetricEdge(t *testing.T) {
+	g := validFixture()
+	// Remove 0 from 1's row only: 0 still lists 1.
+	g.removeArc(1, 0)
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "asymmetric") {
+		t.Fatalf("asymmetric edge not caught: %v", err)
+	}
+}
+
+func TestCheckInvariantsSelfLoop(t *testing.T) {
+	g := validFixture()
+	g.adj[2] = []int32{1, 2, 3}
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Fatalf("self-loop not caught: %v", err)
+	}
+}
+
+func TestCheckInvariantsEdgeCountDrift(t *testing.T) {
+	g := validFixture()
+	g.m++ // claim one more edge than the adjacency holds
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "degree sum") {
+		t.Fatalf("edge-count drift not caught: %v", err)
+	}
+}
+
+func TestCheckInvariantsNeighborOutOfRange(t *testing.T) {
+	g := validFixture()
+	g.adj[4] = append(g.adj[4], 99)
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range neighbor not caught: %v", err)
+	}
+}
+
+// TestDebugAssertMatchesBuildTag pins the build-tag contract: without
+// promodebug DebugAssert must be a no-op even on a corrupt graph; with
+// -tags promodebug (DebugChecks true) it must panic. The same test
+// covers both, so plain CI and the promodebug CI pass each verify
+// their build's behavior.
+func TestDebugAssertMatchesBuildTag(t *testing.T) {
+	g := validFixture()
+	g.adj[0] = []int32{0} // self-loop corruption
+	if DebugChecks {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("DebugAssert did not panic on a corrupt graph under -tags promodebug")
+			}
+		}()
+		DebugAssert(g)
+		t.Fatal("unreachable: DebugAssert should have panicked")
+	} else {
+		DebugAssert(g) // must not panic: checking is compiled out
+	}
+}

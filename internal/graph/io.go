@@ -98,7 +98,7 @@ func SaveEdgeListFile(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteEdgeList(f, g); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// concurrency enforces the fan-out hygiene the parallel BFS/Brandes
+// workers rely on. Two patterns are flagged, in every package:
+//
+//  1. A goroutine closure (`go func() {...}`) that writes to a captured
+//     map, assigns to a captured slice/map variable, or writes a
+//     captured slice element at an index that is not partitioned by a
+//     closure-local variable. Worker code must write only into its own
+//     partition (index derived from a closure parameter) and merge
+//     after the WaitGroup barrier.
+//  2. sync.WaitGroup.Add called inside the loop body that spawns the
+//     goroutines. The repo convention is a single wg.Add(n) before the
+//     loop, so the counter can never trail the spawns.
+var concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc:  "flag goroutine closures writing captured maps/slices and per-iteration WaitGroup.Add",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineWrites(p, lit)
+				}
+			case *ast.ForStmt:
+				checkAddInSpawnLoop(p, n.Body)
+			case *ast.RangeStmt:
+				checkAddInSpawnLoop(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroutineWrites flags shared-state writes inside a goroutine
+// closure.
+func checkGoroutineWrites(p *Pass, lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	// capturedBy reports whether the identifier resolves to a variable
+	// declared outside the closure (captured by reference).
+	captured := func(id *ast.Ident) bool {
+		obj := info.Uses[id]
+		if obj == nil {
+			return false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+	localIndex := func(index ast.Expr) bool {
+		local := false
+		ast.Inspect(index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, ok := info.Uses[id].(*types.Var); ok &&
+					obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+					local = true
+				}
+			}
+			return true
+		})
+		return local
+	}
+	checkTarget := func(lhs ast.Expr) {
+		switch lhs := lhs.(type) {
+		case *ast.IndexExpr:
+			base, ok := lhs.X.(*ast.Ident)
+			if !ok || !captured(base) {
+				return
+			}
+			switch info.Types[lhs.X].Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(lhs.Pos(),
+					"goroutine writes to captured map %q — unsynchronized map writes race; give each worker its own map and merge after wg.Wait",
+					base.Name)
+			case *types.Slice:
+				if !localIndex(lhs.Index) {
+					p.Reportf(lhs.Pos(),
+						"goroutine writes captured slice %q at an index not derived from a closure-local variable — partition by worker index or merge after the barrier",
+						base.Name)
+				}
+			}
+		case *ast.Ident:
+			if lhs.Name == "_" || !captured(lhs) {
+				return
+			}
+			switch info.Types[lhs].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(lhs.Pos(),
+					"goroutine assigns to captured variable %q — racy; collect per-worker results and merge after wg.Wait",
+					lhs.Name)
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested closures are analyzed against the outer goroutine's
+			// capture boundary, which checkTarget already handles.
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X)
+		}
+		return true
+	})
+}
+
+// checkAddInSpawnLoop flags wg.Add calls in a loop body that also
+// contains a go statement.
+func checkAddInSpawnLoop(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	spawns := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+			return false
+		}
+		return true
+	})
+	if !spawns {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isWaitGroup(info.Types[sel.X].Type) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"WaitGroup.Add inside the goroutine-spawning loop — hoist a single %s.Add(n) above the loop so the counter can never trail the spawns",
+			exprString(sel.X))
+		return true
+	})
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

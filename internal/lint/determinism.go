@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinism guards the reproducibility the experiment tables depend
+// on (EXPERIMENTS.md re-derives the paper's Tables V-VIII from fixed
+// seeds). Two failure modes are flagged:
+//
+//  1. Global math/rand state: calls to the package-level math/rand
+//     functions (rand.Intn, rand.Shuffle, ...) anywhere outside test
+//     files. All randomness must flow through an explicit *rand.Rand so
+//     a seed fully determines a run.
+//  2. Order-dependent map iteration in the experiment/CLI layer
+//     (internal/exp and cmd/...): a `range` over a map whose body
+//     appends to a slice or prints output, without a subsequent
+//     sort of the collected slice in the same function.
+var determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag global math/rand use and order-dependent map iteration in experiment code",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand identifiers that are fine to use
+// anywhere: they build explicit generators rather than touching the
+// package-level global source. Type names (Rand, Source, Zipf, ...)
+// also resolve through the package selector and are harmless.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors, should the module migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"call to global math/rand function %s.%s — thread an explicit *rand.Rand so experiment reruns are reproducible from a seed",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+
+	if !p.relScope("internal/exp", "cmd") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd)
+		}
+	}
+}
+
+// checkMapRanges flags `range` statements over maps inside fd whose
+// body has order-dependent effects (appending to a slice that is never
+// sorted afterwards in fd, or writing output directly).
+func checkMapRanges(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		appended, writesOutput := mapRangeEffects(info, rng.Body)
+		if writesOutput {
+			p.Reportf(rng.Pos(),
+				"range over map %s writes output in nondeterministic order — collect and sort keys first",
+				exprString(rng.X))
+			return true
+		}
+		for _, target := range appended {
+			if !sortedAfter(info, fd, rng, target) {
+				p.Reportf(rng.Pos(),
+					"range over map %s appends to %s in nondeterministic order without a following sort",
+					exprString(rng.X), target)
+			}
+		}
+		return true
+	})
+}
+
+// mapRangeEffects scans a map-range body for order-dependent effects:
+// the names of slice variables appended to, and whether output is
+// written directly (fmt print family).
+func mapRangeEffects(info *types.Info, body *ast.BlockStmt) (appended []string, writesOutput bool) {
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if i < len(n.Lhs) {
+					name := exprString(n.Lhs[i])
+					if name != "_" && !seen[name] {
+						seen[name] = true
+						appended = append(appended, name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pkgName, ok := info.Uses[id].(*types.PkgName); ok &&
+						pkgName.Imported().Path() == "fmt" &&
+						strings.HasPrefix(sel.Sel.Name, "Print") {
+						writesOutput = true
+					}
+					if pkgName, ok := info.Uses[id].(*types.PkgName); ok &&
+						pkgName.Imported().Path() == "fmt" &&
+						strings.HasPrefix(sel.Sel.Name, "Fprint") {
+						writesOutput = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return appended, writesOutput
+}
+
+// sortedAfter reports whether fd contains, after the range statement, a
+// call into the sort or slices packages that mentions target.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(exprString(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

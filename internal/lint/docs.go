@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exportedDocs requires doc comments on the exported package-level API
+// of the two packages other code builds on: internal/centrality and
+// internal/core. Exported top-level functions, type declarations, and
+// var/const specs without a doc comment (their own or their enclosing
+// declaration group's) are flagged. Methods are exempt: the bulk of
+// them implement the Measure interface, whose contract is documented
+// once on the interface.
+var exportedDocs = &Analyzer{
+	Name: "exported-docs",
+	Doc:  "flag undocumented exported identifiers in internal/centrality and internal/core",
+	Run:  runExportedDocs,
+}
+
+func runExportedDocs(p *Pass) {
+	if !p.relScope("internal/centrality", "internal/core") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Recv != nil || !decl.Name.IsExported() || decl.Doc != nil {
+					continue
+				}
+				p.Reportf(decl.Name.Pos(), "exported function %s has no doc comment", decl.Name.Name)
+			case *ast.GenDecl:
+				if decl.Doc != nil {
+					continue // a group doc covers every spec in the block
+				}
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() && spec.Doc == nil && spec.Comment == nil {
+							p.Reportf(spec.Name.Pos(), "exported type %s has no doc comment", spec.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if spec.Doc != nil || spec.Comment != nil {
+							continue
+						}
+						for _, name := range spec.Names {
+							if name.IsExported() {
+								p.Reportf(name.Pos(), "exported %s %s has no doc comment", declKind(decl), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func declKind(decl *ast.GenDecl) string {
+	switch decl.Tok.String() {
+	case "const":
+		return "const"
+	case "var":
+		return "var"
+	default:
+		return "declaration"
+	}
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

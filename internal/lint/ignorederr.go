@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ignoredErrors flags silently discarded error returns in the places
+// where a swallowed error corrupts results instead of crashing loudly:
+// the CLI entry points (cmd/...) and the graph serialization layer
+// (internal/graph/io.go). A call statement whose callee returns an
+// error is a finding; assigning the error to the blank identifier
+// (`_ = f.Close()`) is the explicit, greppable opt-out. The fmt print
+// family writing to stdout/stderr is exempt — those errors are
+// conventionally unactionable.
+var ignoredErrors = &Analyzer{
+	Name: "ignored-errors",
+	Doc:  "flag discarded error returns in cmd/ and internal/graph/io.go",
+	Run:  runIgnoredErrors,
+}
+
+func runIgnoredErrors(p *Pass) {
+	inCmd := p.relScope("cmd")
+	inGraph := p.Pkg.Rel == "internal/graph" || strings.HasSuffix(p.Pkg.Rel, "/internal/graph")
+	if !inCmd && !inGraph {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		if inGraph && !inCmd {
+			name := filepath.Base(p.Fset.Position(file.Pos()).Filename)
+			if name != "io.go" {
+				continue
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p.Pkg.Info, call) || isExemptPrint(p.Pkg.Info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"result of %s includes an error that is silently discarded — handle it or assign it to _ explicitly",
+				exprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error or a
+// tuple containing an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// isExemptPrint reports whether the call is fmt.Print/Printf/Println or
+// an fmt.Fprint* writing to os.Stdout or os.Stderr.
+func isExemptPrint(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return false
+	}
+	name := sel.Sel.Name
+	if strings.HasPrefix(name, "Print") {
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		if w, ok := call.Args[0].(*ast.SelectorExpr); ok {
+			if wid, ok := w.X.(*ast.Ident); ok {
+				if wpkg, ok := info.Uses[wid].(*types.PkgName); ok && wpkg.Imported().Path() == "os" &&
+					(w.Sel.Name == "Stdout" || w.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mutatingGraphMethods are the *graph.Graph methods that change the
+// structure of the graph. Calling any of them on a graph received as a
+// parameter violates the black-box read-only contract.
+var mutatingGraphMethods = map[string]bool{
+	"AddEdge":    true,
+	"RemoveEdge": true,
+	"AddNode":    true,
+	"AddNodes":   true,
+}
+
+// mutationSafety enforces the paper's black-box contract: code in the
+// measurement and baseline packages (internal/centrality,
+// internal/core, internal/greedy) receives the host graph read-only.
+// Any mutating method call on a *graph.Graph parameter is flagged;
+// mutating a local clone is fine. Strategy-application code — whose
+// whole job is to attach structure — opts out explicitly with
+// //promolint:allow mutation-safety.
+var mutationSafety = &Analyzer{
+	Name: "mutation-safety",
+	Doc:  "flag mutating *graph.Graph method calls on function parameters in read-only packages",
+	Run:  runMutationSafety,
+}
+
+func runMutationSafety(p *Pass) {
+	if !p.relScope("internal/centrality", "internal/core", "internal/greedy") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := graphParams(info, fd)
+			if len(params) == 0 {
+				continue
+			}
+			funcName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !mutatingGraphMethods[sel.Sel.Name] {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := info.Uses[recv]; obj != nil && params[obj] {
+					p.Reportf(call.Pos(),
+						"%s mutates its *graph.Graph parameter %q via %s — the black-box contract requires treating the host as read-only (clone first, or annotate strategy code with //promolint:allow mutation-safety)",
+						funcName, recv.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// graphParams returns the set of objects bound to *graph.Graph-typed
+// parameters (including the receiver) of fd.
+func graphParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isGraphPointer(obj.Type()) {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return out
+}
+
+// isGraphPointer reports whether t is a pointer to a named type Graph
+// declared in a package whose import path ends in "internal/graph".
+func isGraphPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Graph" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/graph" || strings.HasSuffix(path, "/internal/graph")
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check.sh — the full correctness gate, runnable locally and in CI.
+#
+#   ./scripts/check.sh          # everything
+#   ./scripts/check.sh quick    # skip the race and promodebug test passes
+#
+# Order is cheapest-first so formatting and vet problems surface before
+# the slower test passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { echo "== $*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./... (default and promodebug)"
+go build ./...
+go build -tags promodebug ./...
+
+step "promolint ./..."
+go run ./cmd/promolint ./...
+
+if [[ "${1:-}" == "quick" ]]; then
+    step "go test ./... (quick mode: no -race, no promodebug pass)"
+    go test ./...
+    echo "OK (quick)"
+    exit 0
+fi
+
+step "go test -race ./..."
+go test -race ./...
+
+step "go test -tags promodebug ./... (runtime invariant checks active)"
+go test -tags promodebug ./...
+
+echo "OK"
