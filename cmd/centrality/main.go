@@ -16,6 +16,7 @@ import (
 
 	"promonet/internal/centrality"
 	"promonet/internal/core"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -32,7 +33,11 @@ func run() error {
 	top := flag.Int("top", 20, "print the top-k nodes by score")
 	stats := flag.Bool("stats", false, "print Table VI-style statistics instead of scores")
 	lcc := flag.Bool("lcc", true, "restrict to the largest connected component (the paper's preprocessing)")
+	engineStats := flag.Bool("enginestats", false, "print execution-engine cache/traversal counters to stderr on exit")
 	flag.Parse()
+	if *engineStats {
+		defer func() { fmt.Fprintln(os.Stderr, engine.Default().Stats()) }()
+	}
 
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"promonet/internal/engine"
 	"promonet/internal/exp"
 )
 
@@ -172,7 +173,10 @@ func run() error {
 			return err
 		}
 	}
-	_, err = fmt.Fprintf(render.out, "done in %v (seed=%d scale=%g)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale)
+	if _, err := fmt.Fprintf(render.out, "done in %v (seed=%d scale=%g)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(render.out, engine.Default().Stats())
 	return err
 }
 

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"promonet/internal/core"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -40,7 +41,11 @@ func run() error {
 	outPath := flag.String("out", "", "write the updated graph G' to this file")
 	dotPath := flag.String("dot", "", "write the updated graph in Graphviz DOT format (target red, inserted gray)")
 	jsonOut := flag.Bool("json", false, "print the outcome as JSON instead of text")
+	engineStats := flag.Bool("enginestats", false, "print execution-engine cache/traversal counters to stderr on exit")
 	flag.Parse()
+	if *engineStats {
+		defer func() { fmt.Fprintln(os.Stderr, engine.Default().Stats()) }()
+	}
 
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")

@@ -111,6 +111,17 @@ func BetweennessWorkers(g *graph.Graph, counting PairCounting, workers int) []fl
 // uniformly at random (Brandes–Pich pivoting): dependencies from the
 // sampled sources are scaled by n/k, an unbiased estimator of the exact
 // score. If k >= n it falls back to the exact computation.
+//
+// RNG contract: the function consumes exactly one rng.Perm(g.N()) draw
+// and nothing else, and the pivot set is its first k elements. Two
+// calls with the same graph, k, and an identically seeded rng therefore
+// score the same pivot set, regardless of how the per-source work is
+// later scheduled. The parallel reduction here groups sources by
+// whichever worker happened to claim them, so the floating-point sums
+// may differ between runs in the last few ulps; callers needing
+// bitwise-reproducible scores should go through internal/engine, whose
+// deterministic strided schedule guarantees identical output for
+// identical (graph, measure, seed, worker count).
 func BetweennessSampled(g *graph.Graph, counting PairCounting, k int, rng *rand.Rand) []float64 {
 	n := g.N()
 	if k >= n {

@@ -5,7 +5,7 @@ import (
 	"math"
 	"sort"
 
-	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -72,8 +72,8 @@ func Detect(baseline, observed *graph.Graph) (*DetectionReport, error) {
 	}
 	r.PendantFractionBefore = pendantFraction(baseline)
 	r.PendantFractionAfter = pendantFraction(observed)
-	r.ClusteringBefore = centrality.AverageClustering(baseline)
-	r.ClusteringAfter = centrality.AverageClustering(observed)
+	r.ClusteringBefore = engine.Default().AverageClustering(baseline)
+	r.ClusteringAfter = engine.Default().AverageClustering(observed)
 	r.DegreeKS = degreeKS(baseline, observed)
 
 	for v := 0; v < nb; v++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -76,9 +77,9 @@ func (BetweennessMeasure) Principle() Principle   { return MaximumGain }
 func (BetweennessMeasure) Strategy() StrategyType { return MultiPoint }
 func (m BetweennessMeasure) Scores(g *graph.Graph) []float64 {
 	if m.SampleSources > 0 && m.SampleSources < g.N() {
-		return centrality.BetweennessSampled(g, m.Counting, m.SampleSources, newRand(m.Seed))
+		return engine.Default().Scores(g, engine.BetweennessSampled(m.Counting, m.SampleSources, m.Seed))
 	}
-	return centrality.Betweenness(g, m.Counting)
+	return engine.Default().Scores(g, engine.Betweenness(m.Counting))
 }
 
 // --- Coreness ---
@@ -91,7 +92,7 @@ func (CorenessMeasure) Short() string          { return "RC" }
 func (CorenessMeasure) Principle() Principle   { return MaximumGain }
 func (CorenessMeasure) Strategy() StrategyType { return SingleClique }
 func (CorenessMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.CorenessFloat(g)
+	return engine.Default().Scores(g, engine.Coreness())
 }
 
 // --- Closeness ---
@@ -104,17 +105,12 @@ func (ClosenessMeasure) Short() string          { return "CC" }
 func (ClosenessMeasure) Principle() Principle   { return MinimumLoss }
 func (ClosenessMeasure) Strategy() StrategyType { return MultiPoint }
 func (ClosenessMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.Closeness(g)
+	return engine.Default().Scores(g, engine.Closeness())
 }
 
 // Reciprocals returns the farness ĈC(v) = Σ_u dist(v, u).
 func (ClosenessMeasure) Reciprocals(g *graph.Graph) []float64 {
-	f := centrality.Farness(g)
-	out := make([]float64, len(f))
-	for v, x := range f {
-		out[v] = float64(x)
-	}
-	return out
+	return engine.Default().Scores(g, engine.Farness())
 }
 
 // --- Eccentricity ---
@@ -127,17 +123,12 @@ func (EccentricityMeasure) Short() string          { return "EC" }
 func (EccentricityMeasure) Principle() Principle   { return MinimumLoss }
 func (EccentricityMeasure) Strategy() StrategyType { return DoubleLine }
 func (EccentricityMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.Eccentricity(g)
+	return engine.Default().Scores(g, engine.Eccentricity())
 }
 
 // Reciprocals returns ĒC(v) = max_u dist(v, u).
 func (EccentricityMeasure) Reciprocals(g *graph.Graph) []float64 {
-	e := centrality.ReciprocalEccentricity(g)
-	out := make([]float64, len(e))
-	for v, x := range e {
-		out[v] = float64(x)
-	}
-	return out
+	return engine.Default().Scores(g, engine.ReciprocalEccentricity())
 }
 
 // --- Extensions beyond the four headline measures (Section VI-B) ---
@@ -153,7 +144,7 @@ func (HarmonicMeasure) Short() string          { return "HC" }
 func (HarmonicMeasure) Principle() Principle   { return MaximumGain }
 func (HarmonicMeasure) Strategy() StrategyType { return MultiPoint }
 func (HarmonicMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.Harmonic(g)
+	return engine.Default().Scores(g, engine.Harmonic())
 }
 
 // DegreeMeasure is degree centrality. Trivially maximum-gain: only the
@@ -165,7 +156,7 @@ func (DegreeMeasure) Short() string          { return "DC" }
 func (DegreeMeasure) Principle() Principle   { return MaximumGain }
 func (DegreeMeasure) Strategy() StrategyType { return MultiPoint }
 func (DegreeMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.Degree(g)
+	return engine.Default().Scores(g, engine.Degree())
 }
 
 // KatzMeasure is Katz centrality [28] with the safe automatic damping of
@@ -179,7 +170,7 @@ func (KatzMeasure) Short() string          { return "KC" }
 func (KatzMeasure) Principle() Principle   { return MaximumGain }
 func (KatzMeasure) Strategy() StrategyType { return SingleClique }
 func (KatzMeasure) Scores(g *graph.Graph) []float64 {
-	return centrality.KatzAuto(g)
+	return engine.Default().Scores(g, engine.Katz())
 }
 
 // CurrentFlowMeasure is current-flow (random-walk) betweenness [13],

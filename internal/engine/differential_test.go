@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// Differential tests: the engine's pooled parallel kernels against
+// independent reference implementations — BetweennessNaive (explicit
+// per-pair path counting, no shared code with Brandes' accumulation
+// step) and plain single-threaded BFS loops written here with none of
+// the centrality package's scratch reuse. Worker counts 1, 2, and 8
+// exercise the inline path, the pool, and oversubscription; every
+// engine is asked twice so that a scratch buffer leaking state across
+// sources or graphs would corrupt the second answer.
+
+// workerCounts are the pool sizes under differential test.
+var workerCounts = []int{1, 2, 8}
+
+// diffHosts builds the ER/BA/WS trio the differential suites run on.
+func diffHosts() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(99))
+	return map[string]*graph.Graph{
+		"er": gen.ErdosRenyi(rng, 48, 110),
+		"ba": gen.BarabasiAlbert(rng, 48, 3),
+		"ws": gen.WattsStrogatz(rng, 48, 4, 0.2),
+	}
+}
+
+// naiveDistances is an independent BFS: plain slice queue, fresh
+// allocation per call, no scratch.
+func naiveDistances(g *graph.Graph, s int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Adjacency(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return dist
+}
+
+func TestDifferentialBetweenness(t *testing.T) {
+	for name, g := range diffHosts() {
+		for _, counting := range []centrality.PairCounting{centrality.PairsUnordered, centrality.PairsOrdered} {
+			want := centrality.BetweennessNaive(g, counting)
+			for _, w := range workerCounts {
+				e := New(w)
+				for round := 0; round < 2; round++ {
+					got := e.Scores(g, Betweenness(counting))
+					for v := range want {
+						if d := math.Abs(got[v] - want[v]); d > 1e-8*(1+want[v]) {
+							t.Fatalf("%s workers=%d round=%d counting=%d: BC(%d) = %v, naive %v",
+								name, w, round, counting, v, got[v], want[v])
+						}
+					}
+				}
+				e.Close()
+			}
+		}
+	}
+}
+
+func TestDifferentialDistanceFamily(t *testing.T) {
+	for name, g := range diffHosts() {
+		n := g.N()
+		wantFar := make([]float64, n)
+		wantEcc := make([]float64, n)
+		wantClose := make([]float64, n)
+		wantHarm := make([]float64, n)
+		for s := 0; s < n; s++ {
+			dist := naiveDistances(g, s)
+			far, ecc := 0, 0
+			h := 0.0
+			for _, d := range dist {
+				if d > 0 {
+					far += d
+					h += 1 / float64(d)
+					if d > ecc {
+						ecc = d
+					}
+				}
+			}
+			wantFar[s], wantEcc[s], wantHarm[s] = float64(far), float64(ecc), h
+			if far > 0 {
+				wantClose[s] = 1 / float64(far)
+			}
+		}
+		for _, w := range workerCounts {
+			e := New(w)
+			for round := 0; round < 2; round++ {
+				far := e.Scores(g, Farness())
+				ecc := e.Scores(g, ReciprocalEccentricity())
+				closeness := e.Scores(g, Closeness())
+				harm := e.Scores(g, Harmonic())
+				for v := 0; v < n; v++ {
+					// Farness, eccentricity, and closeness derive from
+					// integer distances: equality is exact.
+					if far[v] != wantFar[v] || ecc[v] != wantEcc[v] || closeness[v] != wantClose[v] {
+						t.Fatalf("%s workers=%d round=%d node %d: far/ecc/close = %v/%v/%v, want %v/%v/%v",
+							name, w, round, v, far[v], ecc[v], closeness[v], wantFar[v], wantEcc[v], wantClose[v])
+					}
+					if d := math.Abs(harm[v] - wantHarm[v]); d > 1e-12*(1+wantHarm[v]) {
+						t.Fatalf("%s workers=%d round=%d: harmonic(%d) = %v, want %v",
+							name, w, round, v, harm[v], wantHarm[v])
+					}
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+// TestScratchIsolationAcrossGraphs interleaves scoring of differently
+// sized graphs through one engine: pooled kernels are reused across
+// sizes, and stale distances/σ/δ from a larger graph must never bleed
+// into a smaller one.
+func TestScratchIsolationAcrossGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	big := gen.BarabasiAlbert(rng, 90, 4)
+	small := gen.ErdosRenyi(rng, 25, 60)
+	wantBig := centrality.Betweenness(big, centrality.PairsUnordered)
+	wantSmall := centrality.Betweenness(small, centrality.PairsUnordered)
+
+	for _, w := range workerCounts {
+		e := New(w, WithCacheSize(0)) // force recomputation every pass
+		for round := 0; round < 3; round++ {
+			gotBig := e.Scores(big, Betweenness(centrality.PairsUnordered))
+			gotSmall := e.Scores(small, Betweenness(centrality.PairsUnordered))
+			if !floatsEqual(gotBig, wantBig, 1e-9) || !floatsEqual(gotSmall, wantSmall, 1e-9) {
+				t.Fatalf("workers=%d round=%d: interleaved scoring corrupted results", w, round)
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestDeterministicAcrossRuns: same engine configuration, same graph →
+// bitwise-identical floats, run to run and instance to instance (the
+// strided-schedule contract the direct centrality functions do not
+// make).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.BarabasiAlbert(rng, 64, 3)
+	for _, w := range workerCounts {
+		a := New(w, WithCacheSize(0))
+		b := New(w, WithCacheSize(0))
+		for _, m := range []Measure{Betweenness(centrality.PairsUnordered), Harmonic()} {
+			x := a.Scores(g, m)
+			y := a.Scores(g, m)
+			z := b.Scores(g, m)
+			for v := range x {
+				if x[v] != y[v] || x[v] != z[v] {
+					t.Fatalf("workers=%d measure %v: nondeterministic float at node %d", w, m, v)
+				}
+			}
+		}
+		a.Close()
+		b.Close()
+	}
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// allMeasures is the full measure set on defined-everywhere graphs
+// (Katz excluded where noted by callers; it needs KatzAuto convergence,
+// which holds on all the generators used here).
+func allMeasures() []Measure {
+	return []Measure{
+		Betweenness(centrality.PairsUnordered),
+		Betweenness(centrality.PairsOrdered),
+		Closeness(),
+		Farness(),
+		Eccentricity(),
+		ReciprocalEccentricity(),
+		Harmonic(),
+		Coreness(),
+		Degree(),
+	}
+}
+
+func floatsEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScoresMatchDirectFunctions(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(7))
+	g := gen.ErdosRenyi(rng, 60, 150)
+
+	checks := []struct {
+		name string
+		m    Measure
+		want []float64
+	}{
+		{"betweenness-unordered", Betweenness(centrality.PairsUnordered), centrality.Betweenness(g, centrality.PairsUnordered)},
+		{"betweenness-ordered", Betweenness(centrality.PairsOrdered), centrality.Betweenness(g, centrality.PairsOrdered)},
+		{"closeness", Closeness(), centrality.Closeness(g)},
+		{"harmonic", Harmonic(), centrality.Harmonic(g)},
+		{"eccentricity", Eccentricity(), centrality.Eccentricity(g)},
+		{"coreness", Coreness(), centrality.CorenessFloat(g)},
+		{"degree", Degree(), centrality.Degree(g)},
+		{"katz", Katz(), centrality.KatzAuto(g)},
+	}
+	for _, c := range checks {
+		got := e.Scores(g, c.m)
+		if !floatsEqual(got, c.want, 1e-9) {
+			t.Errorf("%s: engine scores disagree with direct function", c.name)
+		}
+	}
+
+	far := centrality.Farness(g)
+	gotFar := e.Scores(g, Farness())
+	recEcc := centrality.ReciprocalEccentricity(g)
+	gotRec := e.Scores(g, ReciprocalEccentricity())
+	for v := range far {
+		if gotFar[v] != float64(far[v]) {
+			t.Fatalf("farness[%d] = %v, want %v", v, gotFar[v], far[v])
+		}
+		if gotRec[v] != float64(recEcc[v]) {
+			t.Fatalf("reciprocal ecc[%d] = %v, want %v", v, gotRec[v], recEcc[v])
+		}
+	}
+}
+
+func TestFamilySharingOneSweep(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	g := gen.Grid(8, 9)
+
+	_ = e.ScoresFor(g, Closeness(), Farness(), Harmonic(), Eccentricity(), ReciprocalEccentricity())
+	st := e.Stats()
+	var sweeps uint64
+	for _, f := range st.PerFamily {
+		if f.Family == "distance-sweep" {
+			sweeps = f.Computes
+		}
+	}
+	if sweeps != 1 {
+		t.Fatalf("distance family computed %d times for 5 sibling measures, want 1", sweeps)
+	}
+	if st.BFSRuns != uint64(g.N()) {
+		t.Fatalf("BFSRuns = %d, want n = %d", st.BFSRuns, g.N())
+	}
+
+	// Both counting conventions share one Brandes accumulation.
+	e.ResetStats()
+	_ = e.ScoresFor(g, Betweenness(centrality.PairsUnordered), Betweenness(centrality.PairsOrdered))
+	st = e.Stats()
+	if st.BrandesRuns != uint64(g.N()) {
+		t.Fatalf("BrandesRuns = %d, want n = %d", st.BrandesRuns, g.N())
+	}
+}
+
+func TestMemoHitOnRepeatAndOnClone(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(rng, 80, 3)
+
+	first := e.Scores(g, Closeness())
+	st := e.Stats()
+	if st.Hits != 0 || st.Misses == 0 {
+		t.Fatalf("first request: hits=%d misses=%d, want 0 hits", st.Hits, st.Misses)
+	}
+	second := e.Scores(g, Closeness())
+	if e.Stats().Hits == 0 {
+		t.Fatal("repeat request did not hit the memo table")
+	}
+	if !floatsEqual(first, second, 0) {
+		t.Fatal("memoized scores differ from computed scores")
+	}
+
+	// A clone has a different version but identical content: the
+	// content-addressed key must hit.
+	before := e.Stats().Hits
+	cl := g.Clone()
+	third := e.Scores(cl, Closeness())
+	if e.Stats().Hits <= before {
+		t.Fatal("clone request did not hit the content-addressed memo")
+	}
+	if !floatsEqual(first, third, 0) {
+		t.Fatal("clone scores differ")
+	}
+
+	// Returned slices are fresh copies: mutating one must not corrupt
+	// the cache.
+	second[0] = math.Inf(1)
+	fourth := e.Scores(g, Closeness())
+	if math.IsInf(fourth[0], 1) {
+		t.Fatal("caller mutation leaked into the memo table")
+	}
+}
+
+func TestCacheDisabledStillCorrect(t *testing.T) {
+	e := New(2, WithCacheSize(0))
+	defer e.Close()
+	g := gen.Star(12)
+	a := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	b := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	if !floatsEqual(a, b, 0) {
+		t.Fatal("uncached runs disagree")
+	}
+	if e.Stats().Hits != 0 {
+		t.Fatalf("cache disabled but hits = %d", e.Stats().Hits)
+	}
+	if !floatsEqual(a, centrality.Betweenness(g, centrality.PairsUnordered), 1e-9) {
+		t.Fatal("uncached scores wrong")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(1, WithCacheSize(2))
+	defer e.Close()
+	graphs := []*graph.Graph{gen.Path(5), gen.Path(6), gen.Path(7)}
+	for _, g := range graphs {
+		e.Scores(g, Degree())
+	}
+	if ev := e.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1 (cap 2, 3 snapshots)", ev)
+	}
+	// Oldest snapshot was evicted; re-scoring it is a miss.
+	before := e.Stats().Misses
+	e.Scores(graphs[0], Degree())
+	if e.Stats().Misses == before {
+		t.Fatal("evicted snapshot served from cache")
+	}
+}
+
+func TestRanksFor(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	g := gen.Star(9)
+	ranks := e.RanksFor(g, Degree(), Closeness())
+	for i, m := range []Measure{Degree(), Closeness()} {
+		want := centrality.Ranks(e.Scores(g, m))
+		got := ranks[i]
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("measure %v: rank[%d] = %d, want %d", m, v, got[v], want[v])
+			}
+		}
+	}
+	// RanksFor returns are copies.
+	ranks[0][0] = -99
+	again := e.RanksFor(g, Degree())
+	if again[0][0] == -99 {
+		t.Fatal("caller mutation leaked into the rank memo")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	for _, g := range []*graph.Graph{graph.NewWithNodes(0), graph.NewWithNodes(1), graph.NewWithNodes(3)} {
+		for _, m := range allMeasures() {
+			got := e.Scores(g, m)
+			if len(got) != g.N() {
+				t.Fatalf("n=%d measure %v: len = %d", g.N(), m, len(got))
+			}
+			for v, x := range got {
+				if x != 0 {
+					t.Fatalf("n=%d (edgeless) measure %v: score[%d] = %v, want 0", g.N(), m, v, x)
+				}
+			}
+		}
+	}
+
+	// The zero-value graph reports version 0; scoring it must not
+	// poison the version-digest cache for other graphs.
+	var z graph.Graph
+	if z.Version() != 0 {
+		t.Fatalf("zero-value version = %d, want 0", z.Version())
+	}
+	if got := e.Scores(&z, Degree()); len(got) != 0 {
+		t.Fatalf("zero-value graph scored %d nodes", len(got))
+	}
+}
+
+func TestDefaultEngine(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default engine not a stable singleton")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("Default engine has no workers")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e := New(3)
+	g := gen.Clique(6)
+	_ = e.Scores(g, Closeness())
+	e.Close()
+	e.Close() // second close must not panic
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// Invalidation: the engine may serve a memoized vector only while the
+// graph's structure is unchanged. Every mutation (AddEdge, RemoveEdge,
+// AddNode) bumps the graph's version and changes its content digest, so
+// a stale snapshot must never be served. These tests run in CI under
+// -race and under -tags promodebug.
+
+// assertFresh scores g through e and compares against a direct
+// recomputation, failing on any stale value.
+func assertFresh(t *testing.T, e *Engine, g *graph.Graph, context string) {
+	t.Helper()
+	got := e.Scores(g, Farness())
+	want := centrality.Farness(g)
+	for v := range want {
+		if got[v] != float64(want[v]) {
+			t.Fatalf("%s: stale farness at node %d: engine %v, direct %d", context, v, got[v], want[v])
+		}
+	}
+	gotBC := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	wantBC := centrality.Betweenness(g, centrality.PairsUnordered)
+	if !floatsEqual(gotBC, wantBC, 1e-9) {
+		t.Fatalf("%s: stale betweenness served", context)
+	}
+}
+
+func TestMutationInvalidatesMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := gen.ErdosRenyi(rng, 40, 90)
+	e := New(4)
+	defer e.Close()
+
+	assertFresh(t, e, g, "initial")
+
+	// AddEdge between existing non-neighbors.
+	added := false
+	for u := 0; u < g.N() && !added; u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+				added = true
+				break
+			}
+		}
+	}
+	if !added {
+		t.Fatal("no non-edge found")
+	}
+	assertFresh(t, e, g, "after AddEdge")
+
+	// RemoveEdge.
+	edge := g.EdgeList()[0]
+	g.RemoveEdge(edge[0], edge[1])
+	assertFresh(t, e, g, "after RemoveEdge")
+
+	// AddNode plus an attaching edge.
+	w := g.AddNode()
+	assertFresh(t, e, g, "after AddNode")
+	g.AddEdge(w, 0)
+	assertFresh(t, e, g, "after attaching new node")
+}
+
+// TestNoOpMutationKeepsCache: AddEdge on an existing edge and
+// RemoveEdge on a non-edge change nothing; the version stays put and
+// the memo keeps serving.
+func TestNoOpMutationKeepsCache(t *testing.T) {
+	g := gen.Clique(10)
+	e := New(2)
+	defer e.Close()
+	_ = e.Scores(g, Farness())
+	v0 := g.Version()
+	if g.AddEdge(0, 1) {
+		t.Fatal("duplicate AddEdge reported a mutation")
+	}
+	if g.RemoveEdge(0, g.N()) || g.RemoveEdge(0, 0) {
+		t.Fatal("invalid RemoveEdge reported a mutation")
+	}
+	if g.Version() != v0 {
+		t.Fatalf("no-op mutations bumped version %d -> %d", v0, g.Version())
+	}
+	before := e.Stats().Hits
+	_ = e.Scores(g, Farness())
+	if e.Stats().Hits <= before {
+		t.Fatal("no-op mutation evicted a valid memo")
+	}
+}
+
+// TestMutateAndRevertHitsContentCache: the greedy baselines score
+// mutate-evaluate-revert variants in a loop; after the revert, the
+// version differs but the structure is restored, so the
+// content-addressed key must hit — with correct values.
+func TestMutateAndRevertHitsContentCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := gen.BarabasiAlbert(rng, 50, 3)
+	e := New(4)
+	defer e.Close()
+
+	base := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	v0 := g.Version()
+
+	u, w := -1, -1
+findNonEdge:
+	for a := 0; a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			if !g.HasEdge(a, b) {
+				u, w = a, b
+				break findNonEdge
+			}
+		}
+	}
+	if u < 0 {
+		t.Fatal("no non-edge found")
+	}
+	g.AddEdge(u, w)
+	mutated := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	g.RemoveEdge(u, w)
+
+	if g.Version() == v0 {
+		t.Fatal("revert restored the old version — versions must be unique")
+	}
+	hitsBefore := e.Stats().Hits
+	reverted := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	if e.Stats().Hits <= hitsBefore {
+		t.Fatal("reverted structure missed the content-addressed cache")
+	}
+	if !floatsEqual(base, reverted, 0) {
+		t.Fatal("reverted graph served the mutated snapshot's scores")
+	}
+	if floatsEqual(base, mutated, 1e-12) {
+		t.Fatal("sanity: mutation should have changed betweenness")
+	}
+}
+
+// TestConcurrentScoring hammers one engine from many goroutines over
+// distinct graphs plus a shared read-only one — the -race CI lane
+// checks the pool, the memo table, and the counters.
+func TestConcurrentScoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	shared := gen.WattsStrogatz(rng, 60, 4, 0.1)
+	priv := make([]*graph.Graph, 8)
+	for i := range priv {
+		priv[i] = gen.ErdosRenyi(rand.New(rand.NewSource(int64(100+i))), 40, 80)
+	}
+	e := New(4)
+	defer e.Close()
+	wantShared := centrality.Farness(shared)
+
+	var wg sync.WaitGroup
+	wg.Add(len(priv))
+	for i := range priv {
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				got := e.Scores(shared, Farness())
+				for v := range wantShared {
+					if got[v] != float64(wantShared[v]) {
+						t.Errorf("goroutine %d: shared farness corrupted at %d", i, v)
+						return
+					}
+				}
+				mine := e.Scores(priv[i], Betweenness(centrality.PairsUnordered))
+				want := centrality.Betweenness(priv[i], centrality.PairsUnordered)
+				if !floatsEqual(mine, want, 1e-9) {
+					t.Errorf("goroutine %d: private betweenness wrong", i)
+					return
+				}
+				priv[i].AddNode() // mutate between rounds: must invalidate
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestVersionSemantics pins the graph-side contract the engine builds
+// on: fresh versions on every successful mutation, global uniqueness,
+// clone inheritance.
+func TestVersionSemantics(t *testing.T) {
+	a := graph.NewWithNodes(3)
+	b := graph.NewWithNodes(3)
+	if a.Version() == 0 || b.Version() == 0 {
+		t.Fatal("constructed graphs must have nonzero versions")
+	}
+	if a.Version() == b.Version() {
+		t.Fatal("two graphs share a version")
+	}
+	v := a.Version()
+	if !a.AddEdge(0, 1) || a.Version() == v {
+		t.Fatal("AddEdge did not bump version")
+	}
+	v = a.Version()
+	cl := a.Clone()
+	if cl.Version() != v {
+		t.Fatal("clone must inherit the source version")
+	}
+	cl.AddEdge(1, 2)
+	if cl.Version() == v || a.Version() != v {
+		t.Fatal("clone mutation must diverge without touching the source")
+	}
+	if !a.RemoveEdge(0, 1) || a.Version() == v {
+		t.Fatal("RemoveEdge did not bump version")
+	}
+}

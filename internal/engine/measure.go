@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+
+	"promonet/internal/centrality"
+)
+
+// kind enumerates the score families the engine can compute. Families,
+// not functions: closeness, harmonic, and both eccentricity variants all
+// derive from one shared all-pairs BFS sweep, and both betweenness
+// counting conventions derive from one Brandes accumulation, so
+// requesting several members of a family costs one computation.
+type kind int
+
+const (
+	kindBetweenness kind = iota
+	kindCloseness
+	kindFarness
+	kindEccentricity
+	kindReciprocalEccentricity
+	kindHarmonic
+	kindCoreness
+	kindDegree
+	kindKatz
+)
+
+// familyName is the stats bucket for the kind's underlying computation.
+func (k kind) familyName() string {
+	switch k {
+	case kindBetweenness:
+		return "betweenness"
+	case kindCloseness, kindFarness, kindHarmonic, kindEccentricity, kindReciprocalEccentricity:
+		return "distance-sweep"
+	case kindCoreness:
+		return "coreness"
+	case kindDegree:
+		return "degree"
+	case kindKatz:
+		return "katz"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Measure identifies one centrality computation for the engine: the
+// family plus the parameters that change its output (pair counting,
+// pivot sampling). Measures are small comparable values; construct them
+// with the package functions below.
+type Measure struct {
+	kind     kind
+	counting centrality.PairCounting
+	sample   int   // > 0: Brandes–Pich pivot count
+	seed     int64 // pivot rng seed when sample > 0
+}
+
+// Betweenness is exact shortest-path betweenness (Brandes) under the
+// given pair-counting convention.
+func Betweenness(counting centrality.PairCounting) Measure {
+	return Measure{kind: kindBetweenness, counting: counting}
+}
+
+// BetweennessSampled is Brandes–Pich pivot-sampled betweenness with k
+// pivots drawn from a rand.Rand seeded with seed. The engine guarantees
+// that identical (graph, k, seed, worker count) yield bitwise-identical
+// scores, across engine instances: the pivot set is the first k entries
+// of a single Perm(n) draw, and the per-source partial sums are merged
+// on a deterministic strided schedule. If k >= n the measure degrades
+// to the exact computation (and caches as such).
+func BetweennessSampled(counting centrality.PairCounting, k int, seed int64) Measure {
+	return Measure{kind: kindBetweenness, counting: counting, sample: k, seed: seed}
+}
+
+// Closeness is CC(v) = 1 / Σ_u dist(v, u) (Definition 2.1).
+func Closeness() Measure { return Measure{kind: kindCloseness} }
+
+// Farness is the reciprocal closeness ĈC(v) = Σ_u dist(v, u), as a
+// float64 vector (the bookkeeping unit of the minimum-loss principle).
+func Farness() Measure { return Measure{kind: kindFarness} }
+
+// Eccentricity is EC(v) = 1 / max_u dist(v, u) (Definition 2.2).
+func Eccentricity() Measure { return Measure{kind: kindEccentricity} }
+
+// ReciprocalEccentricity is ĒC(v) = max_u dist(v, u) as float64.
+func ReciprocalEccentricity() Measure { return Measure{kind: kindReciprocalEccentricity} }
+
+// Harmonic is harmonic centrality Σ_{u≠v} 1/dist(v, u).
+func Harmonic() Measure { return Measure{kind: kindHarmonic} }
+
+// Coreness is RC (Definition 2.4) as float64.
+func Coreness() Measure { return Measure{kind: kindCoreness} }
+
+// Degree is degree centrality.
+func Degree() Measure { return Measure{kind: kindDegree} }
+
+// Katz is Katz centrality with the safe automatic damping of
+// centrality.KatzAuto.
+func Katz() Measure { return Measure{kind: kindKatz} }
+
+// Key is the cache key of the measure within one graph snapshot. Two
+// measures with equal keys always produce equal scores on equal graphs.
+func (m Measure) Key() string {
+	switch m.kind {
+	case kindBetweenness:
+		c := "unordered"
+		if m.counting == centrality.PairsOrdered {
+			c = "ordered"
+		}
+		if m.sample > 0 {
+			return fmt.Sprintf("bc/%s/k=%d/seed=%d", c, m.sample, m.seed)
+		}
+		return "bc/" + c
+	case kindCloseness:
+		return "closeness"
+	case kindFarness:
+		return "farness"
+	case kindEccentricity:
+		return "eccentricity"
+	case kindReciprocalEccentricity:
+		return "ecc-reciprocal"
+	case kindHarmonic:
+		return "harmonic"
+	case kindCoreness:
+		return "coreness"
+	case kindDegree:
+		return "degree"
+	case kindKatz:
+		return "katz"
+	default:
+		return fmt.Sprintf("kind(%d)", int(m.kind))
+	}
+}
+
+// String names the measure for diagnostics; same as Key.
+func (m Measure) String() string { return m.Key() }

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// Metamorphic properties of centrality: transformations of the input
+// graph with a known effect on the output. None of these compare
+// against another implementation — they catch bugs both the engine and
+// the reference functions could share.
+
+// relabel returns a copy of g with node v renamed perm[v].
+func relabel(g *graph.Graph, perm []int) *graph.Graph {
+	h := graph.NewWithNodes(g.N())
+	g.Edges(func(u, v int) bool {
+		h.AddEdge(perm[u], perm[v])
+		return true
+	})
+	return h
+}
+
+// disjointUnion returns g ⊔ h with h's nodes shifted by g.N().
+func disjointUnion(g, h *graph.Graph) *graph.Graph {
+	u := graph.NewWithNodes(g.N() + h.N())
+	g.Edges(func(a, b int) bool { u.AddEdge(a, b); return true })
+	off := g.N()
+	h.Edges(func(a, b int) bool { u.AddEdge(a+off, b+off); return true })
+	return u
+}
+
+// metamorphicMeasures are the measures whose scores depend only on the
+// node's isomorphism class (Katz qualifies too but its automatic
+// damping depends on the global max degree, which a disjoint union can
+// change, so it is exercised only in the relabeling test).
+func metamorphicMeasures() []Measure {
+	return []Measure{
+		Betweenness(centrality.PairsUnordered),
+		Betweenness(centrality.PairsOrdered),
+		Closeness(),
+		Farness(),
+		Eccentricity(),
+		ReciprocalEccentricity(),
+		Harmonic(),
+		Coreness(),
+		Degree(),
+	}
+}
+
+// TestRankInvarianceUnderRelabeling: centrality is a function of the
+// unlabeled structure, so relabeling nodes permutes scores and ranks
+// identically. Ranks (integer, tie-aware) are compared exactly; the
+// permuted traversal order can regroup floating-point sums, which
+// ranking absorbs by construction for the int-derived measures and
+// which we bound with a relative tolerance on the raw scores.
+func TestRankInvarianceUnderRelabeling(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(11))
+	hosts := []*graph.Graph{
+		gen.ErdosRenyi(rng, 70, 180),
+		gen.BarabasiAlbert(rng, 70, 3),
+		gen.WattsStrogatz(rng, 70, 4, 0.1),
+		gen.Grid(6, 7),
+	}
+	// exactKinds score through integer arithmetic (distances, degrees,
+	// cores), so relabeling permutes them bitwise and ranks must match
+	// exactly. The float-summed measures (betweenness, harmonic, Katz)
+	// can regroup additions under relabeling; structurally tied nodes
+	// may then differ by ulps and flip within their tie group, so their
+	// ranks are compared after snapping scores to a coarse grid that
+	// re-merges those ties.
+	exactKinds := map[string]bool{
+		"closeness": true, "farness": true, "eccentricity": true,
+		"ecc-reciprocal": true, "coreness": true, "degree": true,
+	}
+	measures := append(metamorphicMeasures(), Katz())
+	for gi, g := range hosts {
+		perm := rng.Perm(g.N())
+		h := relabel(g, perm)
+		for _, m := range measures {
+			orig := e.Scores(g, m)
+			rel := e.Scores(h, m)
+			for v := range orig {
+				if d := math.Abs(orig[v] - rel[perm[v]]); d > 1e-9*(1+math.Abs(orig[v])) {
+					t.Fatalf("host %d measure %v: score(%d)=%v but relabeled score(%d)=%v",
+						gi, m, v, orig[v], perm[v], rel[perm[v]])
+				}
+			}
+			var origRanks, relRanks []int
+			if exactKinds[m.Key()] {
+				origRanks = centrality.Ranks(orig)
+				relRanks = centrality.Ranks(rel)
+			} else {
+				origRanks = centrality.Ranks(quantize(orig))
+				relRanks = centrality.Ranks(quantize(rel))
+			}
+			for v := range origRanks {
+				if origRanks[v] != relRanks[perm[v]] {
+					t.Fatalf("host %d measure %v: rank(%d)=%d but relabeled rank(%d)=%d",
+						gi, m, v, origRanks[v], perm[v], relRanks[perm[v]])
+				}
+			}
+		}
+	}
+}
+
+// quantize snaps scores to a grid of 1e-9 × the largest magnitude, so
+// values separated only by float summation order collapse to one tie.
+func quantize(scores []float64) []float64 {
+	maxAbs := 0.0
+	for _, x := range scores {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return scores
+	}
+	eps := 1e-9 * maxAbs
+	out := make([]float64, len(scores))
+	for i, x := range scores {
+		out[i] = math.Round(x/eps) * eps
+	}
+	return out
+}
+
+// TestDisjointUnionRestriction: no shortest path crosses components, so
+// every measure here restricted to one side of G ⊔ H equals the measure
+// on that side alone.
+func TestDisjointUnionRestriction(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(23))
+	g := gen.BarabasiAlbert(rng, 50, 3)
+	h := gen.ErdosRenyi(rng, 40, 90)
+	u := disjointUnion(g, h)
+
+	for _, m := range metamorphicMeasures() {
+		gScores := e.Scores(g, m)
+		hScores := e.Scores(h, m)
+		uScores := e.Scores(u, m)
+		for v := range gScores {
+			if d := math.Abs(gScores[v] - uScores[v]); d > 1e-9*(1+math.Abs(gScores[v])) {
+				t.Fatalf("measure %v: G-side score(%d) %v != %v in union", m, v, uScores[v], gScores[v])
+			}
+		}
+		off := g.N()
+		for v := range hScores {
+			if d := math.Abs(hScores[v] - uScores[off+v]); d > 1e-9*(1+math.Abs(hScores[v])) {
+				t.Fatalf("measure %v: H-side score(%d) %v != %v in union", m, v, uScores[off+v], hScores[v])
+			}
+		}
+	}
+}
+
+// TestClosedFormStar checks exact textbook values on Star(n): the hub
+// lies on every leaf pair's only path.
+func TestClosedFormStar(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	const n = 17
+	g := gen.Star(n)
+
+	bc := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	wantHub := float64((n - 1) * (n - 2) / 2)
+	if bc[0] != wantHub {
+		t.Fatalf("BC(hub) = %v, want %v", bc[0], wantHub)
+	}
+	far := e.Scores(g, Farness())
+	ecc := e.Scores(g, ReciprocalEccentricity())
+	core := e.Scores(g, Coreness())
+	for v := 1; v < n; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("BC(leaf %d) = %v, want 0", v, bc[v])
+		}
+		if want := float64(1 + 2*(n-2)); far[v] != want {
+			t.Fatalf("farness(leaf %d) = %v, want %v", v, far[v], want)
+		}
+		if ecc[v] != 2 {
+			t.Fatalf("ecc(leaf %d) = %v, want 2", v, ecc[v])
+		}
+		if core[v] != 1 {
+			t.Fatalf("coreness(leaf %d) = %v, want 1", v, core[v])
+		}
+	}
+	if far[0] != float64(n-1) || ecc[0] != 1 {
+		t.Fatalf("hub farness/ecc = %v/%v, want %d/1", far[0], ecc[0], n-1)
+	}
+}
+
+// TestClosedFormPath checks Path(n): BC(i) = i·(n-1-i) unordered,
+// farness(i) = Σ left + Σ right, ecc(i) = max(i, n-1-i).
+func TestClosedFormPath(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	const n = 13
+	g := gen.Path(n)
+	bc := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	far := e.Scores(g, Farness())
+	ecc := e.Scores(g, ReciprocalEccentricity())
+	for i := 0; i < n; i++ {
+		if want := float64(i * (n - 1 - i)); bc[i] != want {
+			t.Fatalf("BC(%d) = %v, want %v", i, bc[i], want)
+		}
+		l, r := i, n-1-i
+		if want := float64(l*(l+1)/2 + r*(r+1)/2); far[i] != want {
+			t.Fatalf("farness(%d) = %v, want %v", i, far[i], want)
+		}
+		if want := float64(max(l, r)); ecc[i] != want {
+			t.Fatalf("ecc(%d) = %v, want %v", i, ecc[i], want)
+		}
+	}
+}
+
+// TestClosedFormClique checks Clique(n): all pairs adjacent, so no node
+// mediates anything; everything is symmetric.
+func TestClosedFormClique(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	const n = 11
+	g := gen.Clique(n)
+	bc := e.Scores(g, Betweenness(centrality.PairsOrdered))
+	far := e.Scores(g, Farness())
+	ecc := e.Scores(g, ReciprocalEccentricity())
+	core := e.Scores(g, Coreness())
+	harm := e.Scores(g, Harmonic())
+	for v := 0; v < n; v++ {
+		if bc[v] != 0 || far[v] != float64(n-1) || ecc[v] != 1 ||
+			core[v] != float64(n-1) || harm[v] != float64(n-1) {
+			t.Fatalf("clique node %d: bc=%v far=%v ecc=%v core=%v harm=%v",
+				v, bc[v], far[v], ecc[v], core[v], harm[v])
+		}
+	}
+}
+
+// TestClosedFormGrid checks corner values on the r×c lattice (L1
+// distances; betweenness is skipped — grid path counts are fractional).
+func TestClosedFormGrid(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	const r, c = 5, 8
+	g := gen.Grid(r, c)
+	far := e.Scores(g, Farness())
+	ecc := e.Scores(g, ReciprocalEccentricity())
+	// Corner (0,0): dist((0,0),(i,j)) = i + j.
+	wantFar := float64(c*(r-1)*r/2 + r*(c-1)*c/2)
+	if far[0] != wantFar {
+		t.Fatalf("grid corner farness = %v, want %v", far[0], wantFar)
+	}
+	if want := float64((r - 1) + (c - 1)); ecc[0] != want {
+		t.Fatalf("grid corner ecc = %v, want %v", ecc[0], want)
+	}
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+)
+
+// Seed-stability contract of BetweennessSampled: the pivot set is a
+// pure function of (n, k, seed) — one Perm draw from a fresh
+// rand.Source — and the engine's strided merge makes the reduction a
+// pure function of (graph, pivots, worker count). Two independent
+// engine instances must therefore produce bitwise-identical estimates.
+
+func TestSampledSeedStabilityAcrossEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := gen.BarabasiAlbert(rng, 120, 3)
+	const k, seed = 24, int64(7)
+
+	for _, w := range []int{1, 2, 8} {
+		a := New(w)
+		b := New(w)
+		x := a.Scores(g, BetweennessSampled(centrality.PairsUnordered, k, seed))
+		y := b.Scores(g, BetweennessSampled(centrality.PairsUnordered, k, seed))
+		for v := range x {
+			if x[v] != y[v] {
+				t.Fatalf("workers=%d: engines disagree at node %d: %v vs %v", w, v, x[v], y[v])
+			}
+		}
+		// Same engine, repeated: memo hit must serve identical values.
+		z := a.Scores(g, BetweennessSampled(centrality.PairsUnordered, k, seed))
+		for v := range x {
+			if x[v] != z[v] {
+				t.Fatalf("workers=%d: repeat differs at node %d", w, v)
+			}
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestSampledSeedsDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := gen.ErdosRenyi(rng, 100, 260)
+	e := New(4)
+	defer e.Close()
+	x := e.Scores(g, BetweennessSampled(centrality.PairsUnordered, 20, 1))
+	y := e.Scores(g, BetweennessSampled(centrality.PairsUnordered, 20, 2))
+	same := true
+	for v := range x {
+		if x[v] != y[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical estimates — pivot seed ignored")
+	}
+}
+
+// TestSampledMatchesDirectFunction: the engine's pivot set must be the
+// one centrality.BetweennessSampled draws for an identically seeded
+// rng, so the two estimates agree up to summation order.
+func TestSampledMatchesDirectFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := gen.WattsStrogatz(rng, 110, 4, 0.15)
+	const k, seed = 30, int64(12345)
+
+	want := centrality.BetweennessSampled(g, centrality.PairsUnordered, k, rand.New(rand.NewSource(seed)))
+	e := New(4)
+	defer e.Close()
+	got := e.Scores(g, BetweennessSampled(centrality.PairsUnordered, k, seed))
+	for v := range want {
+		if d := math.Abs(got[v] - want[v]); d > 1e-8*(1+want[v]) {
+			t.Fatalf("node %d: engine %v, direct %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestSampledDegradesToExact: k >= n is the exact computation and must
+// share its cache entry regardless of seed.
+func TestSampledDegradesToExact(t *testing.T) {
+	g := gen.Clique(14)
+	e := New(2)
+	defer e.Close()
+	exact := e.Scores(g, Betweenness(centrality.PairsUnordered))
+	st := e.Stats()
+	got := e.Scores(g, BetweennessSampled(centrality.PairsUnordered, 50, 9))
+	if e.Stats().BrandesRuns != st.BrandesRuns {
+		t.Fatal("k >= n recomputed instead of reusing the exact accumulation")
+	}
+	for v := range exact {
+		if got[v] != exact[v] {
+			t.Fatalf("node %d: degraded sample %v != exact %v", v, got[v], exact[v])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the engine's live instrumentation: lock-free totals plus a
+// small mutex-guarded per-family wall-clock table, sampled into a Stats
+// snapshot on demand.
+type counters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	bfsRuns   atomic.Uint64
+	brandes   atomic.Uint64
+
+	mu  sync.Mutex
+	per map[string]*familyTotals
+}
+
+// familyTotals accumulates one compute family's cost.
+type familyTotals struct {
+	computes uint64
+	wall     time.Duration
+}
+
+// noteCompute records one cache-missed computation of a family.
+func (c *counters) noteCompute(family string, wall time.Duration) {
+	c.misses.Add(1)
+	c.mu.Lock()
+	if c.per == nil {
+		c.per = make(map[string]*familyTotals)
+	}
+	ft := c.per[family]
+	if ft == nil {
+		ft = &familyTotals{}
+		c.per[family] = ft
+	}
+	ft.computes++
+	ft.wall += wall
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of an engine's counters: memoization
+// effectiveness, raw traversal counts, and wall-clock per compute
+// family. Obtain one with (*Engine).Stats.
+type Stats struct {
+	// Hits and Misses count score requests served from the memo table
+	// versus computed. Evictions counts memo entries dropped by the LRU
+	// bound.
+	Hits, Misses, Evictions uint64
+	// BFSRuns and BrandesRuns count single-source traversals actually
+	// executed (the engine's unit of work).
+	BFSRuns, BrandesRuns uint64
+	// PerFamily breaks down computed (cache-missed) work by compute
+	// family, sorted by family name.
+	PerFamily []FamilyStats
+}
+
+// FamilyStats is one compute family's share of the engine's work.
+type FamilyStats struct {
+	// Family is the compute-family name, e.g. "betweenness" or
+	// "distance-sweep" (which covers closeness, farness, harmonic, and
+	// both eccentricity variants).
+	Family string
+	// Computes is the number of cache-missed computations.
+	Computes uint64
+	// Wall is the total wall-clock time spent computing.
+	Wall time.Duration
+}
+
+// HitRate is the fraction of score requests served from the memo table,
+// in [0, 1]; 0 when nothing has been requested yet.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the snapshot as one human-readable line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d hits / %d misses (%.0f%% hit rate), %d BFS + %d Brandes runs, %d evictions",
+		s.Hits, s.Misses, 100*s.HitRate(), s.BFSRuns, s.BrandesRuns, s.Evictions)
+	for _, f := range s.PerFamily {
+		fmt.Fprintf(&b, "; %s %d× in %v", f.Family, f.Computes, f.Wall.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Stats returns a snapshot of the engine's counters since creation (or
+// the last ResetStats).
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Hits:        e.counters.hits.Load(),
+		Misses:      e.counters.misses.Load(),
+		Evictions:   e.counters.evictions.Load(),
+		BFSRuns:     e.counters.bfsRuns.Load(),
+		BrandesRuns: e.counters.brandes.Load(),
+	}
+	e.counters.mu.Lock()
+	for name, ft := range e.counters.per {
+		s.PerFamily = append(s.PerFamily, FamilyStats{Family: name, Computes: ft.computes, Wall: ft.wall})
+	}
+	e.counters.mu.Unlock()
+	sort.Slice(s.PerFamily, func(a, b int) bool { return s.PerFamily[a].Family < s.PerFamily[b].Family })
+	return s
+}
+
+// ResetStats zeroes all counters; the memo table is left intact.
+func (e *Engine) ResetStats() {
+	e.counters.hits.Store(0)
+	e.counters.misses.Store(0)
+	e.counters.evictions.Store(0)
+	e.counters.bfsRuns.Store(0)
+	e.counters.brandes.Store(0)
+	e.counters.mu.Lock()
+	e.counters.per = nil
+	e.counters.mu.Unlock()
+}

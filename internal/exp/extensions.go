@@ -6,6 +6,7 @@ import (
 
 	"promonet/internal/centrality"
 	"promonet/internal/core"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 	"promonet/internal/greedy"
 )
@@ -155,7 +156,7 @@ func ClosenessComparison(cfg Config) (ratioFig, farnessFig *Figure, err error) {
 		g := p.Build(cfg.Seed, cfg.Scale)
 		m := core.ClosenessMeasure{}
 		before := m.Scores(g)
-		beforeFar := centrality.Farness(g)
+		beforeFar := engine.Default().FarnessInt64(g)
 		rng := newSeededRand(cfg.Seed, p.Name, "cc-cmp")
 		targets := pickLowTargets(rng, before, cfg.GreedyTargets)
 
@@ -175,7 +176,7 @@ func ClosenessComparison(cfg Config) (ratioFig, farnessFig *Figure, err error) {
 				after := m.Scores(g2)
 				dr := centrality.RankingVariation(before, after, target)
 				mpRatio[ti] = append(mpRatio[ti], centrality.Ratio(dr, g.N()))
-				afterFar := centrality.Farness(g2)
+				afterFar := engine.Default().FarnessInt64(g2)
 				// Multi-point *increases* the target's farness by p
 				// (each pendant at distance 1); report the reduction,
 				// which is negative for multi-point and positive for
@@ -197,7 +198,7 @@ func ClosenessComparison(cfg Config) (ratioFig, farnessFig *Figure, err error) {
 			work := g.Clone()
 			for ri, e := range res.Edges {
 				work.AddEdge(e[0], e[1])
-				after := centrality.Closeness(work)
+				after := engine.Default().Scores(work, engine.Closeness())
 				dr := centrality.RankingVariation(before, after, target)
 				grRatio[ti] = append(grRatio[ti], centrality.Ratio(dr, g.N()))
 				grFar[ti] = append(grFar[ti], float64(beforeFar[target]-res.FarnessPerRound[ri]))

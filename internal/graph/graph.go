@@ -11,24 +11,49 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an undirected simple graph. The zero value is an empty graph
 // ready for use. Graph is not safe for concurrent mutation; concurrent
 // reads are safe.
 type Graph struct {
-	adj [][]int32
-	m   int
+	adj     [][]int32
+	m       int
+	version uint64
 }
+
+// versionCounter issues globally unique version numbers, so that two
+// graphs only ever share a version when one is an unmutated Clone of the
+// other (in which case their structure is identical). Version 0 is
+// reserved for zero-value graphs that have never been mutated.
+var versionCounter atomic.Uint64
+
+// nextVersion returns a fresh, globally unique, nonzero version.
+func nextVersion() uint64 { return versionCounter.Add(1) }
+
+// Version is a monotonically increasing structure-change counter. Every
+// structural mutation (AddNode, AddNodes, a successful AddEdge or
+// RemoveEdge) assigns a fresh globally unique version, so caches keyed
+// by it (internal/engine) can never serve scores for a stale structure.
+// No-op calls (inserting an existing edge, removing a missing one) leave
+// the version untouched — the structure did not change. Clone preserves
+// the version: equal versions imply equal structure. A zero-value Graph
+// reports version 0 until its first mutation; constructors assign a real
+// version up front.
+func (g *Graph) Version() uint64 { return g.version }
+
+// bumpVersion invalidates any version-keyed caches of g.
+func (g *Graph) bumpVersion() { g.version = nextVersion() }
 
 // New returns an empty graph with capacity hints for n nodes.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]int32, 0, n)}
+	return &Graph{adj: make([][]int32, 0, n), version: nextVersion()}
 }
 
 // NewWithNodes returns a graph with n isolated nodes, labeled 0..n-1.
 func NewWithNodes(n int) *Graph {
-	return &Graph{adj: make([][]int32, n)}
+	return &Graph{adj: make([][]int32, n), version: nextVersion()}
 }
 
 // N returns the number of nodes.
@@ -40,6 +65,7 @@ func (g *Graph) M() int { return g.m }
 // AddNode appends a new isolated node and returns its identifier.
 func (g *Graph) AddNode() int {
 	g.adj = append(g.adj, nil)
+	g.bumpVersion()
 	return len(g.adj) - 1
 }
 
@@ -50,6 +76,7 @@ func (g *Graph) AddNodes(k int) (first int) {
 	for i := 0; i < k; i++ {
 		g.adj = append(g.adj, nil)
 	}
+	g.bumpVersion()
 	return first
 }
 
@@ -83,6 +110,7 @@ func (g *Graph) AddEdge(u, v int) bool {
 	g.insertArc(u, v)
 	g.insertArc(v, u)
 	g.m++
+	g.bumpVersion()
 	return true
 }
 
@@ -95,6 +123,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	g.removeArc(u, v)
 	g.removeArc(v, u)
 	g.m--
+	g.bumpVersion()
 	return true
 }
 
@@ -166,9 +195,10 @@ func (g *Graph) EdgeList() [][2]int {
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy inherits g's version (the
+// structures are identical); its version diverges on its first mutation.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m, version: g.version}
 	for v, a := range g.adj {
 		c.adj[v] = append([]int32(nil), a...)
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -31,7 +32,7 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 	}
 	work := g.Clone()
 	n := g.N()
-	res := &ClosenessResult{BeforeFarness: centrality.Farness(g)}
+	res := &ClosenessResult{BeforeFarness: engine.Default().FarnessInt64(g)}
 	bfs := centrality.NewBFS(n)
 
 	for round := 0; round < budget; round++ {
@@ -74,7 +75,7 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 		res.Edges = append(res.Edges, [2]int{bestV, target})
 		res.FarnessPerRound = append(res.FarnessPerRound, bestFar)
 	}
-	res.AfterFarness = centrality.Farness(work)
+	res.AfterFarness = engine.Default().FarnessInt64(work)
 	return work, res, nil
 }
 

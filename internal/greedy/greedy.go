@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -110,9 +111,16 @@ func candidates(g *graph.Graph, target int, opts Options) []int {
 	return all
 }
 
+// scores evaluates the betweenness vector of one candidate graph. The
+// exact path goes through the shared execution engine: greedy rounds
+// re-score hundreds of mutate-evaluate-revert variants, and reverted
+// graphs hit the engine's content-addressed memo table instead of
+// recomputing. The pivot-sampled path must keep drawing from the
+// caller's advancing opts.Rand (each round re-samples pivots), so it
+// stays on the direct function.
 func scores(g *graph.Graph, opts Options) []float64 {
 	if opts.PivotSources > 0 && opts.PivotSources < g.N() {
 		return centrality.BetweennessSampled(g, opts.Counting, opts.PivotSources, opts.Rand)
 	}
-	return centrality.Betweenness(g, opts.Counting)
+	return engine.Default().Scores(g, engine.Betweenness(opts.Counting))
 }

@@ -14,12 +14,12 @@ import (
 // once on the interface.
 var exportedDocs = &Analyzer{
 	Name: "exported-docs",
-	Doc:  "flag undocumented exported identifiers in internal/centrality and internal/core",
+	Doc:  "flag undocumented exported identifiers in internal/centrality, internal/engine, and internal/core",
 	Run:  runExportedDocs,
 }
 
 func runExportedDocs(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/core") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core") {
 		return
 	}
 	for _, file := range p.Pkg.Files {

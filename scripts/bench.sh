@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the table-level and engine benchmarks and record them
+# as BENCH_2.json in the repo root, so perf regressions are diffable
+# across PRs. Non-gating: CI uploads the file as an artifact but never
+# fails on its contents.
+#
+# Usage: scripts/bench.sh [count]
+#   count  -count passed to `go test` (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+OUT="BENCH_2.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTable|BenchmarkEngine' -benchmem -benchtime 2s -count "$COUNT" . | tee "$RAW"
+
+# Parse `go test -bench` lines into JSON: each benchmark maps to the
+# mean ns/op, B/op, and allocs/op over its -count runs.
+awk -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip the GOMAXPROCS suffix
+    ns[name]     += $3; seen[name]++
+    bytes[name]  += $5
+    allocs[name] += $7
+}
+END {
+    printf "{\n  \"count\": %d,\n  \"benchmarks\": {\n", count
+    n = 0
+    for (name in seen) order[++n] = name
+    # Sort names for a stable file.
+    for (i = 1; i <= n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n",
+            name, ns[name] / seen[name], bytes[name] / seen[name], allocs[name] / seen[name],
+            (i < n) ? "," : ""
+    }
+    printf "  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
