@@ -136,6 +136,11 @@ func benchHost(n int) *graph.Graph {
 	return g
 }
 
+// The substrate benchmarks time the direct kernels on purpose — they
+// are the differential baselines the engine speedups are measured
+// against, so they must not route through engine.Default().
+
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkBrandesSequential(b *testing.B) {
 	g := benchHost(1000)
 	b.ResetTimer()
@@ -144,6 +149,7 @@ func BenchmarkBrandesSequential(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkBrandesParallel(b *testing.B) {
 	g := benchHost(1000)
 	b.ResetTimer()
@@ -152,6 +158,7 @@ func BenchmarkBrandesParallel(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkBetweennessExact(b *testing.B) {
 	g := benchHost(2000)
 	b.ResetTimer()
@@ -160,6 +167,7 @@ func BenchmarkBetweennessExact(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkBetweennessSampled256(b *testing.B) {
 	g := benchHost(2000)
 	rng := rand.New(rand.NewSource(9))
@@ -169,6 +177,7 @@ func BenchmarkBetweennessSampled256(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkEccentricityNaive(b *testing.B) {
 	g := benchHost(2000)
 	b.ResetTimer()
@@ -234,6 +243,7 @@ func BenchmarkDetect(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkCloseness(b *testing.B) {
 	g := benchHost(2000)
 	b.ResetTimer()
@@ -242,6 +252,7 @@ func BenchmarkCloseness(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkCoreness(b *testing.B) {
 	g := benchHost(20000)
 	b.ResetTimer()
@@ -285,6 +296,7 @@ func BenchmarkTopKClosenessPruned(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkTopKClosenessViaFull(b *testing.B) {
 	g := benchHost(3000)
 	b.ResetTimer()
@@ -312,6 +324,7 @@ func BenchmarkCorenessIncremental(b *testing.B) {
 	}
 }
 
+//promolint:allow engine-bypass -- differential baseline vs the engine path
 func BenchmarkCorenessRecomputePerEdge(b *testing.B) {
 	g := benchHost(5000)
 	s := core.Strategy{Target: 7, Size: 16, Type: core.SingleClique}
@@ -379,6 +392,7 @@ func engineBenchSetup() (*graph.Graph, int, []int) {
 	return g, target, cands
 }
 
+//promolint:allow engine-bypass -- the Direct leg of the direct-vs-engine comparison
 func BenchmarkEngineDirect(b *testing.B) {
 	g, target, cands := engineBenchSetup()
 	b.ReportAllocs()

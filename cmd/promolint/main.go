@@ -1,9 +1,12 @@
 // Command promolint runs promonet's custom static-analysis suite (see
-// internal/lint): five analyzers enforcing the repo-specific invariants
+// internal/lint): nine analyzers enforcing the repo-specific invariants
 // that generic tooling cannot know about — the black-box read-only
 // contract on the host graph, seeded-randomness and map-iteration
 // determinism, goroutine fan-out hygiene, error discipline in the CLI
-// and IO layers, and doc coverage of the core exported API.
+// and IO layers, doc coverage of the core exported API, and the
+// CFG/dataflow properties the execution engine depends on: version
+// stamping of graph mutations, engine routing of heavy kernels,
+// sync.Pool get/put balance, and mutex acquisition order.
 //
 // Usage:
 //
@@ -12,16 +15,23 @@
 //	promolint ./...                    # the whole module (default)
 //	promolint ./internal/centrality    # one package
 //	promolint -analyzers determinism ./internal/exp/...
+//	promolint -disable exported-docs ./...
+//	promolint -json -baseline lint-baseline.json ./...
 //	promolint -list                    # describe the analyzers
 //
-// promolint exits 0 when the tree is clean, 1 when it has findings
-// (printed one per line as file:line:col: [analyzer] message), and 2 on
-// usage or load errors. Findings are suppressed with an annotation
-// comment //promolint:allow <analyzer> -- reason on the flagged line,
-// the line above it, or in the enclosing function's doc comment.
+// Findings go to stdout (one per line as file:line:col: [analyzer]
+// message, or a JSON report with -json); run summaries and errors go to
+// stderr. promolint exits 0 when the tree is clean or has only
+// warn-severity findings, 1 when it has error-severity findings or the
+// baseline has stale entries, and 2 on usage or load errors. Findings
+// are suppressed with an annotation comment //promolint:allow
+// <analyzer> -- reason on the flagged line, the line above it, or in
+// the enclosing function's doc comment; whole accepted findings are
+// suppressed by listing them in the -baseline file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,11 +48,14 @@ func main() {
 func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	analyzers := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	baseline := flag.String("baseline", "", "baseline file of accepted findings; stale entries are errors")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s [%s] %s\n", a.Name, severityOf(a), a.Doc)
 		}
 		return 0
 	}
@@ -53,26 +66,93 @@ func run() int {
 		return 2
 	}
 	var cfg lint.Config
-	if *analyzers != "" {
-		for _, name := range strings.Split(*analyzers, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				cfg.Enable = append(cfg.Enable, name)
-			}
-		}
-	}
+	cfg.Enable = splitNames(*analyzers)
+	cfg.Disable = splitNames(*disable)
 	diags, err := lint.Run(root, flag.Args(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "promolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	var stale []lint.BaselineEntry
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promolint:", err)
+			return 2
+		}
+		diags, stale = b.Apply(root, diags)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "promolint: %d finding(s)\n", len(diags))
+
+	if *jsonOut {
+		report := lint.NewReport(root, ranAnalyzers(cfg), diags, stale)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "promolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	errs, warns := 0, 0
+	for _, d := range diags {
+		if d.Severity == lint.SevWarn {
+			warns++
+		} else {
+			errs++
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "promolint: stale baseline entry: %s [%s] %s\n", e.File, e.Analyzer, e.Message)
+	}
+	if errs > 0 || warns > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "promolint: %d error(s), %d warning(s), %d stale baseline entr(ies)\n", errs, warns, len(stale))
+	}
+	if errs > 0 || len(stale) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// ranAnalyzers mirrors lint.Run's enable/disable selection for the
+// report header.
+func ranAnalyzers(cfg lint.Config) []*lint.Analyzer {
+	enabled := make(map[string]bool)
+	for _, n := range cfg.Enable {
+		enabled[n] = true
+	}
+	disabled := make(map[string]bool)
+	for _, n := range cfg.Disable {
+		disabled[n] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if (len(enabled) == 0 || enabled[a.Name]) && !disabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func severityOf(a *lint.Analyzer) lint.Severity {
+	if a.Severity == "" {
+		return lint.SevError
+	}
+	return a.Severity
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // findModuleRoot walks up from the working directory to the nearest

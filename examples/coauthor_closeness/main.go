@@ -19,6 +19,7 @@ import (
 
 	"promonet/internal/centrality"
 	"promonet/internal/core"
+	"promonet/internal/engine"
 	"promonet/internal/gen"
 )
 
@@ -31,7 +32,7 @@ func main() {
 	fmt.Printf("co-authorship network: %v\n", g)
 
 	// Our author: the node with the worst closeness (most peripheral).
-	cc := centrality.Closeness(g)
+	cc := engine.Default().Scores(g, engine.Closeness())
 	author := 0
 	for v := range cc {
 		if cc[v] < cc[author] {

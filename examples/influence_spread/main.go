@@ -26,6 +26,7 @@ import (
 	"promonet/internal/core"
 	"promonet/internal/datasets"
 	"promonet/internal/diffusion"
+	"promonet/internal/engine"
 )
 
 func main() {
@@ -36,7 +37,7 @@ func main() {
 	g := profile.Build(17, 0.01)
 	fmt.Printf("social network (%s profile): %v\n", profile.Name, g)
 
-	cc := centrality.Closeness(g)
+	cc := engine.Default().Scores(g, engine.Closeness())
 	// The slowest spreader: worst closeness.
 	user := 0
 	for v := range cc {

@@ -11,6 +11,7 @@ import (
 	"promonet/internal/centrality"
 	"promonet/internal/core"
 	"promonet/internal/datasets"
+	"promonet/internal/engine"
 )
 
 func main() {
@@ -20,8 +21,9 @@ func main() {
 	target := datasets.V4 // the paper's running target, v4
 
 	// Where does the target stand today? (The network owner computes
-	// this; we only need the rank, not the structure.)
-	cc := centrality.Closeness(g)
+	// this; we only need the rank, not the structure.) Scoring goes
+	// through the shared engine, like all exact scoring in this repo.
+	cc := engine.Default().Scores(g, engine.Closeness())
 	fmt.Printf("before: closeness rank of v4 = %d of %d\n",
 		centrality.RankOf(cc, target), g.N())
 

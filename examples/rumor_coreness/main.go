@@ -18,6 +18,7 @@ import (
 	"promonet/internal/centrality"
 	"promonet/internal/core"
 	"promonet/internal/datasets"
+	"promonet/internal/engine"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("information network (%s profile): %v, degeneracy %d\n",
 		profile.Name, g, centrality.Degeneracy(g))
 
-	core0 := centrality.Coreness(g)
+	core0 := engine.Default().CorenessInt(g)
 	// A fringe user with coreness 1.
 	user := -1
 	for v, c := range core0 {
@@ -42,7 +43,7 @@ func main() {
 		log.Fatal("no coreness-1 node found")
 	}
 	fmt.Printf("user %d: coreness %d, rank %d of %d\n",
-		user, core0[user], centrality.RankOf(centrality.CorenessFloat(g), user), g.N())
+		user, core0[user], centrality.RankOf(engine.Default().Scores(g, engine.Coreness()), user), g.N())
 
 	// Lemma 5.6: p > RC(v) + 1 for the easiest higher-ranked v.
 	p, needed, err := core.GuaranteedSize(g, core.CorenessMeasure{}, user)

@@ -20,6 +20,7 @@ import (
 	"promonet/internal/centrality"
 	"promonet/internal/core"
 	"promonet/internal/datasets"
+	"promonet/internal/engine"
 	"promonet/internal/greedy"
 )
 
@@ -33,7 +34,7 @@ func main() {
 	fmt.Printf("social network (%s profile): %v\n", profile.Name, g)
 
 	m := core.BetweennessMeasure{Counting: centrality.PairsUnordered}
-	before := m.Scores(g)
+	before := engine.Default().Scores(g, engine.Betweenness(centrality.PairsUnordered))
 
 	// A low-betweenness user, as in Section VII-C.
 	rng := rand.New(rand.NewSource(5))

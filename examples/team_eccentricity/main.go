@@ -17,6 +17,7 @@ import (
 
 	"promonet/internal/centrality"
 	"promonet/internal/core"
+	"promonet/internal/engine"
 	"promonet/internal/gen"
 )
 
@@ -28,8 +29,9 @@ func main() {
 	fmt.Printf("team/club network: %v, diameter %d, radius %d\n",
 		g, centrality.Diameter(g), centrality.Radius(g))
 
-	eccR := centrality.ReciprocalEccentricity(g)
-	ecc := centrality.Eccentricity(g)
+	// Both eccentricity variants come from one memoized engine sweep.
+	eccR := engine.Default().Scores(g, engine.ReciprocalEccentricity())
+	ecc := engine.Default().Scores(g, engine.Eccentricity())
 	// A peripheral member: largest max-distance.
 	member := 0
 	for v := range eccR {
@@ -38,7 +40,7 @@ func main() {
 		}
 	}
 	fmt.Printf("member %d: max distance %d, eccentricity rank %d of %d\n",
-		member, eccR[member], centrality.RankOf(ecc, member), g.N())
+		member, int(eccR[member]), centrality.RankOf(ecc, member), g.N())
 
 	// Lemma 5.12: any p > 2·ĒC(t) provably lifts the rank.
 	p, needed, err := core.GuaranteedSize(g, core.EccentricityMeasure{}, member)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -62,9 +63,13 @@ func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
 	if t < 0 || t >= g.N() {
 		return 0, false, fmt.Errorf("core: target %d outside [0, %d)", t, g.N())
 	}
+	// All four exact score vectors come from the shared engine: report
+	// pipelines call GuaranteedSize for every (measure, target) pair on
+	// the same host graph, and the memoized sweep/Brandes/peel runs once.
+	eng := engine.Default()
 	switch m.(type) {
 	case BetweennessMeasure:
-		bc := centrality.Betweenness(g, centrality.PairsUnordered)
+		bc := eng.Scores(g, engine.Betweenness(centrality.PairsUnordered))
 		best := math.Inf(1)
 		for v := range bc {
 			if bc[v] > bc[t] {
@@ -75,7 +80,7 @@ func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
 		}
 		return finishBound(best)
 	case CorenessMeasure:
-		rc := centrality.Coreness(g)
+		rc := eng.CorenessInt(g)
 		best := math.Inf(1)
 		for v := range rc {
 			if rc[v] > rc[t] {
@@ -86,7 +91,7 @@ func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
 		}
 		return finishBound(best)
 	case ClosenessMeasure:
-		far := centrality.Farness(g)
+		far := eng.FarnessInt64(g)
 		dist := centrality.Distances(g, t)
 		best := math.Inf(1)
 		for v := range far {
@@ -98,7 +103,7 @@ func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
 		}
 		return finishBound(best)
 	case EccentricityMeasure:
-		ecc := centrality.ReciprocalEccentricity(g)
+		ecc := eng.Scores(g, engine.ReciprocalEccentricity())
 		hasHigher := false
 		for v := range ecc {
 			if ecc[v] < ecc[t] && ecc[v] > 0 {

@@ -514,6 +514,21 @@ func (e *Engine) FarnessInt64(g *graph.Graph) []int64 {
 	return append([]int64(nil), e.sweep(g).far...)
 }
 
+// CorenessInt returns the integer core numbers (the unit the greedy
+// coreness baseline compares in), sharing the memo slot of the float
+// coreness measure. Core numbers are exact small integers, so the
+// float64 round trip is lossless.
+func (e *Engine) CorenessInt(g *graph.Graph) []int {
+	cached := e.resolve(g, "coreness", "coreness", func() any {
+		return centrality.CorenessFloat(g)
+	}).([]float64)
+	out := make([]int, len(cached))
+	for v, x := range cached {
+		out[v] = int(x)
+	}
+	return out
+}
+
 // AverageClustering returns the mean local clustering coefficient,
 // memoizing the per-node vector (the detectability report evaluates it
 // on both snapshots of every comparison).

@@ -250,3 +250,57 @@ func TestCloseIdempotent(t *testing.T) {
 	e.Close()
 	e.Close() // second close must not panic
 }
+
+func TestCorenessInt(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(11))
+	g := gen.ErdosRenyi(rng, 80, 240)
+
+	got := e.CorenessInt(g)
+	want := centrality.Coreness(g)
+	if len(got) != len(want) {
+		t.Fatalf("CorenessInt length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("CorenessInt[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+
+	// The integer view shares the float measure's memo slot: after a
+	// float Coreness request, CorenessInt must be a pure hit.
+	e.ResetStats()
+	_ = e.Scores(g, Coreness())
+	_ = e.CorenessInt(g)
+	s := e.Stats()
+	if s.Hits < 1 {
+		t.Errorf("CorenessInt after Scores(Coreness) recorded no memo hit: %v", s)
+	}
+	if s.Misses > 1 {
+		t.Errorf("CorenessInt recomputed instead of sharing the coreness slot: %v", s)
+	}
+
+	// And the mutate-evaluate-revert pattern used by the greedy
+	// baseline must see fresh values after a mutation.
+	gm := g.Clone()
+	u, v := -1, -1
+	for a := 0; a < gm.N() && u < 0; a++ {
+		for b := a + 1; b < gm.N(); b++ {
+			if !gm.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if u >= 0 {
+		gm.AddEdge(u, v)
+		fresh := e.CorenessInt(gm)
+		direct := centrality.Coreness(gm)
+		for w := range direct {
+			if fresh[w] != direct[w] {
+				t.Fatalf("post-mutation CorenessInt[%d] = %d, want %d (stale cache?)", w, fresh[w], direct[w])
+			}
+		}
+	}
+}

@@ -3,7 +3,7 @@ package greedy
 import (
 	"fmt"
 
-	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -24,19 +24,23 @@ func ImproveCoreness(g *graph.Graph, target, budget int, opts ClosenessOptions) 
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
+	// Scoring goes through the shared engine: the mutate-evaluate-revert
+	// loop below re-scores near-identical graphs, and every revert
+	// restores a content-addressed snapshot the memo table already holds.
+	eng := engine.Default()
 	work := g.Clone()
-	res := &CorenessResult{Before: centrality.Coreness(g)}
+	res := &CorenessResult{Before: eng.CorenessInt(g)}
 
 	for round := 0; round < budget; round++ {
 		cands := nonNeighbors(work, target, opts.CandidateSample, opts.Rand)
 		if len(cands) == 0 {
 			break
 		}
-		cur := centrality.Coreness(work)
+		cur := eng.CorenessInt(work)
 		bestV, bestCore, bestCandCore := -1, -1, -1
 		for _, v := range cands {
 			work.AddEdge(target, v)
-			c := centrality.Coreness(work)[target]
+			c := eng.CorenessInt(work)[target]
 			work.RemoveEdge(target, v)
 			if c > bestCore || (c == bestCore && cur[v] > bestCandCore) {
 				bestV, bestCore, bestCandCore = v, c, cur[v]
@@ -46,7 +50,7 @@ func ImproveCoreness(g *graph.Graph, target, budget int, opts ClosenessOptions) 
 		res.Edges = append(res.Edges, [2]int{bestV, target})
 		res.CorePerRound = append(res.CorePerRound, bestCore)
 	}
-	res.After = centrality.Coreness(work)
+	res.After = eng.CorenessInt(work)
 	return work, res, nil
 }
 

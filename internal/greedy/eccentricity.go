@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"promonet/internal/centrality"
+	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
 
@@ -28,7 +29,7 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
 	work := g.Clone()
-	res := &EccentricityResult{Before: centrality.ReciprocalEccentricity(g)}
+	res := &EccentricityResult{Before: reciprocalEccInt32(g)}
 	bfs := centrality.NewBFS(g.N())
 
 	for round := 0; round < budget; round++ {
@@ -61,8 +62,21 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 		res.Edges = append(res.Edges, [2]int{bestV, target})
 		res.EccPerRound = append(res.EccPerRound, bestEcc)
 	}
-	res.After = centrality.ReciprocalEccentricity(work)
+	res.After = reciprocalEccInt32(work)
 	return work, res, nil
+}
+
+// reciprocalEccInt32 scores ĒC through the shared engine (one memoized
+// distance sweep) in the []int32 unit of EccentricityResult. Max
+// distances are exact small integers, so the float64 round trip is
+// lossless.
+func reciprocalEccInt32(g *graph.Graph) []int32 {
+	scores := engine.Default().Scores(g, engine.ReciprocalEccentricity())
+	out := make([]int32, len(scores))
+	for v, x := range scores {
+		out[v] = int32(x)
+	}
+	return out
 }
 
 // EccentricityResult reports one greedy eccentricity run.

@@ -120,6 +120,7 @@ func candidates(g *graph.Graph, target int, opts Options) []int {
 // stays on the direct function.
 func scores(g *graph.Graph, opts Options) []float64 {
 	if opts.PivotSources > 0 && opts.PivotSources < g.N() {
+		//promolint:allow engine-bypass -- pivots must come from the caller's advancing opts.Rand; the engine's seeded-pivot measure would freeze the per-round resample
 		return centrality.BetweennessSampled(g, opts.Counting, opts.PivotSources, opts.Rand)
 	}
 	return engine.Default().Scores(g, engine.Betweenness(opts.Counting))

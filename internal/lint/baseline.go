@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A Baseline is a checked-in set of accepted findings. Entries match on
+// (module-relative file, analyzer, message) — deliberately not on line
+// numbers, so unrelated edits to a file do not invalidate the baseline.
+// The flip side is strict staleness: an entry that no longer matches any
+// current finding is dead weight that would silently mask a future
+// regression, so Apply surfaces it and the CLI treats it as an error.
+type Baseline struct {
+	// Findings are the accepted findings, in any order.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	File     string `json:"file"` // module-relative, slash-separated
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it loads as the empty baseline, so the flag can point at a path that
+// a clean repo never needs to create.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Apply suppresses the diagnostics the baseline accepts and reports the
+// entries that matched nothing — stale entries that should be deleted.
+// One entry suppresses every current finding it matches.
+func (b *Baseline) Apply(moduleRoot string, diags []Diagnostic) (kept []Diagnostic, stale []BaselineEntry) {
+	matched := make([]bool, len(b.Findings))
+	for _, d := range diags {
+		rel := baselineRel(moduleRoot, d.Pos.Filename)
+		hit := false
+		for i, e := range b.Findings {
+			if e.File == rel && e.Analyzer == d.Analyzer && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range b.Findings {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// baselineRel normalizes a diagnostic filename to the module-relative
+// slash form baseline entries use.
+func baselineRel(moduleRoot, filename string) string {
+	if rel, err := filepath.Rel(moduleRoot, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must load as empty, got error: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("missing baseline must be empty, got %d entries", len(b.Findings))
+	}
+}
+
+func TestLoadBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("malformed baseline must be a load error")
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	root := t.TempDir()
+	diag := func(rel, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(rel)), Line: 3, Column: 1},
+			Analyzer: analyzer,
+			Severity: SevError,
+			Message:  msg,
+		}
+	}
+	diags := []Diagnostic{
+		diag("internal/a/a.go", "pool-hygiene", "leaked"),
+		diag("internal/a/a.go", "pool-hygiene", "leaked"), // same key twice: one entry covers both
+		diag("internal/b/b.go", "lock-order", "held"),
+	}
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "internal/a/a.go", Analyzer: "pool-hygiene", Message: "leaked"},
+		{File: "internal/gone.go", Analyzer: "determinism", Message: "fixed long ago"},
+	}}
+	kept, stale := b.Apply(root, diags)
+	if len(kept) != 1 || kept[0].Analyzer != "lock-order" {
+		t.Fatalf("Apply kept %d findings (%v), want only the lock-order one", len(kept), kept)
+	}
+	if len(stale) != 1 || stale[0].File != "internal/gone.go" {
+		t.Fatalf("Apply stale = %v, want the internal/gone.go entry", stale)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	root := t.TempDir()
+	r := NewReport(root, []*Analyzer{poolHygiene}, nil, nil)
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m["findings"]) != "[]" {
+		t.Errorf("empty report must serialize findings as [], got %s", m["findings"])
+	}
+	if _, hasStale := m["stale"]; hasStale {
+		t.Errorf("stale must be omitted when empty, got %s", out)
+	}
+
+	d := Diagnostic{
+		Pos:      token.Position{Filename: filepath.Join(root, "internal", "x.go"), Line: 7, Column: 2},
+		Analyzer: "pool-hygiene",
+		Severity: SevWarn,
+		Message:  "m",
+	}
+	r = NewReport(root, []*Analyzer{poolHygiene}, []Diagnostic{d}, []BaselineEntry{{File: "f", Analyzer: "a", Message: "m"}})
+	if len(r.Findings) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(r.Findings))
+	}
+	f := r.Findings[0]
+	if f.File != "internal/x.go" || f.Line != 7 || f.Col != 2 || f.Severity != "warn" {
+		t.Errorf("finding not normalized: %+v", f)
+	}
+	if len(r.Stale) != 1 {
+		t.Errorf("stale entries dropped from report")
+	}
+}

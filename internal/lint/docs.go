@@ -13,9 +13,10 @@ import (
 // them implement the Measure interface, whose contract is documented
 // once on the interface.
 var exportedDocs = &Analyzer{
-	Name: "exported-docs",
-	Doc:  "flag undocumented exported identifiers in internal/centrality, internal/engine, and internal/core",
-	Run:  runExportedDocs,
+	Name:     "exported-docs",
+	Doc:      "flag undocumented exported identifiers in internal/centrality, internal/engine, and internal/core",
+	Severity: SevWarn,
+	Run:      runExportedDocs,
 }
 
 func runExportedDocs(p *Pass) {

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// engineBypass routes every consumer of the heavy centrality kernels
+// through the shared execution engine. Direct calls to the all-pairs
+// kernels (Betweenness*, Closeness, Eccentricity*/ReciprocalEccentricity,
+// Coreness*) outside internal/centrality and internal/engine forfeit
+// the engine's pooled scratch, persistent workers, and content-addressed
+// memoization — the difference between O(1) and O(n·m) on the greedy
+// baseline's mutate-evaluate-revert loop — and are flagged. Intentional
+// direct baselines (differential tests, benchmarks comparing direct vs
+// pooled) opt out with //promolint:allow engine-bypass.
+var engineBypass = &Analyzer{
+	Name:     "engine-bypass",
+	Doc:      "flag direct heavy centrality kernel calls that bypass engine.Default()",
+	Severity: SevError,
+	Run:      runEngineBypass,
+}
+
+// heavyKernelPrefixes match the exported all-pairs kernels of
+// internal/centrality by name. Single-source helpers (Distances, Dist,
+// RankOf, ...) stay callable anywhere: they are not worth memoizing.
+var heavyKernelPrefixes = []string{"Betweenness", "Eccentricity", "Coreness"}
+
+// heavyKernelExact lists heavy kernels not covered by a prefix.
+var heavyKernelExact = map[string]bool{
+	"Closeness":              true,
+	"ReciprocalEccentricity": true,
+}
+
+func isHeavyKernel(name string) bool {
+	if heavyKernelExact[name] {
+		return true
+	}
+	for _, prefix := range heavyKernelPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runEngineBypass(p *Pass) {
+	// The kernel package itself and the engine that wraps it are the
+	// two sanctioned direct callers.
+	if p.relScope("internal/centrality", "internal/engine") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "internal/centrality" && !strings.HasSuffix(path, "/internal/centrality") {
+				return true
+			}
+			if !isHeavyKernel(sel.Sel.Name) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"direct call to heavy kernel %s.%s bypasses the memoizing engine — score through engine.Default() (or annotate an intentional baseline with //promolint:allow engine-bypass)",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the static call graph of one package: which declared
+// functions and methods call which, through direct identifier and
+// selector calls (calls through function values or interfaces are not
+// resolved — promolint's analyzers only need to see through the
+// package's own unexported helpers).
+type CallGraph struct {
+	// Decls maps each declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// calls maps caller to the set of statically resolved callees.
+	calls map[*types.Func]map[*types.Func]bool
+	order []*types.Func // declaration order, for deterministic fixpoints
+}
+
+// NewCallGraph builds the call graph of the package's files.
+func NewCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func]map[*types.Func]bool),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Decls[obj] = fd
+			cg.order = append(cg.order, obj)
+			callees := make(map[*types.Func]bool)
+			WalkNodes(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := Callee(info, call); callee != nil {
+					callees[callee] = true
+				}
+				return true
+			})
+			cg.calls[obj] = callees
+		}
+	}
+	return cg
+}
+
+// Callee resolves the function or method a call statically invokes,
+// or nil for builtins, conversions, and dynamic calls.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Receiver returns the receiver expression of a method call (the x of
+// x.M(...)), or nil for plain function calls.
+func Receiver(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// Propagate computes the least fixed point of a may-property over the
+// call graph: a function has the property if base reports it directly
+// or any statically resolved callee has it. The result covers every
+// declared function of the package.
+func (cg *CallGraph) Propagate(base func(*types.Func, *ast.FuncDecl) bool) map[*types.Func]bool {
+	prop := make(map[*types.Func]bool, len(cg.order))
+	for _, f := range cg.order {
+		prop[f] = base(f, cg.Decls[f])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range cg.order {
+			if prop[f] {
+				continue
+			}
+			for callee := range cg.calls[f] {
+				if prop[callee] {
+					prop[f] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return prop
+}
+
+// Calls reports whether caller's body contains a statically resolved
+// call to callee.
+func (cg *CallGraph) Calls(caller, callee *types.Func) bool {
+	return cg.calls[caller][callee]
+}

@@ -1,0 +1,466 @@
+// Package flow is the control-flow and dataflow substrate for
+// promolint's semantic analyzers. PR 2 made correctness depend on
+// invariants a purely syntactic pass cannot see — "every mutation path
+// bumps the version counter", "every pooled kernel is returned exactly
+// once", "locks are released on every path and acquired in one order" —
+// so this package provides, from nothing but go/ast and go/types:
+//
+//   - a per-function control-flow graph of basic blocks (New),
+//   - a forward bitset dataflow solver over that CFG (CFG.Solve), and
+//   - a package-local static call graph with a may-property fixpoint
+//     (NewCallGraph, CallGraph.Propagate) so analyzers can summarize
+//     unexported helpers interprocedurally.
+//
+// The CFG is deliberately statement-granular: a Block holds whole
+// statements (plus loop/if condition expressions) in execution order,
+// and transfer functions walk the statements themselves. Function
+// literals are opaque at this level — each literal is a separate
+// function with its own CFG — and deferred calls are collected on the
+// side (CFG.Defers) so exit-time analyses can apply them at every
+// return edge.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal sequence of nodes with a single
+// entry, executed in order, followed by a transfer to one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry is 0).
+	Index int
+	// Nodes are the statements and control expressions of the block in
+	// execution order. Condition expressions of if/for/switch appear as
+	// bare ast.Expr entries.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks. A terminating block
+	// (return, panic, os.Exit) has the CFG's exit block or nothing.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the synthetic exit block: every return statement and the
+	// implicit fall-off-the-end transfer edges to it. It holds no nodes.
+	Exit *Block
+	// Defers are the deferred calls of the function in syntactic order.
+	// Dataflow analyses that care about defer semantics apply them on
+	// the edges into Exit (defers run at every return).
+	Defers []*ast.DeferStmt
+	// End is the closing-brace position of the body, used to report
+	// findings on the implicit return at the end of a function.
+	End token.Pos
+}
+
+// New builds the CFG of a function body. info may be nil; when given it
+// is used to recognize terminating calls (panic, os.Exit, log.Fatal*)
+// so that paths through them do not count as returns.
+func New(body *ast.BlockStmt, info *types.Info) *CFG {
+	c := &CFG{End: body.End()}
+	b := &builder{cfg: c, info: info, labels: make(map[string]*labelTarget)}
+	c.Exit = c.newBlock()
+	entry := c.newBlock()
+	// Keep the entry first for readers: swap indices so Blocks[0] is
+	// the entry and the exit sits at position 1.
+	c.Blocks[0], c.Blocks[1] = c.Blocks[1], c.Blocks[0]
+	c.Blocks[0].Index, c.Blocks[1].Index = 0, 1
+	last := b.stmtList(entry, body.List)
+	if last != nil {
+		last.link(c.Exit)
+	}
+	b.patchGotos()
+	return c
+}
+
+func (c *CFG) newBlock() *Block {
+	blk := &Block{Index: len(c.Blocks)}
+	c.Blocks = append(c.Blocks, blk)
+	return blk
+}
+
+func (b *Block) add(n ast.Node) { b.Nodes = append(b.Nodes, n) }
+
+func (b *Block) link(succ *Block) {
+	for _, s := range b.Succs {
+		if s == succ {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, succ)
+}
+
+// labelTarget resolves labeled break/continue/goto.
+type labelTarget struct {
+	breakTo    *Block // join block of the labeled loop/switch
+	continueTo *Block // head block of the labeled loop
+	gotoTo     *Block // start block of the labeled statement
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	cfg  *CFG
+	info *types.Info
+	// breakTo/continueTo are the innermost unlabeled targets.
+	breakTo    *Block
+	continueTo *Block
+	labels     map[string]*labelTarget
+	gotos      []pendingGoto
+	// curLabel is the label attached to the next loop/switch statement.
+	curLabel string
+}
+
+// stmtList threads the statements through cur, returning the live
+// continuation block (nil when the path terminated).
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch: give it a detached
+			// block so its nodes still exist, but nothing links to it.
+			cur = b.cfg.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds s to cur, splitting blocks at control flow, and returns the
+// continuation block (nil if the path terminates).
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.add(s.Init)
+		}
+		cur.add(s.Cond)
+		join := b.cfg.newBlock()
+		then := b.cfg.newBlock()
+		cur.link(then)
+		if t := b.stmtList(then, s.Body.List); t != nil {
+			t.link(join)
+		}
+		if s.Else != nil {
+			els := b.cfg.newBlock()
+			cur.link(els)
+			if t := b.stmt(els, s.Else); t != nil {
+				t.link(join)
+			}
+		} else {
+			cur.link(join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.add(s.Init)
+		}
+		head := b.cfg.newBlock()
+		cur.link(head)
+		if s.Cond != nil {
+			head.add(s.Cond)
+		}
+		join := b.cfg.newBlock()
+		body := b.cfg.newBlock()
+		head.link(body)
+		if s.Cond != nil {
+			head.link(join)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.cfg.newBlock()
+			post.add(s.Post)
+			post.link(head)
+		}
+		b.enterLoop(join, post, func() {
+			if t := b.stmtList(body, s.Body.List); t != nil {
+				t.link(post)
+			}
+		})
+		return join
+
+	case *ast.RangeStmt:
+		cur.add(s.X) // the ranged expression is evaluated once
+		head := b.cfg.newBlock()
+		cur.link(head)
+		join := b.cfg.newBlock()
+		body := b.cfg.newBlock()
+		head.link(body)
+		head.link(join)
+		b.enterLoop(join, head, func() {
+			if t := b.stmtList(body, s.Body.List); t != nil {
+				t.link(head)
+			}
+		})
+		return join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(cur, s)
+
+	case *ast.LabeledStmt:
+		lt := b.labels[s.Label.Name]
+		if lt == nil {
+			lt = &labelTarget{}
+			b.labels[s.Label.Name] = lt
+		}
+		start := b.cfg.newBlock()
+		cur.link(start)
+		lt.gotoTo = start
+		b.curLabel = s.Label.Name
+		out := b.stmt(start, s.Stmt)
+		b.curLabel = ""
+		return out
+
+	case *ast.ReturnStmt:
+		cur.add(s)
+		cur.link(b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil && lt.breakTo != nil {
+					cur.link(lt.breakTo)
+				}
+			} else if b.breakTo != nil {
+				cur.link(b.breakTo)
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil && lt.continueTo != nil {
+					cur.link(lt.continueTo)
+				}
+			} else if b.continueTo != nil {
+				cur.link(b.continueTo)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			// switchLike links fallthrough edges; nothing to do here.
+			return cur
+		}
+		return nil
+
+	case *ast.DeferStmt:
+		cur.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		return cur
+
+	case *ast.GoStmt:
+		cur.add(s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, sends, inc/dec, empty statements.
+		cur.add(s)
+		return cur
+	}
+}
+
+// switchLike builds switch, type-switch, and select statements: each
+// clause body runs after the head and meets at a join; a missing
+// default adds a head→join edge; fallthrough chains case bodies.
+func (b *builder) switchLike(cur *Block, s ast.Stmt) *Block {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.add(s.Init)
+		}
+		if s.Tag != nil {
+			cur.add(s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.add(s.Init)
+		}
+		cur.add(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+
+	join := b.cfg.newBlock()
+	bodies := make([]*Block, len(clauses))
+	var bodyLists [][]ast.Stmt
+	for i, cl := range clauses {
+		blk := b.cfg.newBlock()
+		bodies[i] = blk
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				cur.add(e)
+			}
+			bodyLists = append(bodyLists, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.add(cl.Comm)
+			}
+			bodyLists = append(bodyLists, cl.Body)
+		}
+		cur.link(blk)
+	}
+	if !hasDefault {
+		cur.link(join)
+	}
+	b.enterSwitch(join, func() {
+		for i, body := range bodies {
+			t := b.stmtList(body, bodyLists[i])
+			if t == nil {
+				continue
+			}
+			if fallsThrough(bodyLists[i]) && i+1 < len(bodies) {
+				t.link(bodies[i+1])
+			} else {
+				t.link(join)
+			}
+		}
+	})
+	return join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// enterLoop runs fn with the loop's break/continue targets installed,
+// registering them for the pending label (if the loop is labeled).
+func (b *builder) enterLoop(breakTo, continueTo *Block, fn func()) {
+	if b.curLabel != "" {
+		lt := b.labels[b.curLabel]
+		lt.breakTo, lt.continueTo = breakTo, continueTo
+		b.curLabel = ""
+	}
+	prevB, prevC := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	fn()
+	b.breakTo, b.continueTo = prevB, prevC
+}
+
+// enterSwitch runs fn with only the break target installed.
+func (b *builder) enterSwitch(breakTo *Block, fn func()) {
+	if b.curLabel != "" {
+		b.labels[b.curLabel].breakTo = breakTo
+		b.curLabel = ""
+	}
+	prev := b.breakTo
+	b.breakTo = breakTo
+	fn()
+	b.breakTo = prev
+}
+
+func (b *builder) patchGotos() {
+	for _, g := range b.gotos {
+		if lt := b.labels[g.label]; lt != nil && lt.gotoTo != nil {
+			g.from.link(lt.gotoTo)
+		}
+	}
+}
+
+// terminates reports whether the call never returns: the panic builtin,
+// os.Exit, and the log.Fatal family. Paths through these do not reach
+// the function's exit, so must-call analyses ignore them.
+func (b *builder) terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info == nil {
+			return true
+		}
+		_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+		return isBuiltin
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok || b.info == nil {
+			return false
+		}
+		pkgName, ok := b.info.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pkgName.Imported().Path() {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			n := fun.Sel.Name
+			return n == "Fatal" || n == "Fatalf" || n == "Fatalln" || n == "Panic" || n == "Panicf" || n == "Panicln"
+		}
+	}
+	return false
+}
+
+// --- Dataflow solver ---
+
+// Solve runs a forward dataflow analysis over the CFG to a fixed point
+// and returns each block's entry state. States are small bit sets whose
+// join is bitwise OR (a may-analysis; encode must-properties in their
+// negation). trans maps a block's entry state to its exit state and
+// must be monotone in the OR lattice.
+func (c *CFG) Solve(entry uint64, trans func(b *Block, in uint64) uint64) map[*Block]uint64 {
+	in := make(map[*Block]uint64, len(c.Blocks))
+	seen := make(map[*Block]bool, len(c.Blocks))
+	in[c.Blocks[0]] = entry
+	seen[c.Blocks[0]] = true
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.Blocks {
+			if !seen[blk] {
+				continue
+			}
+			out := trans(blk, in[blk])
+			for _, succ := range blk.Succs {
+				next := in[succ] | out
+				if !seen[succ] || next != in[succ] {
+					in[succ] = next
+					seen[succ] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// WalkNodes calls fn on n and every sub-node in source order, without
+// descending into function literals — closures are separate functions
+// with their own CFGs, so their bodies must not leak effects into the
+// enclosing function's transfer.
+func WalkNodes(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(m)
+	})
+}

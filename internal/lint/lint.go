@@ -22,6 +22,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -30,10 +31,20 @@ import (
 	"strings"
 )
 
+// Severity ranks a finding. Errors gate CI; warnings are advisory and
+// never fail the promolint exit code on their own.
+type Severity string
+
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warn"
+)
+
 // Diagnostic is one finding, addressable as file:line:col.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -49,11 +60,22 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by promolint's analyzer list.
 	Doc string
+	// Severity classifies the analyzer's findings; empty means SevError.
+	Severity Severity
 	// Run executes the analyzer over one package.
 	Run func(p *Pass)
 }
 
-// Analyzers returns the full suite in stable order.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SevError
+	}
+	return a.Severity
+}
+
+// Analyzers returns the full suite in stable order: the five syntactic
+// analyzers from the first generation, then the four CFG/dataflow
+// analyzers built on internal/lint/flow.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		mutationSafety,
@@ -61,6 +83,10 @@ func Analyzers() []*Analyzer {
 		concurrency,
 		ignoredErrors,
 		exportedDocs,
+		versionStamp,
+		engineBypass,
+		poolHygiene,
+		lockOrder,
 	}
 }
 
@@ -68,6 +94,8 @@ func Analyzers() []*Analyzer {
 type Config struct {
 	// Enable lists analyzer names to run; empty means all.
 	Enable []string
+	// Disable lists analyzer names to skip; applied after Enable.
+	Disable []string
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -89,6 +117,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.out = append(*p.out, Diagnostic{
 		Pos:      position,
 		Analyzer: p.analyzer.Name,
+		Severity: p.analyzer.severity(),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -97,50 +126,71 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // path or a "dir/..." wildcard; "./..." means the whole module) under
 // the module rooted at moduleRoot and runs the analyzer suite over
 // them. It returns the findings sorted by position.
+//
+// Every package is analyzed under two build configurations — the
+// default one and again with the promodebug tag — so invariants hold in
+// the debug build too; findings from files shared by both passes are
+// deduplicated.
 func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error) {
-	l, err := newLoader(moduleRoot)
-	if err != nil {
-		return nil, err
+	for _, name := range append(append([]string{}, cfg.Enable...), cfg.Disable...) {
+		if !hasAnalyzer(name) {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
 	}
-	paths, err := resolvePatterns(l, moduleRoot, patterns)
-	if err != nil {
-		return nil, err
-	}
-
 	enabled := make(map[string]bool)
 	for _, name := range cfg.Enable {
 		enabled[name] = true
 	}
+	disabled := make(map[string]bool)
+	for _, name := range cfg.Disable {
+		disabled[name] = true
+	}
 	var analyzers []*Analyzer
 	for _, a := range Analyzers() {
-		if len(enabled) == 0 || enabled[a.Name] {
+		if (len(enabled) == 0 || enabled[a.Name]) && !disabled[a.Name] {
 			analyzers = append(analyzers, a)
-		}
-	}
-	if len(enabled) > 0 {
-		for _, name := range cfg.Enable {
-			if !hasAnalyzer(name) {
-				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
-			}
 		}
 	}
 
 	var diags []Diagnostic
-	for _, path := range paths {
-		pkg, err := l.load(path)
+	seen := make(map[string]bool)
+	for pass, tags := range [][]string{nil, {"promodebug"}} {
+		l, err := newLoader(moduleRoot, tags...)
 		if err != nil {
 			return nil, err
 		}
-		supp := buildSuppressionIndex(l.fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:     l.fset,
-				Pkg:      pkg,
-				analyzer: a,
-				suppress: supp,
-				out:      &diags,
+		paths, err := resolvePatterns(l, moduleRoot, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range paths {
+			pkg, err := l.load(path)
+			if err != nil {
+				// A package that only exists under the other tag set is
+				// not an error on this pass.
+				if pass > 0 && errors.Is(err, errNoGoFiles) {
+					continue
+				}
+				return nil, err
 			}
-			a.Run(pass)
+			supp := buildSuppressionIndex(l.fset, pkg.Files)
+			var pkgDiags []Diagnostic
+			for _, a := range analyzers {
+				a.Run(&Pass{
+					Fset:     l.fset,
+					Pkg:      pkg,
+					analyzer: a,
+					suppress: supp,
+					out:      &pkgDiags,
+				})
+			}
+			for _, d := range pkgDiags {
+				key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+				if !seen[key] {
+					seen[key] = true
+					diags = append(diags, d)
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

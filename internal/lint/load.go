@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -49,22 +50,31 @@ type loader struct {
 	loading    map[string]bool     // cycle guard (should be impossible in valid Go)
 }
 
-func newLoader(moduleRoot string) (*loader, error) {
+// newLoader builds a loader for the module. Extra build tags (e.g.
+// "promodebug") widen file matching so tag-gated files are analyzed
+// alongside the default set.
+func newLoader(moduleRoot string, tags ...string) (*loader, error) {
 	modPath, err := readModulePath(filepath.Join(moduleRoot, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
+	ctx := build.Default
+	ctx.BuildTags = append(append([]string{}, ctx.BuildTags...), tags...)
 	fset := token.NewFileSet()
 	return &loader{
 		fset:       fset,
 		moduleRoot: moduleRoot,
 		modulePath: modPath,
-		ctx:        build.Default,
+		ctx:        ctx,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
 }
+
+// errNoGoFiles marks a directory with no files matching the loader's
+// build constraints; Run tolerates it on the secondary tag pass.
+var errNoGoFiles = errors.New("no buildable Go files")
 
 var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 
@@ -112,7 +122,7 @@ func (l *loader) load(path string) (*Package, error) {
 		return nil, err
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+		return nil, fmt.Errorf("lint: %w in %s", errNoGoFiles, dir)
 	}
 
 	info := &types.Info{

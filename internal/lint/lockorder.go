@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"promonet/internal/lint/flow"
+)
+
+// lockOrder guards the engine's two-mutex world (the memo-table mutex
+// and the stats mutex) and whatever internal/graph grows next: it
+// derives the package's mutex-acquisition order from every function's
+// CFG — including acquisitions reached through package-local calls —
+// and flags (1) paths that can return while still holding a lock,
+// (2) acquiring the same exclusive mutex twice (sync.Mutex is not
+// reentrant: that is a self-deadlock, not a no-op), and (3) cycles in
+// the acquisition order (an AB/BA pair deadlocks under concurrency the
+// race detector cannot reliably provoke).
+//
+// Lock identities are type-qualified field paths ("engine.Engine.mu"),
+// so two methods locking the same field agree on the identity even
+// through different receiver names. The order graph is per package —
+// the two scoped packages do not share mutexes today; if they ever do,
+// widen the scope before relying on it.
+var lockOrder = &Analyzer{
+	Name:     "lock-order",
+	Doc:      "flag lock/unlock imbalance, double acquisition, and acquisition-order cycles in internal/engine and internal/graph",
+	Severity: SevError,
+	Run:      runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	if !p.relScope("internal/engine", "internal/graph") {
+		return
+	}
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+
+	// acquires[f] is the set of lock identities f may take, directly or
+	// through package-local calls (fixpoint).
+	acquires := make(map[*types.Func]map[string]bool)
+	for f, fd := range cg.Decls {
+		set := make(map[string]bool)
+		flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, op := mutexOp(info, call); op == opLock || op == opRLock {
+					set[id] = true
+				}
+			}
+			return true
+		})
+		acquires[f] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for f := range cg.Decls {
+			for callee, calleeSet := range acquires {
+				if f == callee || !cg.Calls(f, callee) {
+					continue
+				}
+				for id := range calleeSet {
+					if !acquires[f][id] {
+						acquires[f][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Per-function analysis: balance + double-lock, and order edges.
+	edges := make(map[[2]string]token.Pos)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkLockBody(p, info, body, acquires, edges)
+			})
+		}
+	}
+
+	reportLockCycles(p, edges)
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+)
+
+// mutexOp classifies call as a sync.Mutex/RWMutex operation and
+// returns the lock identity it targets.
+func mutexOp(info *types.Info, call *ast.CallExpr) (string, lockOp) {
+	callee := flow.Callee(info, call)
+	if callee == nil {
+		return "", opNone
+	}
+	var op lockOp
+	switch callee.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", opNone
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", opNone
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", opNone
+	}
+	recv := flow.Receiver(call)
+	if recv == nil {
+		return "", opNone
+	}
+	return lockIdentity(info, recv), op
+}
+
+// lockIdentity names the mutex a receiver expression denotes: a
+// type-qualified field path for struct fields ("engine.Engine.mu"), a
+// package-qualified name for package-level vars, and a position-unique
+// name for locals.
+func lockIdentity(info *types.Info, recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockIdentity(info, e.X)
+		}
+	case *ast.SelectorExpr:
+		field, _ := info.Uses[e.Sel].(*types.Var)
+		if field != nil && field.IsField() {
+			owner := "?"
+			if sel, ok := info.Selections[e]; ok {
+				t := sel.Recv()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Pkg() != nil {
+						owner = obj.Pkg().Name() + "." + obj.Name()
+					} else {
+						owner = obj.Name()
+					}
+				}
+			}
+			return owner + "." + field.Name()
+		}
+		// pkg.GlobalMu
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return fmt.Sprintf("local.%s@%d", obj.Name(), obj.Pos())
+		}
+	}
+	return fmt.Sprintf("lock@%d", recv.Pos())
+}
+
+// checkLockBody runs the held-set dataflow over one function body,
+// reporting imbalance and double acquisition and recording order edges.
+func checkLockBody(p *Pass, info *types.Info, body *ast.BlockStmt, acquires map[*types.Func]map[string]bool, edges map[[2]string]token.Pos) {
+	// Function-local lock table: identity -> bit.
+	ids := make(map[string]uint64)
+	names := []string{}
+	bitOf := func(id string) uint64 {
+		if b, ok := ids[id]; ok {
+			return b
+		}
+		if len(names) >= 64 {
+			return 0 // beyond tracking capacity; ignore rather than misreport
+		}
+		b := uint64(1) << uint(len(names))
+		ids[id] = b
+		names = append(names, id)
+		return b
+	}
+
+	// lockEvent applies one node's lock operations to the held set.
+	// When record is non-nil it also reports and collects order edges.
+	apply := func(node ast.Node, held uint64, record func(format string, pos token.Pos, args ...interface{})) uint64 {
+		flow.WalkNodes(node, func(n ast.Node) bool {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return false // defers run at exit, not here
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, op := mutexOp(info, call); op != opNone {
+				bit := bitOf(id)
+				switch op {
+				case opLock, opRLock:
+					if held&bit != 0 && op == opLock && record != nil {
+						record("%s may already be held here — sync.Mutex is not reentrant, a second Lock self-deadlocks", call.Pos(), id)
+					}
+					if record != nil {
+						for _, other := range names {
+							ob := ids[other]
+							if other != id && held&ob != 0 {
+								key := [2]string{other, id}
+								if _, seen := edges[key]; !seen {
+									edges[key] = call.Pos()
+								}
+							}
+						}
+					}
+					held |= bit
+				case opUnlock:
+					held &^= bit
+				}
+				return true
+			}
+			// A package-local callee that takes locks while we hold one
+			// contributes order edges.
+			if record == nil {
+				return true
+			}
+			if callee := flow.Callee(info, call); callee != nil {
+				for id := range acquires[callee] {
+					for _, other := range names {
+						ob := ids[other]
+						if other != id && held&ob != 0 {
+							key := [2]string{other, id}
+							if _, seen := edges[key]; !seen {
+								edges[key] = call.Pos()
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		return held
+	}
+
+	cfg := flow.New(body, info)
+	trans := func(b *flow.Block, in uint64) uint64 {
+		held := in
+		for _, node := range b.Nodes {
+			held = apply(node, held, nil)
+		}
+		return held
+	}
+	in := cfg.Solve(0, trans)
+
+	// Deferred unlocks release at every exit.
+	var deferredUnlocks []uint64
+	for _, d := range cfg.Defers {
+		if id, op := mutexOp(info, d.Call); op == opUnlock {
+			deferredUnlocks = append(deferredUnlocks, bitOf(id))
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, b := range cfg.Blocks {
+		start, reached := in[b]
+		if !reached {
+			continue
+		}
+		held := start
+		var lastReturn *ast.ReturnStmt
+		for _, node := range b.Nodes {
+			held = apply(node, held, func(format string, pos token.Pos, args ...interface{}) {
+				if !reported[pos] {
+					reported[pos] = true
+					p.Reportf(pos, format, args...)
+				}
+			})
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				lastReturn = ret
+			}
+		}
+		if !linksTo(b, cfg.Exit) {
+			continue
+		}
+		for _, bit := range deferredUnlocks {
+			held &^= bit
+		}
+		if held == 0 {
+			continue
+		}
+		var still []string
+		for _, id := range names {
+			if held&ids[id] != 0 {
+				still = append(still, id)
+			}
+		}
+		pos := cfg.End - 1
+		if lastReturn != nil {
+			pos = lastReturn.Pos()
+		}
+		if !reported[pos] {
+			reported[pos] = true
+			p.Reportf(pos, "this path can return while still holding %s — every Lock needs an Unlock (or defer) on all paths",
+				strings.Join(still, ", "))
+		}
+	}
+}
+
+// reportLockCycles finds cycles in the package's acquisition-order
+// graph and reports each once, at the edge that closes it.
+func reportLockCycles(p *Pass, edges map[[2]string]token.Pos) {
+	if len(edges) == 0 {
+		return
+	}
+	succ := make(map[string][]string)
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		succ[k[0]] = append(succ[k[0]], k[1])
+	}
+
+	// DFS from each node in sorted order; report one cycle per
+	// back-edge into the current stack.
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	var stack []string
+	reported := make(map[[2]string]bool)
+	var visit func(n string)
+	visit = func(n string) {
+		state[n] = 1
+		stack = append(stack, n)
+		for _, m := range succ[n] {
+			if state[m] == 1 {
+				// Found a cycle: slice the stack from m to n.
+				i := 0
+				for j, s := range stack {
+					if s == m {
+						i = j
+						break
+					}
+				}
+				cyc := append(append([]string{}, stack[i:]...), m)
+				key := [2]string{n, m}
+				if !reported[key] {
+					reported[key] = true
+					p.Reportf(edges[key], "lock-order cycle: %s — two goroutines taking these in opposite order deadlock", strings.Join(cyc, " → "))
+				}
+			} else if state[m] == 0 {
+				visit(m)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = 2
+	}
+	var nodes []string
+	for _, k := range keys {
+		nodes = append(nodes, k[0])
+	}
+	for _, n := range nodes {
+		if state[n] == 0 {
+			visit(n)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// poolHygiene checks sync.Pool ownership discipline everywhere in the
+// module: a value obtained from a Pool.Get (directly or through a
+// package-local getter like the engine's getKernel) must be handed back
+// by exactly one Put on every path, and must never be touched again —
+// used, returned, sent, or captured — after it went back to the pool.
+// A leaked kernel quietly degrades the engine to allocate-per-call; a
+// double Put or use-after-Put aliases one scratch buffer across two
+// concurrent BFS sweeps, which corrupts scores instead of crashing.
+//
+// Transferring ownership before the Put is legitimate and ends
+// tracking: returning the value (a getter wrapper), storing it into a
+// captured or heap location (the engine parks per-worker kernels in a
+// shared slice and puts them after the barrier), or sending it away.
+var poolHygiene = &Analyzer{
+	Name:     "pool-hygiene",
+	Doc:      "flag sync.Pool values that leak, are Put twice, or are used after Put",
+	Severity: SevError,
+	Run:      runPoolHygiene,
+}
+
+// Pool-hygiene dataflow bits. Escape clears both: ownership moved.
+const (
+	phLive uint64 = 1 << iota // obtained, not yet Put
+	phPut                     // handed back to the pool
+)
+
+func runPoolHygiene(p *Pass) {
+	info := p.Pkg.Info
+	sources, sinks := poolWrappers(p)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkPoolBody(p, info, body, sources, sinks)
+			})
+		}
+	}
+}
+
+// forEachFuncBody calls fn on body and on the body of every function
+// literal nested inside it (each literal is its own dataflow unit).
+func forEachFuncBody(body *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	fn(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			if lit.Body != nil {
+				forEachFuncBody(lit.Body, fn)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// isPoolMethod reports whether call invokes method name on a sync.Pool
+// (or *sync.Pool) receiver.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Name() != name {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// poolWrappers computes, by fixpoint over the package, the functions
+// that act as pool sources (return a value that came from a Get) and
+// pool sinks (pass a parameter on to a Put).
+func poolWrappers(p *Pass) (sources, sinks map[*types.Func]bool) {
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+	sources = make(map[*types.Func]bool)
+	sinks = make(map[*types.Func]bool)
+
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if isPoolMethod(info, call, "Get") {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sources[callee]
+	}
+	isSinkCall := func(call *ast.CallExpr) bool {
+		if isPoolMethod(info, call, "Put") {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sinks[callee]
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range cg.Decls {
+			if !sources[f] && returnsPoolValue(info, fd, isSourceCall) {
+				sources[f] = true
+				changed = true
+			}
+			if !sinks[f] && forwardsParamToSink(info, fd, isSinkCall) {
+				sinks[f] = true
+				changed = true
+			}
+		}
+	}
+	return sources, sinks
+}
+
+// returnsPoolValue reports whether fd can return a value derived from a
+// pool source call: either a return of the call expression itself
+// (possibly type-asserted) or of a local variable bound to one.
+func returnsPoolValue(info *types.Info, fd *ast.FuncDecl, isSourceCall func(*ast.CallExpr) bool) bool {
+	poolVars := make(map[types.Object]bool)
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if call := sourceExprCall(rhs, isSourceCall); call != nil && i < len(assign.Lhs) {
+				if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						poolVars[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						poolVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if sourceExprCall(res, isSourceCall) != nil {
+				found = true
+			}
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && poolVars[info.Uses[id]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sourceExprCall unwraps parens and type assertions around e and
+// returns the underlying pool source call, if any. A comma-ok type
+// assertion also counts here — the wrapper still hands out pool values.
+func sourceExprCall(e ast.Expr, isSourceCall func(*ast.CallExpr) bool) *ast.CallExpr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		case *ast.CallExpr:
+			if isSourceCall(t) {
+				return t
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// forwardsParamToSink reports whether fd passes one of its parameters
+// straight to a pool sink call.
+func forwardsParamToSink(info *types.Info, fd *ast.FuncDecl, isSinkCall func(*ast.CallExpr) bool) bool {
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return false
+	}
+	found := false
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSinkCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && params[info.Uses[id]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// trackedPoolVar is one Get-bound local under analysis.
+type trackedPoolVar struct {
+	obj    types.Object
+	def    *ast.AssignStmt // the defining assignment
+	defPos token.Pos
+}
+
+// checkPoolBody runs the ownership analysis over one function body.
+func checkPoolBody(p *Pass, info *types.Info, body *ast.BlockStmt, sources, sinks map[*types.Func]bool) {
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if isPoolMethod(info, call, "Get") {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sources[callee]
+	}
+	isSinkCall := func(call *ast.CallExpr) bool {
+		if isPoolMethod(info, call, "Put") {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sinks[callee]
+	}
+
+	// Collect tracked vars: simple `v := <source>()` bindings in THIS
+	// body (not in nested literals), including single-value type asserts
+	// (`pool.Get().(*T)` panics rather than yielding a zero value).
+	// Comma-ok asserts are excluded by the tuple check: on the failed
+	// path the variable holds a zero value, which only a path-sensitive
+	// analysis could separate.
+	var tracked []*trackedPoolVar
+	flow.WalkNodes(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Lhs) != len(assign.Rhs) {
+			return true // tuple form: comma-ok or multi-return
+		}
+		for i, rhs := range assign.Rhs {
+			call := sourceExprCall(rhs, isSourceCall)
+			if call == nil {
+				continue
+			}
+			id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				tracked = append(tracked, &trackedPoolVar{obj: obj, def: assign, defPos: assign.Pos()})
+			}
+		}
+		return true
+	})
+
+	if len(tracked) == 0 {
+		return
+	}
+	cfg := flow.New(body, info)
+	for _, tv := range tracked {
+		checkPoolVar(p, info, cfg, tv, isSinkCall)
+	}
+}
+
+// poolEvent is one ordered occurrence of the tracked variable.
+type poolEvent int
+
+const (
+	evDef    poolEvent = iota // the defining Get assignment
+	evPut                     // passed to a Put/sink
+	evEscape                  // returned, sent, stored, or captured
+	evUse                     // any other read
+)
+
+// poolVarEvents walks one CFG node and yields the tracked variable's
+// events in source order. Nested function literals are scanned only for
+// captures of the variable (an escape or use-after-put), not for their
+// inner flow.
+func poolVarEvents(info *types.Info, node ast.Node, tv *trackedPoolVar,
+	isSinkCall func(*ast.CallExpr) bool, yield func(ev poolEvent, pos token.Pos)) {
+	skip := make(map[*ast.Ident]bool)
+	usesVar := func(e ast.Expr) *ast.Ident {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if ok && info.Uses[id] == tv.obj {
+			return id
+		}
+		return nil
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred puts run at function exit — checkPoolVar applies
+			// them there via cfg.Defers, not inline. A deferred closure
+			// capturing the variable takes ownership.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				captured := false
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.Uses[id] == tv.obj {
+						captured = true
+					}
+					return !captured
+				})
+				if captured {
+					yield(evEscape, n.Pos())
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			// A closure capturing the variable shares ownership.
+			captured := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == tv.obj {
+					captured = true
+				}
+				return !captured
+			})
+			if captured {
+				yield(evEscape, n.Pos())
+			}
+			return false
+		case *ast.AssignStmt:
+			if n == tv.def {
+				// Mark the defining identifiers so the generic use pass
+				// below does not double-count them.
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						skip[id] = true
+					}
+				}
+				yield(evDef, n.Pos())
+				return true
+			}
+			// Storing the value anywhere transfers ownership.
+			for _, rhs := range n.Rhs {
+				if id := usesVar(rhs); id != nil {
+					skip[id] = true
+					yield(evEscape, n.Pos())
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id := usesVar(res); id != nil {
+					skip[id] = true
+					yield(evEscape, n.Pos())
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			if id := usesVar(n.Value); id != nil {
+				skip[id] = true
+				yield(evEscape, n.Pos())
+			}
+			return true
+		case *ast.CallExpr:
+			if isSinkCall(n) {
+				for _, arg := range n.Args {
+					if id := usesVar(arg); id != nil {
+						skip[id] = true
+						yield(evPut, n.Pos())
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			if info.Uses[n] == tv.obj && !skip[n] {
+				yield(evUse, n.Pos())
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// checkPoolVar solves and reports the {live, put} ownership states of
+// one tracked variable over the CFG.
+func checkPoolVar(p *Pass, info *types.Info, cfg *flow.CFG, tv *trackedPoolVar, isSinkCall func(*ast.CallExpr) bool) {
+	apply := func(state uint64, ev poolEvent) uint64 {
+		switch ev {
+		case evDef:
+			return phLive
+		case evPut:
+			return (state &^ phLive) | phPut
+		case evEscape:
+			return 0
+		}
+		return state
+	}
+	trans := func(b *flow.Block, in uint64) uint64 {
+		state := in
+		for _, node := range b.Nodes {
+			poolVarEvents(info, node, tv, isSinkCall, func(ev poolEvent, pos token.Pos) {
+				state = apply(state, ev)
+			})
+		}
+		return state
+	}
+	in := cfg.Solve(0, trans)
+
+	// deferredPuts: defer statements that put this variable back.
+	var deferredPuts []*ast.DeferStmt
+	for _, d := range cfg.Defers {
+		if !isSinkCall(d.Call) {
+			continue
+		}
+		for _, arg := range d.Call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == tv.obj {
+				deferredPuts = append(deferredPuts, d)
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	reportf := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Reportf(pos, format, args...)
+	}
+
+	name := tv.obj.Name()
+	for _, b := range cfg.Blocks {
+		start, reached := in[b]
+		if !reached {
+			continue
+		}
+		state := start
+		var lastReturn *ast.ReturnStmt
+		for _, node := range b.Nodes {
+			poolVarEvents(info, node, tv, isSinkCall, func(ev poolEvent, pos token.Pos) {
+				switch ev {
+				case evPut:
+					// The PUT bit can only arrive over a path that already
+					// put: any further Put is a may-double-put.
+					if state&phPut != 0 {
+						reportf(pos, "pool value %q may be Put twice — a second Put aliases one scratch buffer across two users", name)
+					}
+				case evEscape:
+					if state&phPut != 0 && state&phLive == 0 {
+						reportf(pos, "pool value %q escapes after it was Put — the pool may hand it to a concurrent user", name)
+					}
+				case evUse:
+					if state&phPut != 0 && state&phLive == 0 {
+						reportf(pos, "pool value %q used after it was Put — the pool may hand it to a concurrent user", name)
+					}
+				}
+				state = apply(state, ev)
+			})
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				lastReturn = ret
+			}
+		}
+		if !linksTo(b, cfg.Exit) {
+			continue
+		}
+		// Exit: deferred puts run now, then the value must be put.
+		for _, d := range deferredPuts {
+			if state&phPut != 0 {
+				reportf(d.Pos(), "pool value %q may be Put twice (explicit Put plus deferred Put)", name)
+			}
+			state = apply(state, evPut)
+		}
+		if state&phLive != 0 {
+			pos := cfg.End - 1
+			if lastReturn != nil {
+				pos = lastReturn.Pos()
+			}
+			reportf(pos, "pool value %q can reach this return without a Put — the kernel leaks and the pool refills by allocation", name)
+		}
+	}
+}

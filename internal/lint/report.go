@@ -1,0 +1,44 @@
+package lint
+
+// Report is the machine-readable form of one promolint run, emitted by
+// the -json flag and archived as a CI artifact. Paths are
+// module-relative so reports diff cleanly across checkouts.
+type Report struct {
+	// Analyzers names every analyzer that ran, in suite order.
+	Analyzers []string `json:"analyzers"`
+	// Findings are the diagnostics that survived allow annotations and
+	// the baseline, sorted by position.
+	Findings []ReportFinding `json:"findings"`
+	// Stale lists baseline entries that matched no current finding.
+	Stale []BaselineEntry `json:"stale,omitempty"`
+}
+
+// ReportFinding is one finding in a Report.
+type ReportFinding struct {
+	File     string   `json:"file"` // module-relative, slash-separated
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+}
+
+// NewReport assembles a Report from a run's surviving diagnostics and
+// the stale baseline entries, relativizing paths against moduleRoot.
+func NewReport(moduleRoot string, analyzers []*Analyzer, diags []Diagnostic, stale []BaselineEntry) *Report {
+	r := &Report{Findings: []ReportFinding{}, Stale: stale}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		r.Findings = append(r.Findings, ReportFinding{
+			File:     baselineRel(moduleRoot, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Severity: d.Severity,
+			Message:  d.Message,
+		})
+	}
+	return r
+}

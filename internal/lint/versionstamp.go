@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// versionStamp enforces the engine's cache-invalidation contract on
+// internal/graph: every exported *Graph method that mutates the
+// structure (writes the adj or m fields, directly or through an
+// unexported helper) must call bumpVersion() on every path that can
+// return after the mutation. A mutation path that reaches a return
+// without a bump leaves the version counter stale, and the engine's
+// content-addressed memo table (internal/engine) would serve scores for
+// a structure that no longer exists — exactly the silent staleness the
+// promotion-size measurements cannot tolerate.
+//
+// Paths that return before any write (no-op inserts/removals) and paths
+// that terminate in panic are exempt: the version only needs to move
+// when the structure did.
+var versionStamp = &Analyzer{
+	Name:     "version-stamp",
+	Doc:      "flag internal/graph mutation paths that can return without calling bumpVersion()",
+	Severity: SevError,
+	Run:      runVersionStamp,
+}
+
+// versionStampBits is the dataflow state: dirty = adj/m written with no
+// bumpVersion() since.
+const vsDirty uint64 = 1
+
+func runVersionStamp(p *Pass) {
+	if !p.relScope("internal/graph") {
+		return
+	}
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+
+	// Interprocedural summaries over the package's Graph methods.
+	// writes[f]: f may write its own receiver's adj/m (transitively).
+	// bumps[f]: every path of f through a return passes a bumpVersion()
+	// call on its own receiver (transitively). bumpVersion itself is the
+	// primitive.
+	writes := make(map[*types.Func]bool)
+	bumps := make(map[*types.Func]bool)
+	for f := range cg.Decls {
+		if f.Name() == "bumpVersion" && graphReceiver(f) != nil {
+			bumps[f] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range cg.Decls {
+			recv := receiverObj(info, fd)
+			if recv == nil || graphReceiver(f) == nil {
+				continue
+			}
+			if !writes[f] && methodMayWrite(info, fd, recv, writes, bumps) {
+				writes[f] = true
+				changed = true
+			}
+			if !bumps[f] && methodMustBump(info, fd, recv, writes, bumps) {
+				bumps[f] = true
+				changed = true
+			}
+		}
+	}
+
+	// The check proper: exported methods only — they are the package
+	// API whose callers rely on the invalidation contract.
+	for f, fd := range cg.Decls {
+		recv := receiverObj(info, fd)
+		if recv == nil || graphReceiver(f) == nil || !f.Exported() {
+			continue
+		}
+		checkVersionStamp(p, fd, recv, writes, bumps)
+	}
+}
+
+// graphReceiver returns the receiver variable if f is a method on
+// Graph or *Graph, else nil.
+func graphReceiver(f *types.Func) *types.Var {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Graph" {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// receiverObj returns the object bound to fd's named receiver, or nil
+// when the receiver is unnamed (such a method cannot write its fields).
+func receiverObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// writesStructuralField reports whether lhs is a write target rooted at
+// recv.adj or recv.m (possibly through indexing/slicing).
+func writesStructuralField(info *types.Info, lhs ast.Expr, recv types.Object) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if e.Sel.Name != "adj" && e.Sel.Name != "m" {
+				return false
+			}
+			base, ok := ast.Unparen(e.X).(*ast.Ident)
+			return ok && info.Uses[base] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// recvCall returns the callee if call is a method call on the receiver
+// object (recv.helper(...)), else nil.
+func recvCall(info *types.Info, call *ast.CallExpr, recv types.Object) *types.Func {
+	base, ok := ast.Unparen(flow.Receiver(call)).(*ast.Ident)
+	if !ok || info.Uses[base] != recv {
+		return nil
+	}
+	return flow.Callee(info, call)
+}
+
+// vsTransfer applies one CFG node's structural-write and bump events to
+// the dirty bit, optionally reporting each event through visit.
+func vsTransfer(info *types.Info, node ast.Node, recv types.Object,
+	writes, bumps map[*types.Func]bool, in uint64, visit func(n ast.Node, state uint64)) uint64 {
+	state := in
+	flow.WalkNodes(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if writesStructuralField(info, lhs, recv) {
+					state |= vsDirty
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesStructuralField(info, n.X, recv) {
+				state |= vsDirty
+			}
+		case *ast.CallExpr:
+			callee := recvCall(info, n, recv)
+			if callee == nil {
+				return true
+			}
+			switch {
+			case bumps[callee]:
+				state &^= vsDirty
+			case writes[callee]:
+				state |= vsDirty
+			}
+		}
+		if visit != nil {
+			visit(n, state)
+		}
+		return true
+	})
+	return state
+}
+
+// methodMayWrite reports whether fd writes its receiver's adj/m fields
+// anywhere (a may-property, no CFG needed).
+func methodMayWrite(info *types.Info, fd *ast.FuncDecl, recv types.Object, writes, bumps map[*types.Func]bool) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if writesStructuralField(info, lhs, recv) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesStructuralField(info, n.X, recv) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callee := recvCall(info, n, recv); callee != nil && writes[callee] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// methodMustBump reports whether every return path of fd passes a
+// bumpVersion() call (directly or via a must-bump callee) on its own
+// receiver. Encoded as the negation of a may-property: the "unbumped"
+// bit survives to some exit iff the method is not a must-bump.
+func methodMustBump(info *types.Info, fd *ast.FuncDecl, recv types.Object, writes, bumps map[*types.Func]bool) bool {
+	if fd.Body == nil {
+		return false
+	}
+	const unbumped uint64 = 1
+	cfg := flow.New(fd.Body, info)
+	trans := func(b *flow.Block, in uint64) uint64 {
+		state := in
+		for _, node := range b.Nodes {
+			flow.WalkNodes(node, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := recvCall(info, call, recv); callee != nil && bumps[callee] {
+						state &^= unbumped
+					}
+				}
+				return true
+			})
+		}
+		return state
+	}
+	in := cfg.Solve(unbumped, trans)
+	for _, b := range cfg.Blocks {
+		if _, reached := in[b]; !reached || !linksTo(b, cfg.Exit) {
+			continue
+		}
+		if trans(b, in[b])&unbumped != 0 {
+			return false
+		}
+	}
+	return len(cfg.Blocks) > 0
+}
+
+func linksTo(b *flow.Block, target *flow.Block) bool {
+	for _, s := range b.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVersionStamp runs the dirty-bit analysis over one exported
+// mutator and reports every return reachable with an unbumped write.
+func checkVersionStamp(p *Pass, fd *ast.FuncDecl, recv types.Object, writes, bumps map[*types.Func]bool) {
+	info := p.Pkg.Info
+	cfg := flow.New(fd.Body, info)
+	trans := func(b *flow.Block, in uint64) uint64 {
+		state := in
+		for _, node := range b.Nodes {
+			state = vsTransfer(info, node, recv, writes, bumps, state, nil)
+		}
+		return state
+	}
+	in := cfg.Solve(0, trans)
+
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Reportf(pos,
+			"%s can return with adj/m mutated but no bumpVersion() call on this path — the engine's version-keyed cache would serve stale scores",
+			fd.Name.Name)
+	}
+	for _, b := range cfg.Blocks {
+		start, reached := in[b]
+		if !reached || !linksTo(b, cfg.Exit) {
+			continue
+		}
+		state := start
+		var lastReturn *ast.ReturnStmt
+		for _, node := range b.Nodes {
+			state = vsTransfer(info, node, recv, writes, bumps, state, nil)
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				lastReturn = ret
+			}
+		}
+		if state&vsDirty == 0 {
+			continue
+		}
+		if lastReturn != nil {
+			report(lastReturn.Pos())
+		} else {
+			report(cfg.End - 1)
+		}
+	}
+}

@@ -26,8 +26,13 @@ step "go build ./... (default and promodebug)"
 go build ./...
 go build -tags promodebug ./...
 
-step "promolint ./..."
-go run ./cmd/promolint ./...
+step "promolint ./... (all analyzers, findings saved to lint-findings.json)"
+# The JSON report is written even on failure so CI can upload it as an
+# artifact; a stale lint-baseline.json entry is itself a failure.
+if ! go run ./cmd/promolint -json -baseline lint-baseline.json ./... > lint-findings.json; then
+    cat lint-findings.json >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "quick" ]]; then
     step "go test ./... (quick mode: no -race, no promodebug pass)"
