@@ -28,6 +28,7 @@ import (
 
 	"promonet/internal/engine"
 	"promonet/internal/exp"
+	"promonet/internal/obs"
 )
 
 func main() {
@@ -37,48 +38,89 @@ func main() {
 	}
 }
 
+// options is the experiments flag surface, registered on a caller-owned
+// FlagSet so tests can assert it without global flag state.
+type options struct {
+	seed             *int64
+	scale            *float64
+	targets          *int
+	sizesFlag        *string
+	datasetsFlag     *string
+	only             *string
+	format           *string
+	greedyBudget     *int
+	greedyCandidates *int
+	greedyPivots     *int
+	debugAddr        *string
+	manifestDir      *string
+}
+
+// registerFlags defines every experiments flag on fs, defaulted from cfg.
+func registerFlags(fs *flag.FlagSet, cfg exp.Config) *options {
+	return &options{
+		seed:             fs.Int64("seed", cfg.Seed, "master random seed"),
+		scale:            fs.Float64("scale", cfg.Scale, "dataset scale (fraction of original node count)"),
+		targets:          fs.Int("targets", cfg.NumTargets, "random targets per dataset for figures"),
+		sizesFlag:        fs.String("sizes", csvInts(cfg.Sizes), "promotion sizes, comma separated"),
+		datasetsFlag:     fs.String("datasets", "", "datasets to run (default all: WIKI,HEPP,EPIN,SLAS)"),
+		only:             fs.String("only", "", "run only these experiments, e.g. table7,fig4,ablation"),
+		format:           fs.String("format", "text", "output format: text|md|csv"),
+		greedyBudget:     fs.Int("greedy-budget", cfg.GreedyBudget, "max promotion size for the Greedy comparison"),
+		greedyCandidates: fs.Int("greedy-candidates", cfg.GreedyCandidateSample, "candidate edges evaluated per Greedy round (0 = exhaustive, as in [18])"),
+		greedyPivots:     fs.Int("greedy-pivots", cfg.GreedyPivotSources, "BFS pivots for Greedy's betweenness estimates (0 = exact)"),
+		debugAddr:        fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this host:port while the run is live"),
+		manifestDir:      fs.String("manifest", "", "write one run manifest per dataset×measure cell into this directory"),
+	}
+}
+
 func run() error {
 	cfg := exp.DefaultConfig()
-	seed := flag.Int64("seed", cfg.Seed, "master random seed")
-	scale := flag.Float64("scale", cfg.Scale, "dataset scale (fraction of original node count)")
-	targets := flag.Int("targets", cfg.NumTargets, "random targets per dataset for figures")
-	sizesFlag := flag.String("sizes", csvInts(cfg.Sizes), "promotion sizes, comma separated")
-	datasetsFlag := flag.String("datasets", "", "datasets to run (default all: WIKI,HEPP,EPIN,SLAS)")
-	only := flag.String("only", "", "run only these experiments, e.g. table7,fig4,ablation")
-	format := flag.String("format", "text", "output format: text|md|csv")
-	greedyBudget := flag.Int("greedy-budget", cfg.GreedyBudget, "max promotion size for the Greedy comparison")
-	greedyCandidates := flag.Int("greedy-candidates", cfg.GreedyCandidateSample, "candidate edges evaluated per Greedy round (0 = exhaustive, as in [18])")
-	greedyPivots := flag.Int("greedy-pivots", cfg.GreedyPivotSources, "BFS pivots for Greedy's betweenness estimates (0 = exact)")
+	opt := registerFlags(flag.CommandLine, cfg)
 	flag.Parse()
 
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.NumTargets = *targets
-	cfg.GreedyBudget = *greedyBudget
-	cfg.GreedyCandidateSample = *greedyCandidates
-	cfg.GreedyPivotSources = *greedyPivots
+	cfg.Seed = *opt.seed
+	cfg.Scale = *opt.scale
+	cfg.NumTargets = *opt.targets
+	cfg.GreedyBudget = *opt.greedyBudget
+	cfg.GreedyCandidateSample = *opt.greedyCandidates
+	cfg.GreedyPivotSources = *opt.greedyPivots
+	cfg.ManifestDir = *opt.manifestDir
 	var err error
-	if cfg.Sizes, err = parseInts(*sizesFlag); err != nil {
+	if cfg.Sizes, err = parseInts(*opt.sizesFlag); err != nil {
 		return fmt.Errorf("bad -sizes: %w", err)
 	}
-	if *datasetsFlag != "" {
-		cfg.Datasets = strings.Split(*datasetsFlag, ",")
+	if *opt.datasetsFlag != "" {
+		cfg.Datasets = strings.Split(*opt.datasetsFlag, ",")
+	}
+
+	// Spans are consumed by per-cell manifests and /debug/vars; without
+	// either sink, tracing stays on the zero-allocation disabled path.
+	if cfg.ManifestDir != "" || *opt.debugAddr != "" {
+		obs.SetRecorder(obs.NewRecorder(8192))
+	}
+	if *opt.debugAddr != "" {
+		srv, err := obs.StartDebugServer(*opt.debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoints at http://%s/debug/\n", srv.Addr())
+		defer func() { _ = srv.Close() }()
 	}
 
 	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
+	if *opt.only != "" {
+		for _, k := range strings.Split(*opt.only, ",") {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
 	selected := func(key string) bool { return len(want) == 0 || want[key] }
 
-	switch *format {
+	switch *opt.format {
 	case "text", "md", "markdown", "csv":
 	default:
-		return fmt.Errorf("unknown -format %q (want text, md, or csv)", *format)
+		return fmt.Errorf("unknown -format %q (want text, md, or csv)", *opt.format)
 	}
-	render := renderer{out: os.Stdout, format: *format}
+	render := renderer{out: os.Stdout, format: *opt.format}
 
 	start := time.Now()
 

@@ -1,6 +1,38 @@
 package main
 
-import "testing"
+import (
+	"flag"
+	"testing"
+
+	"promonet/internal/exp"
+)
+
+// TestFlagSurface pins the experiments flag names; scripts and docs
+// depend on them.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	registerFlags(fs, exp.DefaultConfig())
+	want := []string{
+		"seed", "scale", "targets", "sizes", "datasets", "only", "format",
+		"greedy-budget", "greedy-candidates", "greedy-pivots",
+		"debug-addr", "manifest",
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("4, 8,16")

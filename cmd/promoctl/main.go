@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"promonet/internal/core"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 func main() {
@@ -31,20 +34,76 @@ func main() {
 	}
 }
 
-func run() error {
-	graphPath := flag.String("graph", "", "edge-list file of the host graph (required)")
-	targetLabel := flag.Int64("target", -1, "target node label as it appears in the file (required)")
-	measureName := flag.String("measure", "closeness", "centrality measure: betweenness|coreness|closeness|eccentricity|harmonic|degree|katz")
-	size := flag.Int("p", 0, "promotion size (number of inserted nodes)")
-	strategyName := flag.String("strategy", "", "override the principle-guided strategy: multi-point|double-line|single-clique")
-	guaranteed := flag.Bool("guaranteed", false, "use the smallest provably sufficient size instead of -p")
-	outPath := flag.String("out", "", "write the updated graph G' to this file")
-	dotPath := flag.String("dot", "", "write the updated graph in Graphviz DOT format (target red, inserted gray)")
-	jsonOut := flag.Bool("json", false, "print the outcome as JSON instead of text")
-	engineStats := flag.Bool("enginestats", false, "print execution-engine cache/traversal counters to stderr on exit")
+// options is promoctl's full flag surface, registered on a caller-owned
+// FlagSet so tests can assert the surface without touching the global
+// flag.CommandLine state.
+type options struct {
+	graphPath    *string
+	targetLabel  *int64
+	measureName  *string
+	size         *int
+	strategyName *string
+	guaranteed   *bool
+	outPath      *string
+	dotPath      *string
+	jsonOut      *bool
+	engineStats  *bool
+	debugAddr    *string
+	debugLinger  *time.Duration
+	manifestPath *string
+}
+
+// registerFlags defines every promoctl flag on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		graphPath:    fs.String("graph", "", "edge-list file of the host graph (required)"),
+		targetLabel:  fs.Int64("target", -1, "target node label as it appears in the file (required)"),
+		measureName:  fs.String("measure", "closeness", "centrality measure: betweenness|coreness|closeness|eccentricity|harmonic|degree|katz"),
+		size:         fs.Int("p", 0, "promotion size (number of inserted nodes)"),
+		strategyName: fs.String("strategy", "", "override the principle-guided strategy: multi-point|double-line|single-clique"),
+		guaranteed:   fs.Bool("guaranteed", false, "use the smallest provably sufficient size instead of -p"),
+		outPath:      fs.String("out", "", "write the updated graph G' to this file"),
+		dotPath:      fs.String("dot", "", "write the updated graph in Graphviz DOT format (target red, inserted gray)"),
+		jsonOut:      fs.Bool("json", false, "print the outcome as JSON instead of text"),
+		engineStats:  fs.Bool("enginestats", false, "print execution-engine cache/traversal counters to stderr on exit (and embed them in -json output)"),
+		debugAddr:    fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this host:port (e.g. 127.0.0.1:6060)"),
+		debugLinger:  fs.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the run finishes, for scraping"),
+		manifestPath: fs.String("manifest", "", "write a reproducible run manifest (JSON) to this file"),
+	}
+}
+
+func run() (err error) {
+	opt := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if *engineStats {
+	graphPath := opt.graphPath
+	targetLabel := opt.targetLabel
+	size := opt.size
+	guaranteed := opt.guaranteed
+	jsonOut := opt.jsonOut
+	if *opt.engineStats {
 		defer func() { fmt.Fprintln(os.Stderr, engine.Default().Stats()) }()
+	}
+
+	// Tracing is demand-driven: a recorder is installed only when
+	// something will consume the spans (a manifest or the debug
+	// endpoints); otherwise every obs.Start in the libraries stays on the
+	// zero-allocation disabled path.
+	if *opt.manifestPath != "" || *opt.debugAddr != "" {
+		obs.SetRecorder(obs.NewRecorder(4096))
+	}
+	if *opt.debugAddr != "" {
+		srv, err := obs.StartDebugServer(*opt.debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "promoctl: debug endpoints at http://%s/debug/\n", srv.Addr())
+		defer func() {
+			if *opt.debugLinger > 0 {
+				fmt.Fprintf(os.Stderr, "promoctl: holding debug server for %v\n", *opt.debugLinger)
+				time.Sleep(*opt.debugLinger)
+			}
+			_ = srv.Close()
+		}()
 	}
 
 	if *graphPath == "" {
@@ -67,9 +126,18 @@ func run() error {
 	if target == -1 {
 		return fmt.Errorf("target label %d not found in %s", *targetLabel, *graphPath)
 	}
-	m, err := core.MeasureByName(*measureName)
+	m, err := core.MeasureByName(*opt.measureName)
 	if err != nil {
 		return err
+	}
+	if *opt.manifestPath != "" {
+		// Written on the way out so the manifest covers the whole run,
+		// including failed ones (the phases show how far it got).
+		defer func() {
+			if werr := writeManifest(*opt.manifestPath, opt, g, m); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	if !*jsonOut {
@@ -96,8 +164,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-	case *strategyName != "":
-		st, err := parseStrategy(*strategyName)
+	case *opt.strategyName != "":
+		st, err := parseStrategy(*opt.strategyName)
 		if err != nil {
 			return err
 		}
@@ -139,6 +207,10 @@ func run() error {
 				Boost:     o.Check.Boost,
 			},
 		}
+		if *opt.engineStats {
+			s := engine.Default().Stats()
+			report.EngineStats = &s
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -152,20 +224,20 @@ func run() error {
 			fmt.Println("no ranking improvement at this size")
 		}
 	}
-	if *outPath != "" {
-		if err := graph.SaveEdgeListFile(*outPath, g2); err != nil {
+	if *opt.outPath != "" {
+		if err := graph.SaveEdgeListFile(*opt.outPath, g2); err != nil {
 			return err
 		}
 		if !*jsonOut {
-			fmt.Printf("updated graph written to %s (n=%d, m=%d)\n", *outPath, g2.N(), g2.M())
+			fmt.Printf("updated graph written to %s (n=%d, m=%d)\n", *opt.outPath, g2.N(), g2.M())
 		}
 	}
-	if *dotPath != "" {
+	if *opt.dotPath != "" {
 		highlight := map[int]string{o.Strategy.Target: "red"}
 		for _, w := range o.Inserted {
 			highlight[w] = "gray"
 		}
-		f, err := os.Create(*dotPath)
+		f, err := os.Create(*opt.dotPath)
 		if err != nil {
 			return err
 		}
@@ -196,12 +268,34 @@ type jsonReport struct {
 	Ratio      float64          `json:"ratio_percent"`
 	Effective  bool             `json:"effective"`
 	Properties propertiesReport `json:"properties"`
+	// EngineStats is present when -enginestats is set; it uses the
+	// manifest schema (engine.Stats.MarshalJSON).
+	EngineStats *engine.Stats `json:"engine_stats,omitempty"`
 }
 
 type propertiesReport struct {
 	Gain      bool `json:"gain"`
 	Dominance bool `json:"dominance"`
 	Boost     bool `json:"boost"`
+}
+
+// writeManifest captures the run's provenance — flags, dataset digest,
+// measure, span rollups, engine counters, memory — into opt.manifestPath.
+func writeManifest(path string, opt *options, g *graph.Graph, m core.Measure) error {
+	man := obs.NewManifest("promoctl", 0)
+	man.CaptureFlags(flag.CommandLine)
+	man.Dataset = &obs.DatasetInfo{
+		Name:   filepath.Base(*opt.graphPath),
+		N:      g.N(),
+		M:      g.M(),
+		Digest: graph.Digest(g),
+	}
+	man.Measure = m.Name()
+	man.CapturePhases(obs.CurrentRecorder())
+	es := engine.Default().Stats().Manifest()
+	man.Engine = &es
+	man.CaptureMem()
+	return man.WriteFile(path)
 }
 
 func parseStrategy(name string) (core.StrategyType, error) {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"promonet/internal/centrality"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // This file implements the theoretical promotion sizes p′ of Remark 2:
@@ -60,6 +62,10 @@ func BoostSizeEccentricity(eccRecipT int) float64 { return 2 * float64(eccRecipT
 // Supported measures: betweenness, coreness, closeness, eccentricity
 // (the four with proved lemmas). Other measures return an error.
 func GuaranteedSize(g *graph.Graph, m Measure, t int) (int, bool, error) {
+	_, sp := obs.Start(context.Background(), "promote/guaranteed-size")
+	sp.Str("measure", m.Name())
+	sp.Int("n", g.N())
+	defer sp.End()
 	if t < 0 || t >= g.N() {
 		return 0, false, fmt.Errorf("core: target %d outside [0, %d)", t, g.N())
 	}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // This file implements the detectability analysis the paper defers to
@@ -62,6 +64,10 @@ func (r *DetectionReport) String() string {
 // baseline's nodes, which holds for every strategy in this package) and
 // reports the promotion signatures it finds.
 func Detect(baseline, observed *graph.Graph) (*DetectionReport, error) {
+	_, sp := obs.Start(context.Background(), "promote/detect")
+	sp.Int("n", baseline.N())
+	sp.Int("m", baseline.M())
+	defer sp.End()
 	nb := baseline.N()
 	if observed.N() < nb {
 		return nil, fmt.Errorf("core: observed graph has fewer nodes (%d) than baseline (%d)", observed.N(), nb)

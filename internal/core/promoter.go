@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"promonet/internal/centrality"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // Outcome records everything about one promotion: the strategy applied,
@@ -53,18 +55,38 @@ func Promote(g *graph.Graph, m Measure, t, p int) (*graph.Graph, *Outcome, error
 
 // PromoteWith applies an explicit strategy (not necessarily the
 // recommended one — useful for the ablations) and evaluates the outcome
-// under measure m.
+// under measure m. The run is traced as a "promote" span with one child
+// per phase — score-before, strategy-apply, score-after, verify-rank —
+// so the per-phase cost of a promotion is attributable when a recorder
+// is installed (and free when not).
 func PromoteWith(g *graph.Graph, m Measure, s Strategy) (*graph.Graph, *Outcome, error) {
+	ctx, root := obs.Start(context.Background(), "promote")
+	root.Str("measure", m.Name())
+	root.Int("n", g.N())
+	root.Int("m", g.M())
+	root.Int("p", s.Size)
+	defer root.End()
+
 	if err := s.Validate(g); err != nil {
 		return nil, nil, err
 	}
+	_, sp := obs.Start(ctx, "promote/score-before")
 	before := m.Scores(g)
+	sp.End()
+
+	_, sp = obs.Start(ctx, "promote/strategy-apply")
 	g2, inserted, err := s.Apply(g)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	after := m.Scores(g2)
 
+	_, sp = obs.Start(ctx, "promote/score-after")
+	after := m.Scores(g2)
+	sp.End()
+
+	_, sp = obs.Start(ctx, "promote/verify-rank")
+	defer sp.End()
 	o := &Outcome{
 		Strategy:       s,
 		Measure:        m.Name(),

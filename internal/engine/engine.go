@@ -32,6 +32,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -39,6 +40,7 @@ import (
 
 	"promonet/internal/centrality"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // Engine is a pooled, memoizing centrality scorer. Create one with New
@@ -49,6 +51,9 @@ type Engine struct {
 	workers  int
 	cacheCap int
 	hashCap  int
+
+	registry  *obs.Registry
+	regPrefix string
 
 	jobs    chan func()
 	kernels sync.Pool
@@ -73,6 +78,16 @@ func WithCacheSize(n int) Option {
 	return func(e *Engine) { e.cacheCap = n }
 }
 
+// WithRegistry backs the engine's hit/miss/eviction and traversal
+// counters by reg under "<prefix>.<name>" metric names, so they appear
+// in /debug/vars (and any other consumer of the registry) without
+// changing the Stats API. Without this option the counters are private
+// to the engine. The Default engine registers into obs.Default() under
+// the "engine" prefix.
+func WithRegistry(reg *obs.Registry, prefix string) Option {
+	return func(e *Engine) { e.registry, e.regPrefix = reg, prefix }
+}
+
 // New returns an engine with the given number of pool workers
 // (workers <= 0 means GOMAXPROCS). The goroutines are spawned up front
 // and live until Close; a single-worker engine runs everything inline
@@ -85,6 +100,7 @@ func New(workers int, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	e.counters = newCounters(e.registry, e.regPrefix)
 	e.hashCap = 4*e.cacheCap + 16
 	e.entries = make(map[contentKey]*entry)
 	e.lru = list.New()
@@ -112,7 +128,7 @@ var (
 // the measure implementations in internal/core and the baselines in
 // internal/greedy score through it.
 func Default() *Engine {
-	defaultOnce.Do(func() { defaultEngine = New(0) })
+	defaultOnce.Do(func() { defaultEngine = New(0, WithRegistry(obs.Default(), "engine")) })
 	return defaultEngine
 }
 
@@ -242,16 +258,23 @@ func (e *Engine) memoFor(g *graph.Graph, key string) *memo {
 }
 
 // resolve returns the memoized value for (g, key), computing it at most
-// once per snapshot and recording hit/miss and per-family wall-clock
-// stats.
-func (e *Engine) resolve(g *graph.Graph, key, family string, compute func() any) any {
+// once per snapshot. A cache miss is wrapped in an
+// "engine/compute/<family>" tracing span (annotated with the graph
+// size) and recorded into the lock-free per-family stats slot; the
+// span name is precomputed per family, so with tracing disabled the
+// instrumentation costs one atomic load and zero allocations.
+func (e *Engine) resolve(g *graph.Graph, key string, fam family, compute func() any) any {
 	mm := e.memoFor(g, key)
 	ran := false
 	mm.once.Do(func() {
 		ran = true
+		_, sp := obs.Start(context.Background(), familySpanNames[fam])
+		sp.Int("n", g.N())
+		sp.Int("m", g.M())
 		t0 := time.Now()
 		mm.val = compute()
-		e.counters.noteCompute(family, time.Since(t0))
+		e.counters.noteCompute(fam, time.Since(t0))
+		sp.End()
 	})
 	if !ran {
 		e.counters.hits.Add(1)
@@ -322,7 +345,7 @@ type sweepResult struct {
 // sweep returns (computing at most once per snapshot) the distance
 // family for g.
 func (e *Engine) sweep(g *graph.Graph) *sweepResult {
-	return e.resolve(g, "distance-sweep", "distance-sweep", func() any {
+	return e.resolve(g, "distance-sweep", famSweep, func() any {
 		return e.computeSweep(g)
 	}).(*sweepResult)
 }
@@ -371,7 +394,7 @@ func (e *Engine) rawBetweenness(g *graph.Graph, m Measure) ([]float64, float64) 
 		key = Measure{kind: kindBetweenness, sample: sample, seed: m.seed}.Key()
 		scale = float64(n) / float64(sample)
 	}
-	raw := e.resolve(g, key, "betweenness", func() any {
+	raw := e.resolve(g, key, famBetweenness, func() any {
 		var sources []int
 		if sample > 0 {
 			// One Perm draw from a fresh seeded rng: the documented rng
@@ -465,17 +488,17 @@ func (e *Engine) Scores(g *graph.Graph, m Measure) []float64 {
 	case kindHarmonic:
 		copy(out, e.sweep(g).harm)
 	case kindCoreness:
-		cached := e.resolve(g, "coreness", "coreness", func() any {
+		cached := e.resolve(g, "coreness", famCoreness, func() any {
 			return centrality.CorenessFloat(g)
 		}).([]float64)
 		copy(out, cached)
 	case kindDegree:
-		cached := e.resolve(g, "degree", "degree", func() any {
+		cached := e.resolve(g, "degree", famDegree, func() any {
 			return centrality.Degree(g)
 		}).([]float64)
 		copy(out, cached)
 	case kindKatz:
-		cached := e.resolve(g, "katz", "katz", func() any {
+		cached := e.resolve(g, "katz", famKatz, func() any {
 			return centrality.KatzAuto(g)
 		}).([]float64)
 		copy(out, cached)
@@ -499,7 +522,7 @@ func (e *Engine) ScoresFor(g *graph.Graph, measures ...Measure) [][]float64 {
 func (e *Engine) RanksFor(g *graph.Graph, measures ...Measure) [][]int {
 	out := make([][]int, len(measures))
 	for i, m := range measures {
-		cached := e.resolve(g, "ranks|"+m.Key(), "ranks", func() any {
+		cached := e.resolve(g, "ranks|"+m.Key(), famRanks, func() any {
 			return centrality.Ranks(e.Scores(g, m))
 		}).([]int)
 		out[i] = append([]int(nil), cached...)
@@ -519,7 +542,7 @@ func (e *Engine) FarnessInt64(g *graph.Graph) []int64 {
 // coreness measure. Core numbers are exact small integers, so the
 // float64 round trip is lossless.
 func (e *Engine) CorenessInt(g *graph.Graph) []int {
-	cached := e.resolve(g, "coreness", "coreness", func() any {
+	cached := e.resolve(g, "coreness", famCoreness, func() any {
 		return centrality.CorenessFloat(g)
 	}).([]float64)
 	out := make([]int, len(cached))
@@ -533,7 +556,7 @@ func (e *Engine) CorenessInt(g *graph.Graph) []int {
 // memoizing the per-node vector (the detectability report evaluates it
 // on both snapshots of every comparison).
 func (e *Engine) AverageClustering(g *graph.Graph) float64 {
-	cl := e.resolve(g, "clustering", "clustering", func() any {
+	cl := e.resolve(g, "clustering", famClustering, func() any {
 		return centrality.LocalClustering(g)
 	}).([]float64)
 	if len(cl) == 0 {

@@ -25,21 +25,72 @@ const (
 	kindKatz
 )
 
-// familyName is the stats bucket for the kind's underlying computation.
-func (k kind) familyName() string {
+// family indexes the engine's fixed set of compute families. The set
+// is closed and known at compile time, which is what makes the
+// per-family stats table a plain array of atomics: a cache miss
+// records its cost by array index, with no lock and no map lookup.
+type family int
+
+// The compute families, in declaration order. famSweep is the shared
+// all-pairs BFS sweep behind closeness, farness, harmonic, and both
+// eccentricity variants; famRanks covers ranking memoization on top of
+// any score family.
+const (
+	famSweep family = iota
+	famBetweenness
+	famCoreness
+	famDegree
+	famKatz
+	famClustering
+	famRanks
+	numFamilies
+)
+
+// familyNames are the stable per-family stat/rollup names.
+var familyNames = [numFamilies]string{
+	famSweep:       "distance-sweep",
+	famBetweenness: "betweenness",
+	famCoreness:    "coreness",
+	famDegree:      "degree",
+	famKatz:        "katz",
+	famClustering:  "clustering",
+	famRanks:       "ranks",
+}
+
+// familySpanNames are the precomputed span names of cache-missed
+// computations — precomputed so the disabled-tracing path never builds
+// a string.
+var familySpanNames = [numFamilies]string{
+	famSweep:       "engine/compute/distance-sweep",
+	famBetweenness: "engine/compute/betweenness",
+	famCoreness:    "engine/compute/coreness",
+	famDegree:      "engine/compute/degree",
+	famKatz:        "engine/compute/katz",
+	famClustering:  "engine/compute/clustering",
+	famRanks:       "engine/compute/ranks",
+}
+
+// String names the family for stats lines and manifests.
+func (f family) String() string {
+	if f < 0 || f >= numFamilies {
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// family is the stats bucket for the kind's underlying computation.
+func (k kind) family() family {
 	switch k {
 	case kindBetweenness:
-		return "betweenness"
-	case kindCloseness, kindFarness, kindHarmonic, kindEccentricity, kindReciprocalEccentricity:
-		return "distance-sweep"
+		return famBetweenness
 	case kindCoreness:
-		return "coreness"
+		return famCoreness
 	case kindDegree:
-		return "degree"
+		return famDegree
 	case kindKatz:
-		return "katz"
+		return famKatz
 	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+		return famSweep
 	}
 }
 

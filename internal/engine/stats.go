@@ -1,49 +1,67 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"promonet/internal/obs"
 )
 
-// counters is the engine's live instrumentation: lock-free totals plus a
-// small mutex-guarded per-family wall-clock table, sampled into a Stats
-// snapshot on demand.
+// counters is the engine's live instrumentation. Every slot is
+// lock-free: the request/traversal totals are obs.Counter handles
+// (registry-backed for the Default engine, standalone otherwise), and
+// the per-family wall-clock table is a fixed array indexed by the
+// compute family — pre-registered at construction, so a cache miss
+// never takes a lock to find its row (the old map+mutex table
+// serialized every miss across all workers).
 type counters struct {
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	bfsRuns   atomic.Uint64
-	brandes   atomic.Uint64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	bfsRuns   *obs.Counter
+	brandes   *obs.Counter
 
-	mu  sync.Mutex
-	per map[string]*familyTotals
+	families [numFamilies]familySlot
 }
 
-// familyTotals accumulates one compute family's cost.
-type familyTotals struct {
-	computes uint64
-	wall     time.Duration
+// familySlot accumulates one compute family's cost, lock-free.
+type familySlot struct {
+	computes  atomic.Uint64
+	wallNanos atomic.Int64
+}
+
+// newCounters wires the counter handles: into reg under
+// "<prefix>.<name>" when a registry is given (so /debug/vars exposes
+// them), standalone otherwise.
+func newCounters(reg *obs.Registry, prefix string) counters {
+	if reg == nil {
+		return counters{
+			hits:      obs.NewCounter(),
+			misses:    obs.NewCounter(),
+			evictions: obs.NewCounter(),
+			bfsRuns:   obs.NewCounter(),
+			brandes:   obs.NewCounter(),
+		}
+	}
+	return counters{
+		hits:      reg.Counter(prefix + ".hits"),
+		misses:    reg.Counter(prefix + ".misses"),
+		evictions: reg.Counter(prefix + ".evictions"),
+		bfsRuns:   reg.Counter(prefix + ".bfs_runs"),
+		brandes:   reg.Counter(prefix + ".brandes_runs"),
+	}
 }
 
 // noteCompute records one cache-missed computation of a family.
-func (c *counters) noteCompute(family string, wall time.Duration) {
-	c.misses.Add(1)
-	c.mu.Lock()
-	if c.per == nil {
-		c.per = make(map[string]*familyTotals)
-	}
-	ft := c.per[family]
-	if ft == nil {
-		ft = &familyTotals{}
-		c.per[family] = ft
-	}
-	ft.computes++
-	ft.wall += wall
-	c.mu.Unlock()
+func (c *counters) noteCompute(f family, wall time.Duration) {
+	c.misses.Inc()
+	sl := &c.families[f]
+	sl.computes.Add(1)
+	sl.wallNanos.Add(int64(wall))
 }
 
 // Stats is a point-in-time snapshot of an engine's counters: memoization
@@ -95,33 +113,100 @@ func (s Stats) String() string {
 	return b.String()
 }
 
+// Manifest converts the snapshot to the manifest/expvar schema type
+// (obs cannot import this package, so the conversion lives here).
+func (s Stats) Manifest() obs.EngineStats {
+	out := obs.EngineStats{
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Evictions:   s.Evictions,
+		BFSRuns:     s.BFSRuns,
+		BrandesRuns: s.BrandesRuns,
+		HitRate:     s.HitRate(),
+	}
+	for _, f := range s.PerFamily {
+		out.PerFamily = append(out.PerFamily, obs.EngineFamilyStats{
+			Family:    f.Family,
+			Computes:  f.Computes,
+			WallNanos: int64(f.Wall),
+		})
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot in the manifest schema, making
+// engine stats consumable by scripted runs (promoctl -json) and run
+// manifests, not just the human stderr line.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Manifest())
+}
+
+// Delta returns the work done between an earlier snapshot of the same
+// engine and this one: every counter minus its prev value, per-family
+// rows subtracted by name (families with no new computes are dropped).
+// The experiments harness uses it to attribute engine work to one
+// dataset×measure cell.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		Evictions:   s.Evictions - prev.Evictions,
+		BFSRuns:     s.BFSRuns - prev.BFSRuns,
+		BrandesRuns: s.BrandesRuns - prev.BrandesRuns,
+	}
+	before := make(map[string]FamilyStats, len(prev.PerFamily))
+	for _, f := range prev.PerFamily {
+		before[f.Family] = f
+	}
+	for _, f := range s.PerFamily {
+		b := before[f.Family]
+		if f.Computes == b.Computes {
+			continue
+		}
+		d.PerFamily = append(d.PerFamily, FamilyStats{
+			Family:   f.Family,
+			Computes: f.Computes - b.Computes,
+			Wall:     f.Wall - b.Wall,
+		})
+	}
+	return d
+}
+
 // Stats returns a snapshot of the engine's counters since creation (or
 // the last ResetStats).
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Hits:        e.counters.hits.Load(),
-		Misses:      e.counters.misses.Load(),
-		Evictions:   e.counters.evictions.Load(),
-		BFSRuns:     e.counters.bfsRuns.Load(),
-		BrandesRuns: e.counters.brandes.Load(),
+		Hits:        e.counters.hits.Value(),
+		Misses:      e.counters.misses.Value(),
+		Evictions:   e.counters.evictions.Value(),
+		BFSRuns:     e.counters.bfsRuns.Value(),
+		BrandesRuns: e.counters.brandes.Value(),
 	}
-	e.counters.mu.Lock()
-	for name, ft := range e.counters.per {
-		s.PerFamily = append(s.PerFamily, FamilyStats{Family: name, Computes: ft.computes, Wall: ft.wall})
+	for f := family(0); f < numFamilies; f++ {
+		sl := &e.counters.families[f]
+		computes := sl.computes.Load()
+		if computes == 0 {
+			continue
+		}
+		s.PerFamily = append(s.PerFamily, FamilyStats{
+			Family:   f.String(),
+			Computes: computes,
+			Wall:     time.Duration(sl.wallNanos.Load()),
+		})
 	}
-	e.counters.mu.Unlock()
 	sort.Slice(s.PerFamily, func(a, b int) bool { return s.PerFamily[a].Family < s.PerFamily[b].Family })
 	return s
 }
 
 // ResetStats zeroes all counters; the memo table is left intact.
 func (e *Engine) ResetStats() {
-	e.counters.hits.Store(0)
-	e.counters.misses.Store(0)
-	e.counters.evictions.Store(0)
-	e.counters.bfsRuns.Store(0)
-	e.counters.brandes.Store(0)
-	e.counters.mu.Lock()
-	e.counters.per = nil
-	e.counters.mu.Unlock()
+	e.counters.hits.Set(0)
+	e.counters.misses.Set(0)
+	e.counters.evictions.Set(0)
+	e.counters.bfsRuns.Set(0)
+	e.counters.brandes.Set(0)
+	for f := range e.counters.families {
+		e.counters.families[f].computes.Store(0)
+		e.counters.families[f].wallNanos.Store(0)
+	}
 }

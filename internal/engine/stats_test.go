@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/obs"
+)
+
+// TestStatsConcurrentWithScores hammers Stats, ResetStats, and score
+// requests from many goroutines at once. The counters are all lock-free
+// atomics; under -race this asserts the whole stats path is safe to
+// read while the engine is computing.
+func TestStatsConcurrentWithScores(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(11))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	g1 := gen.ErdosRenyi(rng, 50, 120)
+	g2 := gen.BarabasiAlbert(rng, 60, 3)
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := g1
+				if (i+j)%2 == 0 {
+					g = g2
+				}
+				e.Scores(g, Closeness())
+				e.Scores(g, Betweenness(centrality.PairsUnordered))
+				e.Scores(g, Coreness())
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.Stats()
+				if s.Hits+s.Misses > 0 && s.HitRate() < 0 {
+					t.Error("negative hit rate")
+					return
+				}
+				_ = s.String()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.ResetStats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestStatsMarshalJSON checks the JSON shape matches the manifest
+// schema (hits/misses/bfs_runs/per_family with wall_ns).
+func TestStatsMarshalJSON(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	g := gen.Path(20)
+	e.Scores(g, Closeness())
+	e.Scores(g, Closeness())
+
+	data, err := json.Marshal(e.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.EngineStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("stats JSON does not round-trip through obs.EngineStats: %v\n%s", err, data)
+	}
+	if back.Misses != 1 || back.Hits != 1 {
+		t.Errorf("got hits=%d misses=%d, want 1/1: %s", back.Hits, back.Misses, data)
+	}
+	if len(back.PerFamily) != 1 || back.PerFamily[0].Family != "distance-sweep" {
+		t.Errorf("per_family = %+v, want one distance-sweep row", back.PerFamily)
+	}
+}
+
+// TestStatsDelta verifies per-cell attribution: the delta of two
+// snapshots reports only the work done in between.
+func TestStatsDelta(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	g1 := gen.Path(15)
+	g2 := gen.Star(15)
+
+	e.Scores(g1, Closeness())
+	before := e.Stats()
+
+	e.Scores(g1, Closeness()) // hit
+	e.Scores(g2, Betweenness(centrality.PairsUnordered))
+
+	d := e.Stats().Delta(before)
+	if d.Hits != 1 || d.Misses != 1 {
+		t.Errorf("delta hits=%d misses=%d, want 1/1", d.Hits, d.Misses)
+	}
+	if len(d.PerFamily) != 1 || d.PerFamily[0].Family != "betweenness" {
+		t.Errorf("delta per-family = %+v, want one betweenness row (the sweep predates the snapshot)", d.PerFamily)
+	}
+	if d.PerFamily[0].Computes != 1 {
+		t.Errorf("delta betweenness computes = %d, want 1", d.PerFamily[0].Computes)
+	}
+}
+
+// TestRegistryBackedCounters checks that an engine created with
+// WithRegistry surfaces its counters under the given prefix.
+func TestRegistryBackedCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(1, WithRegistry(reg, "test_engine"))
+	defer e.Close()
+	e.Scores(gen.Path(10), Closeness())
+	e.Scores(gen.Path(10), Closeness())
+
+	snap := reg.Snapshot()
+	misses, ok := snap["test_engine.misses"].(uint64)
+	if !ok || misses != 1 {
+		t.Errorf("registry test_engine.misses = %v, want 1", snap["test_engine.misses"])
+	}
+	if hits, ok := snap["test_engine.hits"].(uint64); !ok || hits == 0 {
+		t.Errorf("registry test_engine.hits = %v, want > 0", snap["test_engine.hits"])
+	}
+}

@@ -54,6 +54,12 @@ type Config struct {
 	GreedyTargets         int
 	GreedyCandidateSample int
 	GreedyPivotSources    int
+
+	// ManifestDir, when non-empty, makes the detailed runners write one
+	// obs run manifest per dataset×measure cell into this directory
+	// (manifest-<kind>-<dataset>.json), attributing the engine work and
+	// span rollups of just that cell via counter deltas.
+	ManifestDir string
 }
 
 // DefaultConfig returns the settings used for EXPERIMENTS.md.

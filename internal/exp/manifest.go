@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"promonet/internal/engine"
+	"promonet/internal/graph"
+	"promonet/internal/obs"
+)
+
+// cellSnapshot captures the engine counters and span rollups before one
+// dataset×measure cell runs, so writeManifest can attribute exactly the
+// work done in between by subtracting (Stats.Delta, obs.DiffRollups).
+type cellSnapshot struct {
+	active  bool
+	stats   engine.Stats
+	rollups []obs.Rollup
+}
+
+// snapshotCell records the current counters when manifests are enabled;
+// otherwise it returns an inert snapshot (Stats() walks the family table
+// and allocates, so the disabled path must not call it).
+func snapshotCell(cfg Config) cellSnapshot {
+	if cfg.ManifestDir == "" {
+		return cellSnapshot{}
+	}
+	s := cellSnapshot{active: true, stats: engine.Default().Stats()}
+	if rec := obs.CurrentRecorder(); rec != nil {
+		s.rollups = rec.Rollups()
+	}
+	return s
+}
+
+// writeManifest writes the cell's manifest — seed, dataset digest,
+// measure kind, engine-counter deltas, and span-rollup deltas since the
+// snapshot — as manifest-<kind>-<dataset>.json under cfg.ManifestDir.
+// Runners that revisit a cell (tables and figures share runDetail)
+// overwrite deterministically; the last pass wins.
+func (s cellSnapshot) writeManifest(cfg Config, k Kind, dataset string, g *graph.Graph) error {
+	if !s.active {
+		return nil
+	}
+	man := obs.NewManifest("experiments", cfg.Seed)
+	man.Measure = k.Short
+	man.Dataset = &obs.DatasetInfo{Name: dataset, N: g.N(), M: g.M(), Digest: graph.Digest(g)}
+	es := engine.Default().Stats().Delta(s.stats).Manifest()
+	man.Engine = &es
+	if rec := obs.CurrentRecorder(); rec != nil {
+		man.SetPhases(obs.DiffRollups(s.rollups, rec.Rollups()))
+	}
+	man.CaptureMem()
+	name := fmt.Sprintf("manifest-%s-%s.json", strings.ToLower(k.Short), strings.ToLower(dataset))
+	return man.WriteFile(filepath.Join(cfg.ManifestDir, name))
+}

@@ -97,6 +97,7 @@ func runDetail(cfg Config, k Kind, numTargets int, datasetLimit int) ([]detailRe
 	}
 	var out []detailResult
 	for _, p := range profiles {
+		before := snapshotCell(cfg)
 		run := newPromotionRun(cfg, p, func(g *graph.Graph) core.Measure { return k.mk(cfg, g) }, k.strategy)
 		rng := newSeededRand(cfg.Seed, p.Name, k.Short)
 		targets := pickTargets(rng, run.g, numTargets)
@@ -109,6 +110,9 @@ func runDetail(cfg Config, k Kind, numTargets int, datasetLimit int) ([]detailRe
 			res.cells = append(res.cells, row)
 		}
 		out = append(out, res)
+		if err := before.writeManifest(cfg, k, p.Name, run.g); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

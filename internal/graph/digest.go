@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest returns a hex SHA-256 digest of the graph's canonical form:
+// the node count followed by every undirected edge (u, v) with u < v in
+// lexicographic order. Two graphs have equal digests iff they have the
+// same node count and edge set, independently of insertion order, so
+// run manifests can cite the exact dataset a result was computed on.
+func Digest(g *Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	h.Write(buf[:])
+	// Edges visits (u, v) with u < v in increasing u, and within one u in
+	// increasing v (adjacency lists are kept sorted), which is exactly
+	// lexicographic order — no re-sorting needed.
+	g.Edges(func(u, v int) bool {
+		binary.LittleEndian.PutUint64(buf[:], uint64(u))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+		return true
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}

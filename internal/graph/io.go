@@ -2,11 +2,14 @@ package graph
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"promonet/internal/obs"
 )
 
 // ReadEdgeList parses a SNAP-style edge list: one "u v" pair per line,
@@ -83,16 +86,30 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // LoadEdgeListFile reads an edge list from the named file.
 func LoadEdgeListFile(path string) (*Graph, []int64, error) {
+	_, sp := obs.Start(context.Background(), "graph/load")
+	sp.Str("path", path)
 	f, err := os.Open(path)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	defer f.Close()
-	return ReadEdgeList(f)
+	g, labels, err := ReadEdgeList(f)
+	if g != nil {
+		sp.Int("n", g.N())
+		sp.Int("m", g.M())
+	}
+	sp.End()
+	return g, labels, err
 }
 
 // SaveEdgeListFile writes g to the named file, creating or truncating it.
 func SaveEdgeListFile(path string, g *Graph) error {
+	_, sp := obs.Start(context.Background(), "graph/save")
+	sp.Str("path", path)
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	defer sp.End()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

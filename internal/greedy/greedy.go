@@ -7,12 +7,14 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"promonet/internal/centrality"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // Options configures the baseline.
@@ -64,12 +66,32 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 		return nil, nil, fmt.Errorf("greedy: sampling options require Options.Rand")
 	}
 
+	ctx, root := obs.Start(context.Background(), "greedy/improve")
+	root.Int("target", target)
+	root.Int("budget", budget)
+	root.Int("n", g.N())
+	root.Int("m", g.M())
+	defer root.End()
+
 	work := g.Clone()
 	res := &Result{Before: scores(g, opts)}
 
 	for round := 0; round < budget; round++ {
+		_, sp := obs.Start(ctx, "greedy/round")
+		sp.Int("round", round)
+		// Each round is hundreds of mutate-score-revert probes; the
+		// engine-side traversal deltas attribute their true cost. Only
+		// snapshot stats when a recorder is live — Stats() walks the
+		// family table and allocates.
+		var statsBefore engine.Stats
+		traced := obs.Enabled()
+		if traced {
+			statsBefore = engine.Default().Stats()
+		}
 		cands := candidates(work, target, opts)
+		sp.Int("candidates", len(cands))
 		if len(cands) == 0 {
+			sp.End()
 			break // target already adjacent to everyone
 		}
 		bestV, bestScore := -1, 0.0
@@ -86,6 +108,12 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 		res.Edges = append(res.Edges, [2]int{bestV, target})
 		res.ScorePerRound = append(res.ScorePerRound, bestScore)
 		res.AfterPerRound = append(res.AfterPerRound, bestVector)
+		if traced {
+			d := engine.Default().Stats().Delta(statsBefore)
+			sp.Int64("bfs_runs", int64(d.BFSRuns))
+			sp.Int64("brandes_runs", int64(d.BrandesRuns))
+		}
+		sp.End()
 	}
 	if len(res.AfterPerRound) > 0 {
 		res.After = res.AfterPerRound[len(res.AfterPerRound)-1]

@@ -17,9 +17,9 @@ var mutatingGraphMethods = map[string]bool{
 }
 
 // mutationSafety enforces the paper's black-box contract: code in the
-// measurement and baseline packages (internal/centrality,
-// internal/engine, internal/core, internal/greedy) receives the host
-// graph read-only.
+// measurement, baseline, and observability packages
+// (internal/centrality, internal/engine, internal/core,
+// internal/greedy, internal/obs) receives the host graph read-only.
 // Any mutating method call on a *graph.Graph parameter is flagged;
 // mutating a local clone is fine. Strategy-application code — whose
 // whole job is to attach structure — opts out explicitly with
@@ -31,7 +31,7 @@ var mutationSafety = &Analyzer{
 }
 
 func runMutationSafety(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/obs") {
 		return
 	}
 	info := p.Pkg.Info

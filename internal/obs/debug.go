@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves the standard Go debug endpoints — /debug/vars
+// (expvar, including the "promonet" metrics registry) and /debug/pprof
+// (heap, profile, trace, ...) — on its own mux, so enabling it never
+// touches http.DefaultServeMux. Start one with StartDebugServer.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// DebugMux returns a fresh mux wired with /debug/vars and the
+// /debug/pprof handler family.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr (host:port; an empty port picks a
+// free one) and serves the debug endpoints until Close. It also forces
+// creation of the Default registry so the "promonet" expvar variable is
+// present from the first request.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	Default()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's actual listen address (resolving a
+// requested :0 port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	Default().Counter("test.debug.counter").Add(9)
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	vars := get("/debug/vars")
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal(vars, &parsed); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	promonet, ok := parsed["promonet"]
+	if !ok {
+		t.Fatalf("/debug/vars has no promonet variable: %s", vars)
+	}
+	if !strings.Contains(string(promonet), "test.debug.counter") {
+		t.Fatalf("promonet expvar missing registry counter: %s", promonet)
+	}
+
+	heap := get("/debug/pprof/heap?debug=1")
+	if !strings.Contains(string(heap), "heap profile") {
+		t.Fatalf("heap profile looks wrong: %.120s", heap)
+	}
+
+	index := get("/debug/pprof/")
+	if !strings.Contains(string(index), "goroutine") {
+		t.Fatalf("pprof index looks wrong: %.120s", index)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// ManifestSchema identifies the manifest JSON layout; bump it when the
+// structure changes incompatibly.
+const ManifestSchema = "promonet/manifest/v1"
+
+// Manifest is the machine-readable provenance record of one run (or one
+// experiment cell): everything needed to attribute and reproduce a
+// measurement — seed, flags, dataset digest, toolchain — plus the
+// per-phase span rollups, engine counters, and memory peaks observed.
+//
+// Encoding is deterministic: struct fields marshal in declaration
+// order, maps sort by key (encoding/json), and phases are sorted by
+// name, so a manifest round-trips through Encode/Unmarshal
+// byte-identically.
+type Manifest struct {
+	// Schema is always ManifestSchema.
+	Schema string `json:"schema"`
+	// Cmd names the producing command ("promoctl", "experiments").
+	Cmd string `json:"cmd"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version"`
+	// Seed is the master random seed of the run.
+	Seed int64 `json:"seed"`
+	// Flags records the full flag surface of the run, name -> rendered
+	// value (defaults included, so absence of a flag is distinguishable
+	// from its default).
+	Flags map[string]string `json:"flags,omitempty"`
+	// Dataset identifies the host graph scored in this run/cell.
+	Dataset *DatasetInfo `json:"dataset,omitempty"`
+	// Measure is the centrality measure of this cell, when the manifest
+	// covers a single measure.
+	Measure string `json:"measure,omitempty"`
+	// Phases are the span rollups of the run, sorted by span name.
+	Phases []PhaseRollup `json:"phases,omitempty"`
+	// Engine is the execution-engine counter snapshot (or delta, for
+	// per-cell manifests).
+	Engine *EngineStats `json:"engine_stats,omitempty"`
+	// Mem is the runtime memory snapshot taken at capture time.
+	Mem *MemSnapshot `json:"mem,omitempty"`
+}
+
+// DatasetInfo identifies a host graph by name, size, and content
+// digest (graph.Digest — SHA-256 of the canonical edge list).
+type DatasetInfo struct {
+	// Name is the dataset's short name or source filename.
+	Name string `json:"name"`
+	// N and M are node and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Digest is the hex content digest of the graph structure.
+	Digest string `json:"digest"`
+}
+
+// PhaseRollup is one span name's aggregate in a manifest.
+type PhaseRollup struct {
+	// Name is the span name, e.g. "engine/compute/betweenness".
+	Name string `json:"name"`
+	// Count is the number of finished spans.
+	Count uint64 `json:"count"`
+	// WallNanos, MinNanos, and MaxNanos summarize the durations.
+	WallNanos int64 `json:"wall_ns"`
+	MinNanos  int64 `json:"min_ns"`
+	MaxNanos  int64 `json:"max_ns"`
+}
+
+// EngineStats mirrors engine.Stats for manifests and promoctl -json
+// output (obs cannot import internal/engine — the engine instruments
+// itself through obs).
+type EngineStats struct {
+	// Hits, Misses, and Evictions are the memo-table counters.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// BFSRuns and BrandesRuns count single-source traversals executed.
+	BFSRuns     uint64 `json:"bfs_runs"`
+	BrandesRuns uint64 `json:"brandes_runs"`
+	// HitRate is Hits/(Hits+Misses), 0 when idle.
+	HitRate float64 `json:"hit_rate"`
+	// PerFamily breaks cache-missed work down by compute family.
+	PerFamily []EngineFamilyStats `json:"per_family,omitempty"`
+}
+
+// EngineFamilyStats is one compute family's share of engine work.
+type EngineFamilyStats struct {
+	// Family names the compute family, e.g. "distance-sweep".
+	Family string `json:"family"`
+	// Computes counts cache-missed computations; WallNanos their total
+	// wall clock.
+	Computes  uint64 `json:"computes"`
+	WallNanos int64  `json:"wall_ns"`
+}
+
+// MemSnapshot is the subset of runtime.MemStats a manifest records.
+type MemSnapshot struct {
+	// HeapAllocBytes and HeapSysBytes describe the live heap at capture
+	// time; TotalAllocBytes is cumulative.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs and NumGC are cumulative allocation and GC-cycle counts.
+	Mallocs uint64 `json:"mallocs"`
+	NumGC   uint32 `json:"num_gc"`
+}
+
+// NewManifest returns a manifest stamped with the schema, command name,
+// seed, and toolchain version.
+func NewManifest(cmd string, seed int64) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Cmd: cmd, GoVersion: runtime.Version(), Seed: seed}
+}
+
+// CaptureFlags records the full flag surface of fs (every defined flag
+// with its effective value). Call after fs.Parse.
+func (m *Manifest) CaptureFlags(fs *flag.FlagSet) {
+	m.Flags = make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
+}
+
+// CapturePhases copies r's span rollups into the manifest (sorted by
+// name). A nil recorder leaves Phases empty.
+func (m *Manifest) CapturePhases(r *Recorder) {
+	if r == nil {
+		return
+	}
+	m.SetPhases(r.Rollups())
+}
+
+// SetPhases records the given rollups (already sorted by Rollups or
+// DiffRollups) as the manifest's phases.
+func (m *Manifest) SetPhases(rollups []Rollup) {
+	m.Phases = m.Phases[:0]
+	for _, ru := range rollups {
+		m.Phases = append(m.Phases, PhaseRollup{
+			Name:      ru.Name,
+			Count:     ru.Count,
+			WallNanos: ru.WallNanos,
+			MinNanos:  ru.MinNanos,
+			MaxNanos:  ru.MaxNanos,
+		})
+	}
+}
+
+// CaptureMem snapshots runtime.MemStats into the manifest.
+func (m *Manifest) CaptureMem() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Mem = &MemSnapshot{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+	}
+}
+
+// Encode renders the manifest as deterministic, schema-valid, indented
+// JSON with a trailing newline. It fails if the manifest would not
+// validate — a manifest that cannot be consumed must not be written.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := ValidateManifest(data); err != nil {
+		return nil, fmt.Errorf("obs: refusing to encode invalid manifest: %w", err)
+	}
+	return data, nil
+}
+
+// WriteFile encodes the manifest and writes it to path, creating parent
+// directories as needed.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ValidateManifest checks data against the manifest schema: required
+// fields present with the right JSON types, the schema tag matching
+// ManifestSchema, and every phase/family entry well-formed. It is the
+// validation the CI smoke step runs on emitted manifests.
+func ValidateManifest(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("manifest: not a JSON object: %w", err)
+	}
+	var schema string
+	if err := fieldAs(raw, "schema", &schema); err != nil {
+		return err
+	}
+	if schema != ManifestSchema {
+		return fmt.Errorf("manifest: schema %q, want %q", schema, ManifestSchema)
+	}
+	var s string
+	if err := fieldAs(raw, "cmd", &s); err != nil {
+		return err
+	}
+	if s == "" {
+		return fmt.Errorf("manifest: empty cmd")
+	}
+	if err := fieldAs(raw, "go_version", &s); err != nil {
+		return err
+	}
+	var seed float64
+	if err := fieldAs(raw, "seed", &seed); err != nil {
+		return err
+	}
+	if msg, ok := raw["flags"]; ok {
+		var flags map[string]string
+		if err := json.Unmarshal(msg, &flags); err != nil {
+			return fmt.Errorf("manifest: flags: %w", err)
+		}
+	}
+	if msg, ok := raw["dataset"]; ok {
+		var d DatasetInfo
+		if err := json.Unmarshal(msg, &d); err != nil {
+			return fmt.Errorf("manifest: dataset: %w", err)
+		}
+		if d.Name == "" || d.Digest == "" {
+			return fmt.Errorf("manifest: dataset needs name and digest")
+		}
+		if d.N < 0 || d.M < 0 {
+			return fmt.Errorf("manifest: dataset has negative size")
+		}
+	}
+	if msg, ok := raw["phases"]; ok {
+		var phases []PhaseRollup
+		if err := json.Unmarshal(msg, &phases); err != nil {
+			return fmt.Errorf("manifest: phases: %w", err)
+		}
+		for i, p := range phases {
+			if p.Name == "" {
+				return fmt.Errorf("manifest: phases[%d]: empty name", i)
+			}
+			if i > 0 && phases[i-1].Name >= p.Name {
+				return fmt.Errorf("manifest: phases not sorted by name at %q", p.Name)
+			}
+		}
+	}
+	if msg, ok := raw["engine_stats"]; ok {
+		var es EngineStats
+		if err := json.Unmarshal(msg, &es); err != nil {
+			return fmt.Errorf("manifest: engine_stats: %w", err)
+		}
+		for i, f := range es.PerFamily {
+			if f.Family == "" {
+				return fmt.Errorf("manifest: engine_stats.per_family[%d]: empty family", i)
+			}
+		}
+	}
+	if msg, ok := raw["mem"]; ok {
+		var mem MemSnapshot
+		if err := json.Unmarshal(msg, &mem); err != nil {
+			return fmt.Errorf("manifest: mem: %w", err)
+		}
+	}
+	return nil
+}
+
+// fieldAs unmarshals the named required field into out.
+func fieldAs(raw map[string]json.RawMessage, name string, out any) error {
+	msg, ok := raw[name]
+	if !ok {
+		return fmt.Errorf("manifest: missing required field %q", name)
+	}
+	if err := json.Unmarshal(msg, out); err != nil {
+		return fmt.Errorf("manifest: field %q: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleManifest builds a fully populated manifest like the cmds do.
+func sampleManifest(t *testing.T) *Manifest {
+	t.Helper()
+	m := NewManifest("promoctl", 42)
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.String("graph", "", "host graph")
+	fs.Int("p", 0, "size")
+	if err := fs.Parse([]string{"-graph", "g.txt", "-p", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	m.CaptureFlags(fs)
+
+	m.Dataset = &DatasetInfo{Name: "g.txt", N: 100, M: 250, Digest: "deadbeef"}
+	m.Measure = "closeness"
+
+	rec := NewRecorder(8)
+	rec.record(&SpanRecord{Name: "promote/strategy-apply", Duration: 3 * time.Millisecond})
+	rec.record(&SpanRecord{Name: "engine/compute/distance-sweep", Duration: 9 * time.Millisecond})
+	m.CapturePhases(rec)
+
+	m.Engine = &EngineStats{
+		Hits: 7, Misses: 3, BFSRuns: 300, HitRate: 0.7,
+		PerFamily: []EngineFamilyStats{{Family: "distance-sweep", Computes: 3, WallNanos: 9e6}},
+	}
+	m.CaptureMem()
+	return m
+}
+
+func TestManifestRoundTripByteIdentical(t *testing.T) {
+	m := sampleManifest(t)
+	first, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip is not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestManifestWriteFileValidates(t *testing.T) {
+	m := sampleManifest(t)
+	path := filepath.Join(t.TempDir(), "sub", "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifest(data); err != nil {
+		t.Fatalf("written manifest does not validate: %v", err)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	m := NewManifest("", 1) // empty cmd is invalid
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("Encode accepted a manifest with an empty cmd")
+	}
+}
+
+func TestValidateManifestErrors(t *testing.T) {
+	valid, err := sampleManifest(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(m map[string]json.RawMessage)) []byte {
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(valid, &raw); err != nil {
+			t.Fatal(err)
+		}
+		f(raw)
+		out, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		"not json":        []byte("not json"),
+		"array":           []byte("[1,2]"),
+		"missing schema":  mutate(func(m map[string]json.RawMessage) { delete(m, "schema") }),
+		"wrong schema":    mutate(func(m map[string]json.RawMessage) { m["schema"] = json.RawMessage(`"other/v9"`) }),
+		"missing cmd":     mutate(func(m map[string]json.RawMessage) { delete(m, "cmd") }),
+		"seed not number": mutate(func(m map[string]json.RawMessage) { m["seed"] = json.RawMessage(`"one"`) }),
+		"flags not map":   mutate(func(m map[string]json.RawMessage) { m["flags"] = json.RawMessage(`[1]`) }),
+		"dataset no name": mutate(func(m map[string]json.RawMessage) {
+			m["dataset"] = json.RawMessage(`{"n":1,"m":1,"digest":"x","name":""}`)
+		}),
+		"phase unsorted": mutate(func(m map[string]json.RawMessage) {
+			m["phases"] = json.RawMessage(`[{"name":"b","count":1,"wall_ns":1,"min_ns":1,"max_ns":1},{"name":"a","count":1,"wall_ns":1,"min_ns":1,"max_ns":1}]`)
+		}),
+		"phase empty name": mutate(func(m map[string]json.RawMessage) {
+			m["phases"] = json.RawMessage(`[{"name":"","count":1,"wall_ns":1,"min_ns":1,"max_ns":1}]`)
+		}),
+		"family empty": mutate(func(m map[string]json.RawMessage) {
+			m["engine_stats"] = json.RawMessage(`{"hits":1,"misses":1,"evictions":0,"bfs_runs":0,"brandes_runs":0,"hit_rate":0.5,"per_family":[{"family":"","computes":1,"wall_ns":1}]}`)
+		}),
+	}
+	for name, data := range cases {
+		if err := ValidateManifest(data); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+	if err := ValidateManifest(valid); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+// TestValidateManifestGlobFromEnv validates every manifest matched by
+// the MANIFEST_GLOB environment variable (space-separated glob
+// patterns) — the hook the CI smoke step uses to check artifacts
+// emitted by real promoctl/experiments runs. Without the variable the
+// test is a no-op.
+func TestValidateManifestGlobFromEnv(t *testing.T) {
+	patterns := strings.Fields(os.Getenv("MANIFEST_GLOB"))
+	if len(patterns) == 0 {
+		t.Skip("MANIFEST_GLOB not set")
+	}
+	var paths []string
+	for _, pattern := range patterns {
+		matched, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, matched...)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("MANIFEST_GLOB %q matched no files", os.Getenv("MANIFEST_GLOB"))
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateManifest(data); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+		// The smoke gate also asserts determinism: a manifest must
+		// round-trip byte-identically through its own schema types.
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Errorf("%s: unmarshal: %v", path, err)
+			continue
+		}
+		again, err := m.Encode()
+		if err != nil {
+			t.Errorf("%s: re-encode: %v", path, err)
+			continue
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: not byte-identical after round trip", path)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"expvar"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (except for explicit resets)
+// lock-free metric. The zero value is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// NewCounter returns a standalone counter, not attached to any
+// registry. Use Registry.Counter for a published one.
+func NewCounter() *Counter { return new(Counter) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Set overwrites the counter — only for resets (engine.ResetStats).
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value. The zero value is ready to
+// use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of a latency Histogram: bucket
+// i counts observations in (2^(i-1), 2^i] microseconds, with bucket 0
+// covering <= 1µs and the last bucket open-ended (~9 minutes up).
+const histBuckets = 30
+
+// Histogram is a lock-free latency histogram with fixed log-scale
+// (powers of two of a microsecond) buckets. The zero value is ready to
+// use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// histBucketIndex maps a duration to its bucket: the smallest i with
+// d <= 2^i microseconds (ceil(log2), so labels are upper bounds).
+func histBucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1))
+	if i > histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketLabel names bucket i as its inclusive upper bound, e.g. "8us";
+// the last bucket is "+inf".
+func BucketLabel(i int) string {
+	if i >= histBuckets-1 {
+		return "+inf"
+	}
+	us := int64(1) << i
+	switch {
+	case us >= 1e6:
+		return itoa(us/1e6) + "s"
+	case us >= 1e3:
+		return itoa(us/1e3) + "ms"
+	default:
+		return itoa(us) + "us"
+	}
+}
+
+// itoa is a tiny strconv.FormatInt(n, 10) for small positive values.
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[histBucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations; SumNanos their total.
+	Count    uint64
+	SumNanos int64
+	// Buckets[i] counts observations in bucket i (see BucketLabel).
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// vars renders the snapshot for the expvar JSON: count, sum, and the
+// non-empty buckets keyed by their upper-bound label.
+func (s HistogramSnapshot) vars() map[string]any {
+	out := map[string]any{"count": s.Count, "sum_ns": s.SumNanos}
+	buckets := map[string]uint64{}
+	for i, n := range s.Buckets {
+		if n > 0 {
+			buckets["le_"+BucketLabel(i)] = n
+		}
+	}
+	if len(buckets) > 0 {
+		out["buckets"] = buckets
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Lookups are idempotent:
+// asking for an existing name returns the existing metric, so callers
+// can re-derive handles freely. A Registry snapshot is what the expvar
+// integration publishes.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every registered metric into a JSON-marshalable map:
+// counters and gauges as numbers, histograms as {count, sum_ns,
+// buckets} objects. encoding/json sorts the keys, so the rendering is
+// deterministic.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot().vars()
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered metrics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	defaultRegistryOnce sync.Once
+	defaultRegistry     *Registry
+)
+
+// Default returns the process-wide metrics registry, publishing it (on
+// first use) as the expvar variable "promonet" so /debug/vars carries
+// every registered metric plus the span rollups of the current
+// recorder. The Default engine registers its hit/miss/eviction and
+// traversal counters here.
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() {
+		defaultRegistry = NewRegistry()
+		expvar.Publish("promonet", expvar.Func(func() any {
+			snap := defaultRegistry.Snapshot()
+			if rec := CurrentRecorder(); rec != nil {
+				spans := map[string]any{}
+				for _, ru := range rec.Rollups() {
+					spans[ru.Name] = map[string]any{
+						"count":   ru.Count,
+						"wall_ns": ru.WallNanos,
+						"min_ns":  ru.MinNanos,
+						"max_ns":  ru.MaxNanos,
+						"hist":    ru.Hist.vars(),
+					}
+				}
+				snap["spans"] = spans
+			}
+			return snap
+		}))
+	})
+	return defaultRegistry
+}

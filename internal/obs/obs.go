@@ -1,0 +1,176 @@
+// Package obs is the observability layer of promonet: hierarchical
+// tracing spans, a typed metrics registry published through expvar, an
+// HTTP debug server (pprof + /debug/vars), and reproducible run
+// manifests. It is stdlib-only and imports nothing from this module, so
+// every other package — graph, engine, core, greedy, the cmds — can
+// instrument itself without import cycles.
+//
+// The design center is the disabled fast path: tracing is off unless a
+// Recorder has been installed with SetRecorder, and while it is off,
+// Start returns a nil *Span whose methods are all nil-receiver no-ops.
+// Disabled instrumentation therefore costs a single atomic pointer load
+// and zero allocations — enforced by BenchmarkSpanDisabled and
+// TestSpanDisabledZeroAlloc, and relied on by the engine's hot path.
+//
+// With a Recorder installed, finished spans land in a lock-free ring
+// buffer (most recent spans win) and are aggregated into per-name
+// rollups: count, total/min/max wall clock, and a log-scale latency
+// histogram. Rollups feed both the expvar snapshot (under the
+// "promonet" variable) and the per-phase section of run manifests.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// recorder is the process-wide span sink. nil means tracing is off.
+var recorder atomic.Pointer[Recorder]
+
+// SetRecorder installs r as the process-wide span sink, enabling
+// tracing. Passing nil disables tracing again; in-flight spans started
+// while the previous recorder was installed still record to it.
+func SetRecorder(r *Recorder) {
+	if r == nil {
+		recorder.Store(nil)
+		return
+	}
+	recorder.Store(r)
+}
+
+// CurrentRecorder returns the installed span sink, or nil when tracing
+// is off.
+func CurrentRecorder() *Recorder { return recorder.Load() }
+
+// Enabled reports whether a span recorder is installed.
+func Enabled() bool { return recorder.Load() != nil }
+
+// maxSpanAttrs is the inline attribute capacity of a span; attributes
+// set beyond it are dropped (spans are diagnostics, not storage).
+const maxSpanAttrs = 8
+
+// Attr is one key/value annotation on a recorded span. Values are
+// pre-rendered to strings so records are self-contained.
+type Attr struct {
+	// Key names the attribute, e.g. "measure" or "n".
+	Key string
+	// Value is the rendered attribute value.
+	Value string
+}
+
+// Span is one timed region of work. Obtain one from Start, annotate it
+// with Int/Str/Float, and finish it with End. All methods are safe on a
+// nil receiver — the disabled-tracing case — and do nothing there.
+// A non-nil Span must End exactly once and must not be used after End.
+type Span struct {
+	name     string
+	start    time.Time
+	id       uint64
+	parentID uint64
+	rec      *Recorder
+	nattrs   int
+	attrs    [maxSpanAttrs]Attr
+}
+
+// spanIDs issues process-unique span identifiers.
+var spanIDs atomic.Uint64
+
+// spanPool recycles Span structs on the enabled path.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// ctxKey is the context key under which Start stores the current span.
+type ctxKey struct{}
+
+// Start begins a span named name, recording the span installed in ctx
+// (if any) as its parent. It returns a derived context carrying the new
+// span plus the span itself. While tracing is disabled it returns ctx
+// unchanged and a nil span, and performs no allocation — instrument
+// freely, including hot paths.
+//
+// Span names are slash-separated taxonomies ("engine/compute/...",
+// "promote/strategy-apply"); DESIGN.md §11 lists the vocabulary. Build
+// the name without concatenation on hot paths (precompute constants) so
+// the disabled path stays allocation-free.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	rec := recorder.Load()
+	if rec == nil {
+		return ctx, nil
+	}
+	s := spanPool.Get().(*Span)
+	s.name = name
+	s.start = time.Now()
+	s.id = spanIDs.Add(1)
+	s.parentID = 0
+	s.rec = rec
+	s.nattrs = 0
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
+		s.parentID = parent.id
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Int annotates the span with an integer attribute. No-op when s is nil.
+func (s *Span) Int(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.Itoa(v))
+}
+
+// Int64 annotates the span with a 64-bit integer attribute. No-op when
+// s is nil.
+func (s *Span) Int64(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.FormatInt(v, 10))
+}
+
+// Str annotates the span with a string attribute. No-op when s is nil.
+func (s *Span) Str(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attr(key, v)
+}
+
+// Float annotates the span with a float attribute. No-op when s is nil.
+func (s *Span) Float(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// attr appends one rendered attribute, dropping overflow.
+func (s *Span) attr(key, value string) {
+	if s.nattrs < maxSpanAttrs {
+		s.attrs[s.nattrs] = Attr{Key: key, Value: value}
+		s.nattrs++
+	}
+}
+
+// End finishes the span, recording it into the ring buffer and the
+// per-name rollups of the recorder that was installed when it started.
+// No-op when s is nil. The span must not be touched after End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	rec := s.rec
+	r := &SpanRecord{
+		Name:     s.name,
+		ID:       s.id,
+		ParentID: s.parentID,
+		Start:    s.start,
+		Duration: d,
+		Attrs:    append([]Attr(nil), s.attrs[:s.nattrs]...),
+	}
+	s.rec = nil
+	spanPool.Put(s)
+	rec.record(r)
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span as stored by a Recorder.
+type SpanRecord struct {
+	// Name is the span's taxonomy name, e.g. "promote/strategy-apply".
+	Name string
+	// ID is the process-unique span identifier; ParentID is the ID of
+	// the enclosing span, or 0 for a root.
+	ID, ParentID uint64
+	// Start and Duration delimit the span's wall-clock extent.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are the annotations set on the span, in insertion order.
+	Attrs []Attr
+}
+
+// rollup aggregates every finished span of one name. All fields are
+// atomics so concurrent Ends never contend on a lock.
+type rollup struct {
+	count atomic.Uint64
+	wall  atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; math.MaxInt64 until first obs
+	max   atomic.Int64 // nanoseconds
+	hist  Histogram
+}
+
+// observe folds one duration into the rollup.
+func (r *rollup) observe(d time.Duration) {
+	ns := int64(d)
+	r.count.Add(1)
+	r.wall.Add(ns)
+	for {
+		cur := r.min.Load()
+		if ns >= cur || r.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := r.max.Load()
+		if ns <= cur || r.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	r.hist.Observe(d)
+}
+
+// Rollup is a point-in-time aggregate of every finished span sharing
+// one name: the per-phase unit of run manifests and /debug/vars.
+type Rollup struct {
+	// Name is the span name the rollup aggregates.
+	Name string
+	// Count is the number of finished spans; WallNanos their summed
+	// duration; MinNanos/MaxNanos the extremes.
+	Count                         uint64
+	WallNanos, MinNanos, MaxNanos int64
+	// Hist is the log-scale latency distribution.
+	Hist HistogramSnapshot
+}
+
+// Recorder collects finished spans: the most recent ones verbatim in a
+// lock-free ring buffer (for inspection and tests) and all of them
+// aggregated into per-name rollups. Create one with NewRecorder and
+// install it with SetRecorder. All methods are safe for concurrent use.
+type Recorder struct {
+	ring   []atomic.Pointer[SpanRecord]
+	cursor atomic.Uint64
+
+	rollups sync.Map // string -> *rollup
+}
+
+// NewRecorder returns a recorder whose ring buffer keeps the most
+// recent capacity spans (minimum 1; a non-power-of-two capacity is
+// rounded up).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Recorder{ring: make([]atomic.Pointer[SpanRecord], size)}
+}
+
+// record stores one finished span: the ring slot is claimed with an
+// atomic cursor increment and published with an atomic pointer store,
+// so concurrent Ends never block each other (the oldest record is
+// overwritten once the ring wraps).
+func (r *Recorder) record(sr *SpanRecord) {
+	slot := (r.cursor.Add(1) - 1) & uint64(len(r.ring)-1)
+	r.ring[slot].Store(sr)
+
+	v, ok := r.rollups.Load(sr.Name)
+	if !ok {
+		fresh := &rollup{}
+		fresh.min.Store(math.MaxInt64)
+		v, _ = r.rollups.LoadOrStore(sr.Name, fresh)
+	}
+	v.(*rollup).observe(sr.Duration)
+}
+
+// Records returns the spans currently held by the ring buffer, oldest
+// first (among those still present). The returned records are shared —
+// treat them as read-only.
+func (r *Recorder) Records() []*SpanRecord {
+	cur := r.cursor.Load()
+	size := uint64(len(r.ring))
+	out := make([]*SpanRecord, 0, size)
+	start := uint64(0)
+	if cur > size {
+		start = cur - size
+	}
+	for i := start; i < cur; i++ {
+		if sr := r.ring[i&(size-1)].Load(); sr != nil {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Rollups returns the per-name aggregates, sorted by span name.
+func (r *Recorder) Rollups() []Rollup {
+	var out []Rollup
+	r.rollups.Range(func(k, v any) bool {
+		ru := v.(*rollup)
+		snap := Rollup{
+			Name:      k.(string),
+			Count:     ru.count.Load(),
+			WallNanos: ru.wall.Load(),
+			MinNanos:  ru.min.Load(),
+			MaxNanos:  ru.max.Load(),
+			Hist:      ru.hist.Snapshot(),
+		}
+		if snap.Count == 0 {
+			return true
+		}
+		if snap.MinNanos == math.MaxInt64 {
+			snap.MinNanos = 0
+		}
+		out = append(out, snap)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DiffRollups subtracts an earlier rollup snapshot from a later one of
+// the same recorder, yielding the work done in between (the per-cell
+// unit of the experiments manifests). Names present only in after are
+// passed through; min/max are taken from after (they cannot be
+// un-mixed). Histograms subtract bucket-wise.
+func DiffRollups(before, after []Rollup) []Rollup {
+	prev := make(map[string]Rollup, len(before))
+	for _, b := range before {
+		prev[b.Name] = b
+	}
+	var out []Rollup
+	for _, a := range after {
+		b, ok := prev[a.Name]
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		d := Rollup{
+			Name:      a.Name,
+			Count:     a.Count - b.Count,
+			WallNanos: a.WallNanos - b.WallNanos,
+			MinNanos:  a.MinNanos,
+			MaxNanos:  a.MaxNanos,
+		}
+		if d.Count == 0 {
+			continue
+		}
+		d.Hist.Count = a.Hist.Count - b.Hist.Count
+		d.Hist.SumNanos = a.Hist.SumNanos - b.Hist.SumNanos
+		for i := range d.Hist.Buckets {
+			d.Hist.Buckets[i] = a.Hist.Buckets[i] - b.Hist.Buckets[i]
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

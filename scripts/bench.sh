@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# bench.sh — run the table-level and engine benchmarks and record them
-# as BENCH_2.json in the repo root, so perf regressions are diffable
-# across PRs. Non-gating: CI uploads the file as an artifact but never
-# fails on its contents.
+# bench.sh — run the table-level, engine, and tracing-span benchmarks
+# and record them as BENCH_4.json in the repo root, so perf regressions
+# are diffable across PRs. BenchmarkSpanDisabled is the disabled-tracing
+# overhead number: its allocs_per_op must be 0 (the obs package's
+# zero-alloc contract; TestSpanDisabledZeroAlloc gates it, this file
+# just records the ns/op). Non-gating: CI uploads the file as an
+# artifact but never fails on its contents.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -count passed to `go test` (default 3)
@@ -10,11 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="BENCH_2.json"
+OUT="BENCH_4.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable|BenchmarkEngine' -benchmem -benchtime 2s -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkTable|BenchmarkEngine|BenchmarkSpan' -benchmem -benchtime 2s -count "$COUNT" . ./internal/obs | tee "$RAW"
 
 # Parse `go test -bench` lines into JSON: each benchmark maps to the
 # mean ns/op, B/op, and allocs/op over its -count runs.

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end observability smoke test, runnable locally and
+# in CI:
+#
+#   1. runs promoctl with -debug-addr and a manifest, scrapes
+#      /debug/vars (checking the engine counters and span rollups are
+#      present) and /debug/pprof/heap while the server lingers;
+#   2. runs a small experiments subset with per-cell manifests;
+#   3. validates every emitted manifest against the schema (and the
+#      byte-identical round-trip property) via the obs glob test;
+#   4. copies the manifests into ./smoke-manifests for artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PROMOCTL_PID=""
+cleanup() {
+    [[ -n "$PROMOCTL_PID" ]] && kill "$PROMOCTL_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+step() { echo "== $*"; }
+
+step "build gengraph, promoctl, experiments"
+go build -o "$WORK/gengraph" ./cmd/gengraph
+go build -o "$WORK/promoctl" ./cmd/promoctl
+go build -o "$WORK/experiments" ./cmd/experiments
+
+step "generate host graph"
+"$WORK/gengraph" -model ba -n 400 -k 4 -out "$WORK/g.txt"
+
+step "promoctl with -debug-addr, -manifest, -json"
+# Port 0 picks a free port; the actual address is announced on stderr.
+# -debug-linger keeps the endpoints up after the (fast) run finishes so
+# this script can scrape them.
+"$WORK/promoctl" -graph "$WORK/g.txt" -target 100 -measure closeness -p 8 \
+    -json -enginestats -manifest "$WORK/manifest-promoctl.json" \
+    -debug-addr 127.0.0.1:0 -debug-linger 60s \
+    > "$WORK/promoctl.json" 2> "$WORK/promoctl.err" &
+PROMOCTL_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|.*debug endpoints at http://\([^/]*\)/debug/.*|\1|p' "$WORK/promoctl.err" | head -1)"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "promoctl never announced its debug address:" >&2
+    cat "$WORK/promoctl.err" >&2
+    exit 1
+fi
+echo "debug server at $ADDR"
+
+step "scrape /debug/vars"
+# The promotion itself may still be running; poll until the engine
+# counters show up under the "promonet" expvar.
+ok=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/debug/vars" > "$WORK/vars.json" 2>/dev/null \
+        && grep -q '"engine.hits"' "$WORK/vars.json" \
+        && grep -q '"spans"' "$WORK/vars.json"; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ -z "$ok" ]]; then
+    echo "/debug/vars never exposed engine counters and span rollups:" >&2
+    cat "$WORK/vars.json" >&2 || true
+    exit 1
+fi
+grep -q '"promonet"' "$WORK/vars.json"
+
+step "scrape /debug/pprof/heap"
+curl -fsS "http://$ADDR/debug/pprof/heap?debug=1" | head -1 | grep -q "heap profile"
+
+kill "$PROMOCTL_PID" 2>/dev/null || true
+wait "$PROMOCTL_PID" 2>/dev/null || true
+PROMOCTL_PID=""
+
+if [[ ! -s "$WORK/manifest-promoctl.json" ]]; then
+    echo "promoctl wrote no manifest" >&2
+    exit 1
+fi
+grep -q '"engine_stats"' "$WORK/promoctl.json" || {
+    echo "promoctl -json -enginestats output lacks engine_stats" >&2
+    exit 1
+}
+
+step "experiments with per-cell manifests"
+"$WORK/experiments" -only table7 -datasets WIKI -scale 0.02 \
+    -manifest "$WORK/manifests" > /dev/null
+ls "$WORK/manifests"/manifest-*.json > /dev/null
+
+step "validate manifests against the schema"
+MANIFEST_GLOB="$WORK/manifest-promoctl.json $WORK/manifests/*.json" \
+    go test ./internal/obs -run TestValidateManifestGlobFromEnv -count=1
+
+step "collect smoke-manifests/"
+rm -rf smoke-manifests
+mkdir -p smoke-manifests
+cp "$WORK/manifest-promoctl.json" "$WORK/manifests"/manifest-*.json smoke-manifests/
+
+echo "OK"
