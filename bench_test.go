@@ -288,6 +288,145 @@ func BenchmarkGreedyRound(b *testing.B) {
 	}
 }
 
+// --- Greedy round: full vs delta candidate pricing (BENCH_5.json) ---
+//
+// BenchmarkGreedyRoundFull prices one greedy round the way the code did
+// before the delta scorer existed: BFS-family candidates each pay a
+// full BFS from the candidate plus an O(n) distance merge, and
+// betweenness candidates each pay a mutate → full-recompute → revert
+// cycle through an uncached engine. BenchmarkGreedyRoundDelta prices
+// the identical round through engine.EvaluateEdgeBatch (also uncached,
+// so every iteration pays the once-per-round base like a real round
+// does). The acceptance bar is Delta ≥ 5× Full on the BFS-family
+// measures at the 10k-node host; scripts/bench.sh records both sides in
+// BENCH_5.json and CI reports the ratio.
+
+// greedyRoundHost builds the benchmark instance: an n-node host, a
+// late-arrival (peripheral, low-degree) target — the paper's promotion
+// scenario — and k candidate endpoints strided across the id space.
+func greedyRoundHost(n, k int) (*graph.Graph, int, []int) {
+	g := benchHost(n)
+	target := n - 1
+	var all []int
+	for v := 0; v < n; v++ {
+		if v != target && !g.HasEdge(target, v) {
+			all = append(all, v)
+		}
+	}
+	stride := len(all) / k
+	if stride < 1 {
+		stride = 1
+	}
+	cands := make([]int, 0, k)
+	for i := 0; i < len(all) && len(cands) < k; i += stride {
+		cands = append(cands, all[i])
+	}
+	return g, target, cands
+}
+
+// benchSink keeps the benched scores observable so the loops cannot be
+// optimized away.
+var benchSink float64
+
+// fullSweepRound is the pre-delta pricing loop for one BFS-family
+// round: one BFS from the target, then per candidate one BFS plus a
+// full merge of dist'(t,u) = min(dT[u], 1 + dV[u]) under the given
+// aggregate ("farness", "harmonic", or "eccentricity").
+//
+//promolint:allow engine-bypass -- the Full leg reproduces the pre-delta pricing path
+func fullSweepRound(bfs *centrality.BFS, g *graph.Graph, target int, cands []int, kind string) float64 {
+	dT := append([]int32(nil), bfs.Distances(g, target)...)
+	var acc float64
+	for _, v := range cands {
+		dV := bfs.Distances(g, v)
+		var far int64
+		var harm float64
+		var ecc int32
+		for u := range dT {
+			if u == target {
+				continue
+			}
+			d := dT[u]
+			if dV[u] >= 0 && (d < 0 || dV[u]+1 < d) {
+				d = dV[u] + 1
+			}
+			if d > 0 {
+				switch kind {
+				case "farness":
+					far += int64(d)
+				case "harmonic":
+					harm += 1 / float64(d)
+				default:
+					if d > ecc {
+						ecc = d
+					}
+				}
+			}
+		}
+		acc += float64(far) + harm + float64(ecc)
+	}
+	return acc
+}
+
+func BenchmarkGreedyRoundFull(b *testing.B) {
+	for _, kind := range []string{"farness", "harmonic", "eccentricity"} {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			g, target, cands := greedyRoundHost(10000, 64)
+			bfs := centrality.NewBFS(g.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink += fullSweepRound(bfs, g, target, cands, kind)
+			}
+		})
+	}
+	b.Run("betweenness", func(b *testing.B) {
+		g, target, cands := greedyRoundHost(800, 16)
+		e := engine.New(0, engine.WithCacheSize(0))
+		defer e.Close()
+		work := g.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range cands {
+				work.AddEdge(target, v)
+				benchSink += e.Scores(work, engine.Betweenness(centrality.PairsUnordered))[target]
+				work.RemoveEdge(target, v)
+			}
+		}
+	})
+}
+
+func BenchmarkGreedyRoundDelta(b *testing.B) {
+	sweep := map[string]engine.Measure{
+		"farness":      engine.Farness(),
+		"harmonic":     engine.Harmonic(),
+		"eccentricity": engine.ReciprocalEccentricity(),
+	}
+	for _, kind := range []string{"farness", "harmonic", "eccentricity"} {
+		m := sweep[kind]
+		b.Run(kind, func(b *testing.B) {
+			g, target, cands := greedyRoundHost(10000, 64)
+			e := engine.New(0, engine.WithCacheSize(0))
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := e.EvaluateEdgeBatch(g, target, cands, m)
+				benchSink += out[len(out)-1]
+			}
+		})
+	}
+	b.Run("betweenness", func(b *testing.B) {
+		g, target, cands := greedyRoundHost(800, 16)
+		e := engine.New(0, engine.WithCacheSize(0))
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := e.EvaluateEdgeBatch(g, target, cands, engine.Betweenness(centrality.PairsUnordered))
+			benchSink += out[len(out)-1]
+		}
+	})
+}
+
 func BenchmarkTopKClosenessPruned(b *testing.B) {
 	g := benchHost(3000)
 	b.ResetTimer()

@@ -92,6 +92,77 @@ func (bs *brandesScratch) source(g *graph.Graph, s int, acc []float64) {
 	bs.queue = q[:0]
 }
 
+// sourceDep runs one source iteration from s on g augmented with the
+// virtual undirected edge (eu, ev) — an edge considered present without
+// mutating g — and returns the dependency δ_s(t) of s on t. Pass
+// eu = ev = -1 to run on g as is. Nothing is accumulated into a shared
+// vector; the single dependency value is the unit of the engine's
+// restricted re-accumulation (internal/engine delta scoring).
+//
+// The virtual neighbor of eu (resp. ev) is visited after the real
+// adjacency row, so the floating-point accumulation order can differ in
+// the last ulps from a run on a graph with the edge physically
+// inserted; integer-valued state (distances, path counts) is identical.
+func (bs *brandesScratch) sourceDep(g *graph.Graph, s, t int, eu, ev int32) float64 {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		bs.dist[i] = Unreachable
+		bs.sigma[i] = 0
+		bs.delta[i] = 0
+		bs.preds[i] = bs.preds[i][:0]
+	}
+	bs.dist[s] = 0
+	bs.sigma[s] = 1
+	q := append(bs.queue[:0], int32(s))
+	order := bs.order[:0]
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		order = append(order, v)
+		dv := bs.dist[v]
+		for _, u := range g.Adjacency(int(v)) {
+			if bs.dist[u] == Unreachable {
+				bs.dist[u] = dv + 1
+				q = append(q, u)
+			}
+			if bs.dist[u] == dv+1 {
+				bs.sigma[u] += bs.sigma[v]
+				bs.preds[u] = append(bs.preds[u], v)
+			}
+		}
+		extra := int32(-1)
+		if v == eu {
+			extra = ev
+		} else if v == ev {
+			extra = eu
+		}
+		if extra >= 0 {
+			if bs.dist[extra] == Unreachable {
+				bs.dist[extra] = dv + 1
+				q = append(q, extra)
+			}
+			if bs.dist[extra] == dv+1 {
+				bs.sigma[extra] += bs.sigma[v]
+				bs.preds[extra] = append(bs.preds[extra], v)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		coeff := (1 + bs.delta[w]) / bs.sigma[w]
+		for _, v := range bs.preds[w] {
+			bs.delta[v] += bs.sigma[v] * coeff
+		}
+	}
+	dep := bs.delta[t]
+	if t == s {
+		dep = 0
+	}
+	bs.order = order[:0]
+	bs.queue = q[:0]
+	return dep
+}
+
 // Betweenness returns the betweenness centrality of every node
 // (Definition 2.3) using Brandes' algorithm, parallelized over sources.
 // The counting convention selects the paper's ordered-pairs definition

@@ -46,6 +46,20 @@ func (k *Kernel) Brandes(g *graph.Graph, s int, acc []float64) {
 	k.br.source(g, s, acc)
 }
 
+// BrandesDep runs one source iteration of Brandes' algorithm from s on
+// g augmented with the virtual undirected edge (eu, ev) and returns the
+// dependency δ_s(t) of s on t (0 when s == t). Pass eu = ev = -1 to
+// score g unmodified. The virtual edge lets the engine's delta scorer
+// price a candidate edge without mutating the shared graph; the caller
+// must ensure (eu, ev) is not already an edge of g (or pass -1s).
+func (k *Kernel) BrandesDep(g *graph.Graph, s, t, eu, ev int) float64 {
+	n := g.N()
+	if k.br == nil || len(k.br.preds) < n {
+		k.br = newBrandesScratch(n)
+	}
+	return k.br.sourceDep(g, s, t, int32(eu), int32(ev))
+}
+
 // Acc returns a zeroed accumulator of length n, reusing the kernel's
 // buffer. It is the per-worker partial-sum vector for Brandes runs; the
 // caller must merge it before returning the kernel to a pool.

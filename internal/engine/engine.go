@@ -48,9 +48,10 @@ import (
 // concurrent use; Close is the only exception and must not race with
 // in-flight scoring.
 type Engine struct {
-	workers  int
-	cacheCap int
-	hashCap  int
+	workers   int
+	cacheCap  int
+	hashCap   int
+	deltaFrac float64 // betweenness delta fallback threshold; see WithDeltaFallbackFraction
 
 	registry  *obs.Registry
 	regPrefix string
@@ -96,7 +97,7 @@ func New(workers int, opts ...Option) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: workers, cacheCap: 256}
+	e := &Engine{workers: workers, cacheCap: 256, deltaFrac: defaultDeltaFallbackFraction}
 	for _, o := range opts {
 		o(e)
 	}

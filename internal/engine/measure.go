@@ -43,6 +43,7 @@ const (
 	famKatz
 	famClustering
 	famRanks
+	famDelta
 	numFamilies
 )
 
@@ -55,6 +56,7 @@ var familyNames = [numFamilies]string{
 	famKatz:        "katz",
 	famClustering:  "clustering",
 	famRanks:       "ranks",
+	famDelta:       "delta-base",
 }
 
 // familySpanNames are the precomputed span names of cache-missed
@@ -68,6 +70,7 @@ var familySpanNames = [numFamilies]string{
 	famKatz:        "engine/compute/katz",
 	famClustering:  "engine/compute/clustering",
 	famRanks:       "engine/compute/ranks",
+	famDelta:       "engine/compute/delta-base",
 }
 
 // String names the family for stats lines and manifests.

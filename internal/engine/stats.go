@@ -25,6 +25,13 @@ type counters struct {
 	bfsRuns   *obs.Counter
 	brandes   *obs.Counter
 
+	// deltaHits counts candidate edges priced through the incremental
+	// delta path; deltaFallbacks counts candidates that had to fall back
+	// to a full recomputation (affected set too large, or a measure the
+	// delta scorer cannot price incrementally).
+	deltaHits      *obs.Counter
+	deltaFallbacks *obs.Counter
+
 	families [numFamilies]familySlot
 }
 
@@ -40,19 +47,23 @@ type familySlot struct {
 func newCounters(reg *obs.Registry, prefix string) counters {
 	if reg == nil {
 		return counters{
-			hits:      obs.NewCounter(),
-			misses:    obs.NewCounter(),
-			evictions: obs.NewCounter(),
-			bfsRuns:   obs.NewCounter(),
-			brandes:   obs.NewCounter(),
+			hits:           obs.NewCounter(),
+			misses:         obs.NewCounter(),
+			evictions:      obs.NewCounter(),
+			bfsRuns:        obs.NewCounter(),
+			brandes:        obs.NewCounter(),
+			deltaHits:      obs.NewCounter(),
+			deltaFallbacks: obs.NewCounter(),
 		}
 	}
 	return counters{
-		hits:      reg.Counter(prefix + ".hits"),
-		misses:    reg.Counter(prefix + ".misses"),
-		evictions: reg.Counter(prefix + ".evictions"),
-		bfsRuns:   reg.Counter(prefix + ".bfs_runs"),
-		brandes:   reg.Counter(prefix + ".brandes_runs"),
+		hits:           reg.Counter(prefix + ".hits"),
+		misses:         reg.Counter(prefix + ".misses"),
+		evictions:      reg.Counter(prefix + ".evictions"),
+		bfsRuns:        reg.Counter(prefix + ".bfs_runs"),
+		brandes:        reg.Counter(prefix + ".brandes_runs"),
+		deltaHits:      reg.Counter(prefix + ".delta_hits"),
+		deltaFallbacks: reg.Counter(prefix + ".delta_fallbacks"),
 	}
 }
 
@@ -75,6 +86,10 @@ type Stats struct {
 	// BFSRuns and BrandesRuns count single-source traversals actually
 	// executed (the engine's unit of work).
 	BFSRuns, BrandesRuns uint64
+	// DeltaHits counts candidate edges priced through the incremental
+	// delta path of EvaluateEdgeBatch; DeltaFallbacks counts candidates
+	// that fell back to a full recomputation.
+	DeltaHits, DeltaFallbacks uint64
 	// PerFamily breaks down computed (cache-missed) work by compute
 	// family, sorted by family name.
 	PerFamily []FamilyStats
@@ -107,6 +122,9 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine: %d hits / %d misses (%.0f%% hit rate), %d BFS + %d Brandes runs, %d evictions",
 		s.Hits, s.Misses, 100*s.HitRate(), s.BFSRuns, s.BrandesRuns, s.Evictions)
+	if s.DeltaHits+s.DeltaFallbacks > 0 {
+		fmt.Fprintf(&b, ", %d delta hits / %d delta fallbacks", s.DeltaHits, s.DeltaFallbacks)
+	}
 	for _, f := range s.PerFamily {
 		fmt.Fprintf(&b, "; %s %d× in %v", f.Family, f.Computes, f.Wall.Round(time.Microsecond))
 	}
@@ -117,12 +135,14 @@ func (s Stats) String() string {
 // (obs cannot import this package, so the conversion lives here).
 func (s Stats) Manifest() obs.EngineStats {
 	out := obs.EngineStats{
-		Hits:        s.Hits,
-		Misses:      s.Misses,
-		Evictions:   s.Evictions,
-		BFSRuns:     s.BFSRuns,
-		BrandesRuns: s.BrandesRuns,
-		HitRate:     s.HitRate(),
+		Hits:           s.Hits,
+		Misses:         s.Misses,
+		Evictions:      s.Evictions,
+		BFSRuns:        s.BFSRuns,
+		BrandesRuns:    s.BrandesRuns,
+		DeltaHits:      s.DeltaHits,
+		DeltaFallbacks: s.DeltaFallbacks,
+		HitRate:        s.HitRate(),
 	}
 	for _, f := range s.PerFamily {
 		out.PerFamily = append(out.PerFamily, obs.EngineFamilyStats{
@@ -148,11 +168,13 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 // dataset×measure cell.
 func (s Stats) Delta(prev Stats) Stats {
 	d := Stats{
-		Hits:        s.Hits - prev.Hits,
-		Misses:      s.Misses - prev.Misses,
-		Evictions:   s.Evictions - prev.Evictions,
-		BFSRuns:     s.BFSRuns - prev.BFSRuns,
-		BrandesRuns: s.BrandesRuns - prev.BrandesRuns,
+		Hits:           s.Hits - prev.Hits,
+		Misses:         s.Misses - prev.Misses,
+		Evictions:      s.Evictions - prev.Evictions,
+		BFSRuns:        s.BFSRuns - prev.BFSRuns,
+		BrandesRuns:    s.BrandesRuns - prev.BrandesRuns,
+		DeltaHits:      s.DeltaHits - prev.DeltaHits,
+		DeltaFallbacks: s.DeltaFallbacks - prev.DeltaFallbacks,
 	}
 	before := make(map[string]FamilyStats, len(prev.PerFamily))
 	for _, f := range prev.PerFamily {
@@ -176,11 +198,13 @@ func (s Stats) Delta(prev Stats) Stats {
 // the last ResetStats).
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Hits:        e.counters.hits.Value(),
-		Misses:      e.counters.misses.Value(),
-		Evictions:   e.counters.evictions.Value(),
-		BFSRuns:     e.counters.bfsRuns.Value(),
-		BrandesRuns: e.counters.brandes.Value(),
+		Hits:           e.counters.hits.Value(),
+		Misses:         e.counters.misses.Value(),
+		Evictions:      e.counters.evictions.Value(),
+		BFSRuns:        e.counters.bfsRuns.Value(),
+		BrandesRuns:    e.counters.brandes.Value(),
+		DeltaHits:      e.counters.deltaHits.Value(),
+		DeltaFallbacks: e.counters.deltaFallbacks.Value(),
 	}
 	for f := family(0); f < numFamilies; f++ {
 		sl := &e.counters.families[f]
@@ -205,6 +229,8 @@ func (e *Engine) ResetStats() {
 	e.counters.evictions.Set(0)
 	e.counters.bfsRuns.Set(0)
 	e.counters.brandes.Set(0)
+	e.counters.deltaHits.Set(0)
+	e.counters.deltaFallbacks.Set(0)
 	for f := range e.counters.families {
 		e.counters.families[f].computes.Store(0)
 		e.counters.families[f].wallNanos.Store(0)

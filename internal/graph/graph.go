@@ -33,11 +33,12 @@ var versionCounter atomic.Uint64
 func nextVersion() uint64 { return versionCounter.Add(1) }
 
 // Version is a monotonically increasing structure-change counter. Every
-// structural mutation (AddNode, AddNodes, a successful AddEdge or
-// RemoveEdge) assigns a fresh globally unique version, so caches keyed
-// by it (internal/engine) can never serve scores for a stale structure.
-// No-op calls (inserting an existing edge, removing a missing one) leave
-// the version untouched — the structure did not change. Clone preserves
+// structural mutation (AddNode, AddNodes with k > 0, a successful
+// AddEdge or RemoveEdge) assigns a fresh globally unique version, so
+// caches keyed by it (internal/engine) can never serve scores for a
+// stale structure. No-op calls (inserting an existing edge, removing a
+// missing one, AddNodes(0)) leave the version untouched — the structure
+// did not change. Clone preserves
 // the version: equal versions imply equal structure. A zero-value Graph
 // reports version 0 until its first mutation; constructors assign a real
 // version up front.
@@ -70,9 +71,17 @@ func (g *Graph) AddNode() int {
 }
 
 // AddNodes appends k isolated nodes and returns the identifier of the
-// first one. The new nodes are first, first+1, ..., first+k-1.
+// first one. The new nodes are first, first+1, ..., first+k-1. AddNodes
+// panics if k is negative. AddNodes(0) changes nothing and leaves the
+// version untouched, like every other no-op mutation.
 func (g *Graph) AddNodes(k int) (first int) {
+	if k < 0 {
+		panic(fmt.Sprintf("graph: AddNodes(%d) with negative count", k))
+	}
 	first = len(g.adj)
+	if k == 0 {
+		return first
+	}
 	for i := 0; i < k; i++ {
 		g.adj = append(g.adj, nil)
 	}

@@ -1,0 +1,52 @@
+package graph
+
+import "testing"
+
+// TestNoOpMutationsVersionNeutral pins the documented contract that the
+// engine's content cache relies on: mutations that change nothing leave
+// the version untouched. Before the AddNodes(0) fix, the no-op batch
+// insert bumped the version and spuriously invalidated every
+// version-keyed digest memo.
+func TestNoOpMutationsVersionNeutral(t *testing.T) {
+	g := NewWithNodes(3)
+	g.AddEdge(0, 1)
+	v := g.Version()
+
+	if first := g.AddNodes(0); first != 3 {
+		t.Errorf("AddNodes(0) = %d, want next id 3", first)
+	}
+	if g.Version() != v {
+		t.Errorf("AddNodes(0) bumped version %d -> %d despite changing nothing", v, g.Version())
+	}
+	if g.AddEdge(0, 1) {
+		t.Fatal("duplicate AddEdge reported an insert")
+	}
+	if g.Version() != v {
+		t.Errorf("failed AddEdge bumped version %d -> %d", v, g.Version())
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge of a missing edge reported a removal")
+	}
+	if g.Version() != v {
+		t.Errorf("failed RemoveEdge bumped version %d -> %d", v, g.Version())
+	}
+
+	// Real mutations still move the version.
+	if first := g.AddNodes(2); first != 3 {
+		t.Errorf("AddNodes(2) = %d, want 3", first)
+	}
+	if g.Version() == v {
+		t.Error("AddNodes(2) did not bump the version")
+	}
+}
+
+// TestAddNodesNegativePanics: a negative count is a caller bug, not a
+// no-op.
+func TestAddNodesNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNodes(-1) did not panic")
+		}
+	}()
+	NewWithNodes(1).AddNodes(-1)
+}

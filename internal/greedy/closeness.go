@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"promonet/internal/centrality"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
@@ -15,11 +14,13 @@ import (
 // in this package. Like that baseline it requires the full network
 // structure.
 //
-// Each round evaluates every non-neighbor v exactly: with the edge
-// (t, v) added, dist′(t, u) = min(dist(t, u), 1 + dist(v, u)), so one
-// BFS from v prices the candidate in O(m) — no betweenness-style full
-// recomputation is needed. The candidate minimizing the resulting
-// farness is kept.
+// Each round evaluates every non-neighbor v exactly through the
+// engine's incremental delta scorer (engine.EvaluateEdgeBatch): one
+// base BFS from the target per round, then an affected-frontier BFS per
+// candidate that touches only the nodes whose distance to the target
+// shrinks — no betweenness-style full recomputation is needed. The
+// candidate minimizing the resulting farness is kept, ties broken
+// toward the lowest id (see Options).
 func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions) (*graph.Graph, *ClosenessResult, error) {
 	if target < 0 || target >= g.N() {
 		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
@@ -31,44 +32,18 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
 	work := g.Clone()
-	n := g.N()
 	res := &ClosenessResult{BeforeFarness: engine.Default().FarnessInt64(g)}
-	bfs := centrality.NewBFS(n)
 
 	for round := 0; round < budget; round++ {
-		dT := append([]int32(nil), bfs.Distances(work, target)...)
-		var cands []int
-		for v := 0; v < n; v++ {
-			if v != target && !work.HasEdge(target, v) {
-				cands = append(cands, v)
-			}
-		}
+		cands := nonNeighbors(work, target, opts.CandidateSample, opts.Rand)
 		if len(cands) == 0 {
 			break
 		}
-		if opts.CandidateSample > 0 && opts.CandidateSample < len(cands) {
-			opts.Rand.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-			cands = cands[:opts.CandidateSample]
-		}
-		bestV := -1
-		var bestFar int64
-		for _, v := range cands {
-			dV := bfs.Distances(work, v)
-			var far int64
-			for u := 0; u < work.N(); u++ {
-				if u == target {
-					continue
-				}
-				d := dT[u]
-				if dV[u] >= 0 && (d < 0 || dV[u]+1 < d) {
-					d = dV[u] + 1
-				}
-				if d > 0 {
-					far += int64(d)
-				}
-			}
-			if bestV == -1 || far < bestFar {
-				bestV, bestFar = v, far
+		fars := engine.Default().EvaluateEdgeBatch(work, target, cands, engine.Farness())
+		bestV, bestFar := cands[0], int64(fars[0])
+		for i := 1; i < len(fars); i++ {
+			if f := int64(fars[i]); f < bestFar {
+				bestV, bestFar = cands[i], f
 			}
 		}
 		work.AddEdge(target, bestV)
@@ -82,7 +57,9 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 // ClosenessOptions configures ImproveCloseness.
 type ClosenessOptions struct {
 	// CandidateSample, when > 0, evaluates only that many sampled
-	// candidates per round (0 = exhaustive, the algorithm of [9]).
+	// candidates per round (0 = exhaustive, the algorithm of [9]). The
+	// sample is evaluated in increasing node-id order, so the lowest-id
+	// tie-break documented on Options holds here too.
 	CandidateSample int
 	Rand            *rand.Rand
 }

@@ -3,8 +3,8 @@ package greedy
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
-	"promonet/internal/centrality"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
 )
@@ -15,9 +15,11 @@ import (
 // to minimize its maximum distance. Like the other baselines it needs
 // the full network structure.
 //
-// Candidate pricing is exact and cheap: with edge (t, v) added,
-// dist′(t, u) = min(dist(t, u), 1 + dist(v, u)), so one BFS from v
-// prices the candidate's new eccentricity in O(m).
+// Candidate pricing is exact and goes through the engine's incremental
+// delta scorer (engine.EvaluateEdgeBatch): one base BFS from the target
+// per round, then an affected-frontier BFS per candidate that touches
+// only the nodes whose distance to the target shrinks. Ties break
+// toward the lowest-id candidate (see Options).
 func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptions) (*graph.Graph, *EccentricityResult, error) {
 	if target < 0 || target >= g.N() {
 		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
@@ -30,32 +32,17 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 	}
 	work := g.Clone()
 	res := &EccentricityResult{Before: reciprocalEccInt32(g)}
-	bfs := centrality.NewBFS(g.N())
 
 	for round := 0; round < budget; round++ {
-		dT := append([]int32(nil), bfs.Distances(work, target)...)
 		cands := nonNeighbors(work, target, opts.CandidateSample, opts.Rand)
 		if len(cands) == 0 {
 			break
 		}
-		bestV, bestEcc := -1, int32(0)
-		for _, v := range cands {
-			dV := bfs.Distances(work, v)
-			var ecc int32
-			for u := 0; u < work.N(); u++ {
-				if u == target {
-					continue
-				}
-				d := dT[u]
-				if dV[u] >= 0 && (d < 0 || dV[u]+1 < d) {
-					d = dV[u] + 1
-				}
-				if d > ecc {
-					ecc = d
-				}
-			}
-			if bestV == -1 || ecc < bestEcc {
-				bestV, bestEcc = v, ecc
+		eccs := engine.Default().EvaluateEdgeBatch(work, target, cands, engine.ReciprocalEccentricity())
+		bestV, bestEcc := cands[0], int32(eccs[0])
+		for i := 1; i < len(eccs); i++ {
+			if e := int32(eccs[i]); e < bestEcc {
+				bestV, bestEcc = cands[i], e
 			}
 		}
 		work.AddEdge(target, bestV)
@@ -90,8 +77,11 @@ type EccentricityResult struct {
 	Before, After []int32
 }
 
-// nonNeighbors lists nodes not adjacent to target (and not target),
-// optionally subsampled.
+// nonNeighbors lists nodes not adjacent to target (and not target) in
+// increasing id order, optionally subsampled. The sample is re-sorted
+// after the shuffle-truncate draw, so candidate evaluation order — and
+// with it the lowest-id tie-break every baseline documents — does not
+// depend on the shuffle.
 func nonNeighbors(g *graph.Graph, target, sample int, rng *rand.Rand) []int {
 	var all []int
 	for v := 0; v < g.N(); v++ {
@@ -102,6 +92,7 @@ func nonNeighbors(g *graph.Graph, target, sample int, rng *rand.Rand) []int {
 	if sample > 0 && sample < len(all) {
 		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 		all = all[:sample]
+		sort.Ints(all)
 	}
 	return all
 }

@@ -18,6 +18,13 @@ import (
 )
 
 // Options configures the baseline.
+//
+// Tie-breaking contract: every baseline in this package evaluates its
+// candidates in increasing node-id order and replaces the incumbent
+// only on a strict improvement, so among equally-scoring candidates the
+// lowest-numbered node always wins. The contract holds under
+// CandidateSample too — the sampled set is re-sorted before evaluation
+// — making runs with equal sampled sets bitwise reproducible.
 type Options struct {
 	// Counting is the betweenness pair convention (must match whatever
 	// the black-box side uses when comparing).
@@ -26,7 +33,8 @@ type Options struct {
 	// sampled non-neighbor candidates per round instead of all of them.
 	// This only weakens the baseline and is off (0 = exhaustive) for
 	// the paper-comparison experiments; it exists to keep the baseline
-	// usable on large hosts.
+	// usable on large hosts. The sample is evaluated in increasing
+	// node-id order, preserving the lowest-id tie-break.
 	CandidateSample int
 	// PivotSources, when > 0, estimates betweenness from that many BFS
 	// pivots (Brandes–Pich) instead of exactly. 0 means exact.
@@ -53,8 +61,17 @@ type Result struct {
 
 // Improve runs the greedy algorithm: b rounds, each inserting the edge
 // (v, t) with v ∉ N(t) that maximizes the betweenness improvement
-// Δ_C(t | v) of the target. The input graph is not modified; the updated
-// graph is returned alongside the result.
+// Δ_C(t | v) of the target (ties broken toward the lowest-id candidate;
+// see Options). The input graph is not modified; the updated graph is
+// returned alongside the result.
+//
+// Candidate pricing goes through the engine's incremental delta scorer
+// (engine.EvaluateEdgeBatch): the base Brandes structures are computed
+// once per round and each candidate is priced by restricted
+// re-accumulation over the sources its edge can actually affect. The
+// pivot-sampled path (PivotSources > 0) keeps the classic
+// mutate-score-revert loop, because its per-probe pivot resample must
+// draw from the caller's advancing Options.Rand.
 func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *Result, error) {
 	if target < 0 || target >= g.N() {
 		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
@@ -96,15 +113,34 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 		}
 		bestV, bestScore := -1, 0.0
 		var bestVector []float64
-		for _, v := range cands {
-			work.AddEdge(target, v)
-			vec := scores(work, opts)
-			work.RemoveEdge(target, v)
-			if s := vec[target]; bestV == -1 || s > bestScore {
-				bestV, bestScore, bestVector = v, s, vec
+		if opts.PivotSources > 0 && opts.PivotSources < work.N() {
+			// Pivot resampling draws fresh pivots per probe from the
+			// caller's advancing rng, so this path keeps the classic
+			// mutate-score-revert loop.
+			for _, v := range cands {
+				work.AddEdge(target, v)
+				vec := scores(work, opts)
+				work.RemoveEdge(target, v)
+				if s := vec[target]; bestV == -1 || s > bestScore {
+					bestV, bestScore, bestVector = v, s, vec
+				}
 			}
+			work.AddEdge(target, bestV)
+		} else {
+			// Delta path: one batch call prices every candidate without
+			// mutating work; only the winner's graph is scored in full
+			// (AfterPerRound needs the whole vector anyway).
+			gains := engine.Default().EvaluateEdgeBatch(work, target, cands, engine.Betweenness(opts.Counting))
+			bestV, bestScore = cands[0], gains[0]
+			for i := 1; i < len(gains); i++ {
+				if gains[i] > bestScore {
+					bestV, bestScore = cands[i], gains[i]
+				}
+			}
+			work.AddEdge(target, bestV)
+			bestVector = scores(work, opts)
+			bestScore = bestVector[target]
 		}
-		work.AddEdge(target, bestV)
 		res.Edges = append(res.Edges, [2]int{bestV, target})
 		res.ScorePerRound = append(res.ScorePerRound, bestScore)
 		res.AfterPerRound = append(res.AfterPerRound, bestVector)
@@ -124,19 +160,10 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 }
 
 // candidates returns the nodes not adjacent to target (and not target
-// itself), optionally subsampled.
+// itself) in increasing id order, optionally subsampled. The order is
+// what makes the lowest-id tie-break of Options hold.
 func candidates(g *graph.Graph, target int, opts Options) []int {
-	var all []int
-	for v := 0; v < g.N(); v++ {
-		if v != target && !g.HasEdge(target, v) {
-			all = append(all, v)
-		}
-	}
-	if opts.CandidateSample > 0 && opts.CandidateSample < len(all) {
-		opts.Rand.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-		all = all[:opts.CandidateSample]
-	}
-	return all
+	return nonNeighbors(g, target, opts.CandidateSample, opts.Rand)
 }
 
 // scores evaluates the betweenness vector of one candidate graph. The

@@ -1,0 +1,121 @@
+package greedy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+)
+
+// Tie-break contract tests: candidates are evaluated in increasing id
+// order with strict-improvement replacement, so among tied candidates
+// the lowest id always wins — exhaustively and under CandidateSample.
+//
+// A cycle is the canonical tied instance: for target 0 on C_9, the
+// candidates v and 9-v are exchanged by the reflection automorphism, so
+// every measure scores them identically and the baseline must pick the
+// lower id of each tied pair.
+
+func TestTieBreakLowestIDCloseness(t *testing.T) {
+	g := gen.Cycle(9)
+	_, res, err := ImproveCloseness(g, 0, 1, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The farness-optimal chords are the antipodal pair {4, 5}; the
+	// contract demands 4.
+	if got := res.Edges[0][0]; got != 4 {
+		t.Fatalf("closeness picked %d, want 4 (lowest id of tied pair {4,5})", got)
+	}
+}
+
+func TestTieBreakLowestIDEccentricity(t *testing.T) {
+	g := gen.Cycle(9)
+	_, res, err := ImproveEccentricity(g, 0, 1, ClosenessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Edges[0][0]
+	if mirror := 9 - v; v > mirror {
+		t.Fatalf("eccentricity picked %d over its tied mirror %d", v, mirror)
+	}
+}
+
+func TestTieBreakLowestIDBetweenness(t *testing.T) {
+	g := gen.Cycle(9)
+	_, res, err := Improve(g, 0, 1, Options{Counting: centrality.PairsUnordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Edges[0][0]
+	if mirror := 9 - v; v > mirror {
+		t.Fatalf("betweenness picked %d over its tied mirror %d", v, mirror)
+	}
+	// Determinism: a second run must reproduce the pick exactly.
+	_, res2, err := Improve(g, 0, 1, Options{Counting: centrality.PairsUnordered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Edges[0] != res.Edges[0] {
+		t.Fatalf("repeat run picked %v, first run %v", res2.Edges[0], res.Edges[0])
+	}
+}
+
+// TestTieBreakUnderCandidateSample checks the sampled path: the sample
+// is re-sorted before evaluation, so equal sampled sets give equal
+// picks regardless of the shuffle order that produced them — and the
+// run is reproducible for a fixed seed.
+func TestTieBreakUnderCandidateSample(t *testing.T) {
+	g := gen.Cycle(9)
+	run := func(seed int64) [][2]int {
+		_, res, err := Improve(g, 0, 2, Options{
+			Counting:        centrality.PairsUnordered,
+			CandidateSample: 4,
+			Rand:            rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Edges
+	}
+	first := run(1234)
+	second := run(1234)
+	if len(first) != len(second) {
+		t.Fatalf("sampled runs disagree on length: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("sampled runs diverge at round %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+// TestNonNeighborsSampleSorted pins the mechanism behind the sampled
+// tie-break: the sampled candidate set comes back in increasing id
+// order and is a subset of the true non-neighbor set.
+func TestNonNeighborsSampleSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyi(rng, 40, 80)
+	target := 3
+	full := nonNeighbors(g, target, 0, nil)
+	if !sort.IntsAreSorted(full) {
+		t.Fatalf("exhaustive candidate set not sorted: %v", full)
+	}
+	for trial := 0; trial < 20; trial++ {
+		sample := nonNeighbors(g, target, 10, rng)
+		if len(sample) != 10 {
+			t.Fatalf("sample size %d, want 10", len(sample))
+		}
+		if !sort.IntsAreSorted(sample) {
+			t.Fatalf("sampled candidate set not sorted: %v", sample)
+		}
+		for _, v := range sample {
+			i := sort.SearchInts(full, v)
+			if i >= len(full) || full[i] != v {
+				t.Fatalf("sampled candidate %d not a non-neighbor of %d", v, target)
+			}
+		}
+	}
+}

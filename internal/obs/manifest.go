@@ -84,6 +84,10 @@ type EngineStats struct {
 	// BFSRuns and BrandesRuns count single-source traversals executed.
 	BFSRuns     uint64 `json:"bfs_runs"`
 	BrandesRuns uint64 `json:"brandes_runs"`
+	// DeltaHits and DeltaFallbacks count candidate edges priced by the
+	// incremental delta scorer versus sent to a full recomputation.
+	DeltaHits      uint64 `json:"delta_hits,omitempty"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks,omitempty"`
 	// HitRate is Hits/(Hits+Misses), 0 when idle.
 	HitRate float64 `json:"hit_rate"`
 	// PerFamily breaks cache-missed work down by compute family.

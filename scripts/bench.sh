@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# bench.sh — run the table-level, engine, and tracing-span benchmarks
-# and record them as BENCH_4.json in the repo root, so perf regressions
-# are diffable across PRs. BenchmarkSpanDisabled is the disabled-tracing
-# overhead number: its allocs_per_op must be 0 (the obs package's
-# zero-alloc contract; TestSpanDisabledZeroAlloc gates it, this file
-# just records the ns/op). Non-gating: CI uploads the file as an
-# artifact but never fails on its contents.
+# bench.sh — run the repo's tracked benchmark suites and record them as
+# diffable JSON in the repo root, so perf regressions are visible across
+# PRs. Two files are written:
+#
+#   BENCH_4.json  table-level, engine, and tracing-span benchmarks.
+#                 BenchmarkSpanDisabled is the disabled-tracing overhead
+#                 number: its allocs_per_op must be 0 (the obs package's
+#                 zero-alloc contract; TestSpanDisabledZeroAlloc gates
+#                 it, this file just records the ns/op).
+#   BENCH_5.json  greedy-round candidate pricing, full vs delta
+#                 (BenchmarkGreedyRoundFull / BenchmarkGreedyRoundDelta
+#                 with one sub-benchmark per measure). The delta-vs-full
+#                 speedup CI reports comes from this file; the
+#                 acceptance bar is >= 5x on the BFS-family measures.
+#
+# Non-gating: CI uploads the files as artifacts but never fails on their
+# contents.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -count passed to `go test` (default 3)
@@ -13,15 +23,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="BENCH_4.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable|BenchmarkEngine|BenchmarkSpan' -benchmem -benchtime 2s -count "$COUNT" . ./internal/obs | tee "$RAW"
-
-# Parse `go test -bench` lines into JSON: each benchmark maps to the
-# mean ns/op, B/op, and allocs/op over its -count runs.
-awk -v count="$COUNT" '
+# parse_bench < raw-bench-output > json: fold `go test -bench` lines
+# into a JSON object mapping each benchmark to the mean ns/op, B/op, and
+# allocs/op over its -count runs.
+parse_bench() {
+    awk -v count="$COUNT" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)       # strip the GOMAXPROCS suffix
@@ -44,6 +53,16 @@ END {
             (i < n) ? "," : ""
     }
     printf "  }\n}\n"
-}' "$RAW" > "$OUT"
+}'
+}
 
-echo "wrote $OUT"
+go test -run '^$' -bench 'BenchmarkTable|BenchmarkEngine|BenchmarkSpan' -benchmem -benchtime 2s -count "$COUNT" . ./internal/obs | tee "$RAW"
+parse_bench < "$RAW" > BENCH_4.json
+echo "wrote BENCH_4.json"
+
+# The (Full|Delta) alternation deliberately excludes the plain
+# BenchmarkGreedyRound end-to-end benchmark — BENCH_5 tracks the two
+# candidate-pricing paths in isolation.
+go test -run '^$' -bench 'BenchmarkGreedyRound(Full|Delta)' -benchmem -benchtime 1s -count "$COUNT" . | tee "$RAW"
+parse_bench < "$RAW" > BENCH_5.json
+echo "wrote BENCH_5.json"

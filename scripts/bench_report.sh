@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench_report.sh — non-gating perf report over the freshly generated
+# bench JSON files. Two sections:
+#
+#   1. Delta-vs-full greedy-round pricing speedup per measure, from
+#      BENCH_5.json. Flags BFS-family measures that fall below the 5x
+#      acceptance bar (betweenness has no bar — its delta path is
+#      bounded by the affected-source fraction, not a fixed ratio).
+#   2. EnginePooled regression check: ns/op of BenchmarkEnginePooled in
+#      the fresh BENCH_4.json against the committed baseline
+#      (git show HEAD:BENCH_4.json). Flags a >15% slowdown.
+#
+# The report never fails the build — it prints findings for reviewers;
+# shared-runner noise makes a hard gate on wall clock counterproductive.
+#
+# Usage: scripts/bench_report.sh (after scripts/bench.sh)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# get_ns <file> <benchmark-name>: ns_per_op of one entry, empty if absent.
+get_ns() {
+    awk -v key="\"$2\":" '
+index($0, key) {
+    sub(/.*"ns_per_op": /, ""); sub(/[^0-9].*/, "")
+    print
+    exit
+}' "$1"
+}
+
+if [ -f BENCH_5.json ]; then
+    echo "== greedy-round pricing: delta vs full (BENCH_5.json) =="
+    awk '
+/"Benchmark/ {
+    line = $0
+    split(line, parts, "\"")
+    name = parts[2]
+    sub(/.*"ns_per_op": /, "", line); sub(/[^0-9].*/, "", line)
+    ns[name] = line + 0
+}
+END {
+    prefix = "BenchmarkGreedyRoundFull/"
+    for (n in ns) {
+        if (index(n, prefix) != 1) continue
+        measure = substr(n, length(prefix) + 1)
+        d = "BenchmarkGreedyRoundDelta/" measure
+        if (!(d in ns) || ns[d] <= 0) continue
+        speedup = ns[n] / ns[d]
+        flag = ""
+        if (measure != "betweenness" && speedup < 5) flag = "  ** below 5x bar **"
+        printf "  %-14s full %12.0f ns/op   delta %12.0f ns/op   speedup %6.2fx%s\n",
+            measure, ns[n], ns[d], speedup, flag
+    }
+}' BENCH_5.json | sort
+else
+    echo "BENCH_5.json missing — run scripts/bench.sh first"
+fi
+
+echo
+echo "== EnginePooled vs committed baseline (BENCH_4.json) =="
+BASE="$(mktemp)"
+trap 'rm -f "$BASE"' EXIT
+if git show HEAD:BENCH_4.json > "$BASE" 2>/dev/null; then
+    old="$(get_ns "$BASE" BenchmarkEnginePooled)"
+    new="$(get_ns BENCH_4.json BenchmarkEnginePooled)"
+    if [ -n "$old" ] && [ -n "$new" ]; then
+        awk -v old="$old" -v new="$new" 'BEGIN {
+            ratio = new / old
+            flag = (ratio > 1.15) ? "  ** regression >15% **" : ""
+            printf "  baseline %12.0f ns/op   fresh %12.0f ns/op   ratio %5.2fx%s\n",
+                old, new, ratio, flag
+        }'
+    else
+        echo "  BenchmarkEnginePooled missing from one of the files — skipping"
+    fi
+else
+    echo "  no committed BENCH_4.json at HEAD — skipping"
+fi
