@@ -1,12 +1,17 @@
 // Command promolint runs promonet's custom static-analysis suite (see
-// internal/lint): nine analyzers enforcing the repo-specific invariants
-// that generic tooling cannot know about — the black-box read-only
-// contract on the host graph, seeded-randomness and map-iteration
-// determinism, goroutine fan-out hygiene, error discipline in the CLI
-// and IO layers, doc coverage of the core exported API, and the
-// CFG/dataflow properties the execution engine depends on: version
-// stamping of graph mutations, engine routing of heavy kernels,
-// sync.Pool get/put balance, and mutex acquisition order.
+// internal/lint): thirteen analyzers enforcing the repo-specific
+// invariants that generic tooling cannot know about — the black-box
+// read-only contract on the host graph, seeded-randomness and
+// map-iteration determinism, goroutine fan-out hygiene, error
+// discipline in the CLI and IO layers, doc coverage of the core
+// exported API, the CFG/dataflow properties the execution engine
+// depends on (version stamping of graph mutations, engine routing of
+// heavy kernels, sync.Pool get/put balance, mutex acquisition order),
+// and the value-flow invariants of the observability and kernel layers:
+// obs span lifecycle (Start must reach End on every path), the
+// allocation-free discipline of //promolint:hotpath-marked hot code,
+// all-or-nothing sync/atomic access per variable, and the nil-safe
+// method contract of nil-receiver types like *obs.Span.
 //
 // Usage:
 //
@@ -34,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,35 +48,47 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	analyzers := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-	disable := flag.String("disable", "", "comma-separated analyzers to skip")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
-	baseline := flag.String("baseline", "", "baseline file of accepted findings; stale entries are errors")
-	flag.Parse()
+// run is the whole CLI, parameterized over args and streams so tests
+// can drive it in-process (notably the corrupt-input exit-2 contract).
+//
+// The injected writers are os.Stdout/os.Stderr in production and test
+// buffers otherwise; either way a failed diagnostic write has no
+// recovery path, so the write errors are deliberately best-effort.
+//
+//promolint:allow ignored-errors -- CLI output writes to injected stdout/stderr are best-effort by design
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	analyzers := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	baseline := fs.String("baseline", "", "baseline file of accepted findings; stale entries are errors")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-18s [%s] %s\n", a.Name, severityOf(a), a.Doc)
+			fmt.Fprintf(stdout, "%-18s [%s] %s\n", a.Name, severityOf(a), a.Doc)
 		}
 		return 0
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "promolint:", err)
+		fmt.Fprintln(stderr, "promolint:", err)
 		return 2
 	}
 	var cfg lint.Config
 	cfg.Enable = splitNames(*analyzers)
 	cfg.Disable = splitNames(*disable)
-	diags, err := lint.Run(root, flag.Args(), cfg)
+	diags, timings, err := lint.RunTimed(root, fs.Args(), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "promolint:", err)
+		fmt.Fprintln(stderr, "promolint:", err)
 		return 2
 	}
 
@@ -78,7 +96,7 @@ func run() int {
 	if *baseline != "" {
 		b, err := lint.LoadBaseline(*baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "promolint:", err)
+			fmt.Fprintln(stderr, "promolint:", err)
 			return 2
 		}
 		diags, stale = b.Apply(root, diags)
@@ -86,15 +104,16 @@ func run() int {
 
 	if *jsonOut {
 		report := lint.NewReport(root, ranAnalyzers(cfg), diags, stale)
-		enc := json.NewEncoder(os.Stdout)
+		report.Timings = timings
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			fmt.Fprintln(os.Stderr, "promolint:", err)
+			fmt.Fprintln(stderr, "promolint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 
@@ -107,10 +126,10 @@ func run() int {
 		}
 	}
 	for _, e := range stale {
-		fmt.Fprintf(os.Stderr, "promolint: stale baseline entry: %s [%s] %s\n", e.File, e.Analyzer, e.Message)
+		fmt.Fprintf(stderr, "promolint: stale baseline entry: %s [%s] %s\n", e.File, e.Analyzer, e.Message)
 	}
 	if errs > 0 || warns > 0 || len(stale) > 0 {
-		fmt.Fprintf(os.Stderr, "promolint: %d error(s), %d warning(s), %d stale baseline entr(ies)\n", errs, warns, len(stale))
+		fmt.Fprintf(stderr, "promolint: %d error(s), %d warning(s), %d stale baseline entr(ies)\n", errs, warns, len(stale))
 	}
 	if errs > 0 || len(stale) > 0 {
 		return 1

@@ -38,13 +38,15 @@ func newBFSScratch(n int) *bfsScratch {
 // run performs a BFS from s, filling sc.dist with hop distances
 // (Unreachable for unreached nodes), and returns the number of reached
 // nodes (including s) and the eccentricity of s within its component.
+//
+//promolint:hotpath
 func (sc *bfsScratch) run(g *graph.Graph, s int) (reached int, ecc int32) {
 	dist := sc.dist
 	for i := range dist {
 		dist[i] = Unreachable
 	}
 	dist[s] = 0
-	q := append(sc.queue[:0], int32(s))
+	q := append(sc.queue[:0], int32(s)) //promolint:allow hotpath-alloc -- amortized: sc.queue is preallocated to n and reused across runs
 	reached = 1
 	for len(q) > 0 {
 		v := q[0]
@@ -57,7 +59,7 @@ func (sc *bfsScratch) run(g *graph.Graph, s int) (reached int, ecc int32) {
 			if dist[u] == Unreachable {
 				dist[u] = dv + 1
 				reached++
-				q = append(q, u)
+				q = append(q, u) //promolint:allow hotpath-alloc -- amortized: at most n enqueues into the n-cap scratch queue
 			}
 		}
 	}

@@ -1,0 +1,112 @@
+package centrality
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/datasets"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// Metamorphic oracle from Boldi, Furia & Vigna, "Rank monotonicity in
+// centrality measures": for rank-monotone measures, adding an edge
+// incident to a node t never worsens t's rank. Closeness and harmonic
+// centrality are rank monotone (harmonic even strictly, on connected
+// graphs), so across the whole graph zoo every (t, v) edge insertion
+// must satisfy RankOf(after, t) <= RankOf(before, t). Closeness is
+// only asserted on connected graphs, where 1/farness is the measure
+// the theorem speaks about; harmonic is asserted everywhere.
+
+// monotonicityZoo returns the named test graphs.
+func monotonicityZoo() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(7))
+	zoo := map[string]*graph.Graph{
+		"path-12":    gen.Path(12),
+		"cycle-11":   gen.Cycle(11),
+		"star-10":    gen.Star(10),
+		"clique-7":   gen.Clique(7),
+		"grid-4x5":   gen.Grid(4, 5),
+		"er-20-40":   gen.ErdosRenyi(rng, 20, 40),
+		"ba-18-2":    gen.BarabasiAlbert(rng, 18, 2),
+		"ws-16-4":    gen.WattsStrogatz(rng, 16, 4, 0.2),
+		"fig1-paper": datasets.Fig1(),
+	}
+	// A deliberately disconnected graph keeps the harmonic oracle honest
+	// where closeness is undefined: two far-apart cliques.
+	two := gen.Clique(5)
+	first := two.AddNodes(5)
+	for u := first; u < first+5; u++ {
+		for w := u + 1; w < first+5; w++ {
+			two.AddEdge(u, w)
+		}
+	}
+	zoo["two-cliques"] = two
+	return zoo
+}
+
+// targetsFor picks a spread of target nodes.
+func targetsFor(g *graph.Graph) []int {
+	n := g.N()
+	ts := []int{0, n / 2, n - 1}
+	out := ts[:0]
+	seen := map[int]bool{}
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestRankSemiMonotonicityUnderIncidentInsertion(t *testing.T) {
+	for name, g := range monotonicityZoo() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			connected := g.IsConnected()
+			closeBefore := Closeness(g)
+			harmBefore := Harmonic(g)
+			for _, target := range targetsFor(g) {
+				cands := 0
+				for v := 0; v < n && cands < 4; v++ {
+					if v == target || g.HasEdge(target, v) {
+						continue
+					}
+					cands++
+					g2 := g.Clone()
+					if !g2.AddEdge(target, v) {
+						t.Fatalf("AddEdge(%d, %d) refused a non-edge", target, v)
+					}
+					check := func(measure string, before, after []float64) {
+						rb := RankOf(before, target)
+						ra := RankOf(after, target)
+						if ra > rb {
+							t.Errorf("%s: inserting (%d,%d) worsened %s rank of %d: %d -> %d",
+								name, target, v, measure, target, rb, ra)
+						}
+					}
+					check("harmonic", harmBefore, Harmonic(g2))
+					if connected {
+						check("closeness", closeBefore, Closeness(g2))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankOfConvention pins the rank convention the oracle relies on:
+// rank 1 is best, and only strictly larger scores push a node down.
+func TestRankOfConvention(t *testing.T) {
+	scores := []float64{3, 1, 3, 2}
+	for i, want := range []int{1, 4, 1, 3} {
+		if got := RankOf(scores, i); got != want {
+			t.Errorf("RankOf(%v, %d) = %d, want %d", scores, i, got, want)
+		}
+	}
+	if got := RankOf(scores, 0); got != 1 {
+		t.Errorf("tied best nodes must share rank 1, got %d", got)
+	}
+}

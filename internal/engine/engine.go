@@ -362,6 +362,7 @@ func (e *Engine) computeSweep(g *graph.Graph) *sweepResult {
 		k := e.getKernel()
 		defer e.putKernel(k)
 		runs := uint64(0)
+		//promolint:hotpath
 		for s := worker; s < n; s += w {
 			dist, _, eccS := k.BFS(g, s)
 			var far int64
@@ -432,6 +433,7 @@ func (e *Engine) brandesAccumulate(g *graph.Graph, sources []int) []float64 {
 		acc := k.Acc(n)
 		accs[worker] = acc
 		runs := uint64(0)
+		//promolint:hotpath
 		for i := worker; i < len(sources); i += w {
 			k.Brandes(g, sources[i], acc)
 			runs++

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"promonet/internal/lint/flow"
+)
+
+// atomicConsistency enforces all-or-nothing atomicity per variable: a
+// struct field or package-level variable that is accessed through the
+// sync/atomic package-level functions anywhere in the package must
+// never be read or written plainly. A mixed access is at best a data
+// race and at worst a torn read the race detector only catches when the
+// schedule cooperates — the obs metrics registry and the engine's
+// counter array rely on this invariant.
+//
+// The typed atomics (atomic.Uint64 and friends) make the invariant
+// structural and are the preferred style; this analyzer exists for the
+// raw atomic.AddUint64(&x, ...) form, where the compiler offers no
+// protection.
+var atomicConsistency = &Analyzer{
+	Name:     "atomic-consistency",
+	Doc:      "flag plain reads/writes of variables accessed with sync/atomic elsewhere",
+	Severity: SevError,
+	Run:      runAtomicConsistency,
+}
+
+// isRawAtomicCall reports whether call is a package-level sync/atomic
+// operation (AddT, LoadT, StoreT, SwapT, CompareAndSwapT) — the typed
+// atomic methods have a receiver and are excluded.
+func isRawAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	name := callee.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicOperandObj resolves the &x argument of a raw atomic call to the
+// variable or field object being operated on, unwrapping index
+// expressions (&arr[i] guards the field arr).
+func atomicOperandObj(info *types.Info, arg ast.Expr) (types.Object, ast.Node) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	e := ast.Unparen(un.X)
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(ix.X)
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return obj, e
+			}
+		}
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return obj, e
+			}
+		}
+	}
+	return nil, nil
+}
+
+func runAtomicConsistency(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: find every raw atomic operation and record the guarded
+	// object plus the operand node (so pass 2 does not flag the atomic
+	// call's own &x argument).
+	guarded := make(map[types.Object]token.Position)
+	operand := make(map[ast.Node]bool)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRawAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if obj, node := atomicOperandObj(info, call.Args[0]); obj != nil {
+				if _, seen := guarded[obj]; !seen {
+					guarded[obj] = p.Fset.Position(call.Pos())
+				}
+				operand[node] = true
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to a guarded object is a finding.
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if operand[n] {
+					return false
+				}
+				obj := info.Uses[n.Sel]
+				if at, ok := guarded[obj]; ok {
+					p.Reportf(n.Sel.Pos(),
+						"field %s is accessed with sync/atomic (e.g. at %s:%d) and must never be accessed plainly",
+						n.Sel.Name, relFile(at.Filename), at.Line)
+					return false
+				}
+			case *ast.Ident:
+				if operand[n] {
+					return true
+				}
+				obj := info.Uses[n]
+				if at, ok := guarded[obj]; ok {
+					p.Reportf(n.Pos(),
+						"variable %s is accessed with sync/atomic (e.g. at %s:%d) and must never be accessed plainly",
+						n.Name, relFile(at.Filename), at.Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// relFile trims a path to its base-two components for compact messages.
+func relFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

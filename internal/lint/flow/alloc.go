@@ -1,0 +1,380 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the conservative intraprocedural escape/allocation
+// classifier of the value-flow layer. It answers two questions for the
+// analyzers built on top:
+//
+//   - AllocSites: which expressions in this subtree may allocate on the
+//     heap? (composite literals of reference types or with their address
+//     taken, make/new, growing append, closure literals, and interface
+//     boxing of non-pointer-shaped values)
+//   - Escapes: which local variables may outlive this function? (they
+//     are returned, stored, sent, captured by a closure, or passed to
+//     another function)
+//
+// Both are syntactic over-approximations tempered by type information:
+// they never claim "does not allocate"/"does not escape" for something
+// that might, except for the documented exemptions (see AllocBox).
+
+// AllocKind classifies one potential heap allocation site.
+type AllocKind int
+
+const (
+	// AllocComposite is a composite literal that allocates: a slice or
+	// map literal, or any literal whose address is taken.
+	AllocComposite AllocKind = iota
+	// AllocMake is a make() of a slice, map, or channel.
+	AllocMake
+	// AllocNew is a new(T).
+	AllocNew
+	// AllocAppend is an append() call, which may grow its backing array.
+	// Amortized append-into-reused-scratch is the canonical justified
+	// //promolint:allow for this kind.
+	AllocAppend
+	// AllocClosure is a function literal, which allocates its closure
+	// (and forces captured variables to the heap).
+	AllocClosure
+	// AllocBox is a conversion of a concrete value to an interface type
+	// that requires heap-boxing. Pointer-shaped values (pointers,
+	// channels, maps, funcs, unsafe.Pointer) and zero-size values (empty
+	// structs, zero-length arrays) are exempt: their interface
+	// representation reuses the word or a static zero object.
+	AllocBox
+)
+
+// String names the kind for diagnostics.
+func (k AllocKind) String() string {
+	switch k {
+	case AllocComposite:
+		return "composite literal"
+	case AllocMake:
+		return "make"
+	case AllocNew:
+		return "new"
+	case AllocAppend:
+		return "growing append"
+	case AllocClosure:
+		return "closure literal"
+	case AllocBox:
+		return "interface boxing"
+	}
+	return "allocation"
+}
+
+// AllocSite is one potential heap allocation.
+type AllocSite struct {
+	// Node is the allocating expression.
+	Node ast.Node
+	// Kind classifies the allocation.
+	Kind AllocKind
+	// Pos locates the site for reporting.
+	Pos token.Pos
+}
+
+// AllocSites returns the potential heap allocation sites in n, in
+// source order. Function literals count as one site each (the closure)
+// without descending into their bodies — a nested literal's own
+// allocations belong to its own analysis unit. info may have partial
+// type information; expressions it cannot type are classified
+// conservatively by syntax alone.
+//
+// Known blind spots, accepted for precision: allocations hidden behind
+// calls into other packages, string concatenation/conversion, boxing at
+// return statements and channel sends, and map/slice growth through
+// assignment. The hotpath-alloc analyzer pairs this static census with
+// the runtime BenchmarkSpanDisabled gate for exactly that reason.
+func AllocSites(info *types.Info, n ast.Node) []AllocSite {
+	var out []AllocSite
+	addrTaken := make(map[ast.Expr]bool)
+	add := func(node ast.Node, kind AllocKind) {
+		out = append(out, AllocSite{Node: node, Kind: kind, Pos: node.Pos()})
+	}
+	// ast.Inspect directly rather than WalkNodes: the literal itself must
+	// be visited (it is a site) even though its body is not descended.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			add(m, AllocClosure)
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				if inner, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+					addrTaken[inner] = true
+					add(m, AllocComposite)
+				}
+			}
+		case *ast.CompositeLit:
+			if addrTaken[m] {
+				return true
+			}
+			if t := typeOf(info, m); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					add(m, AllocComposite)
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := builtinName(info, m); ok {
+				switch name {
+				case "make":
+					add(m, AllocMake)
+				case "new":
+					add(m, AllocNew)
+				case "append":
+					add(m, AllocAppend)
+				}
+				return true
+			}
+			boxSites(info, m, add)
+		case *ast.AssignStmt:
+			// var-typed targets box concrete RHS values: `x = v` where x
+			// is interface-typed.
+			if len(m.Lhs) == len(m.Rhs) {
+				for i, rhs := range m.Rhs {
+					if boxes(info, rhs, typeOf(info, m.Lhs[i])) {
+						add(rhs, AllocBox)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if m.Type != nil && len(m.Values) > 0 {
+				target := typeOf(info, m.Type)
+				for _, v := range m.Values {
+					if boxes(info, v, target) {
+						add(v, AllocBox)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// boxSites reports the interface-boxing sites of one call: arguments
+// passed to interface-typed parameters (including variadic ...T with
+// interface T) and explicit conversions to interface types.
+func boxSites(info *types.Info, call *ast.CallExpr, add func(ast.Node, AllocKind)) {
+	// Explicit conversion: T(x) where T is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(info, call.Args[0], tv.Type) {
+			add(call.Args[0], AllocBox)
+		}
+		return
+	}
+	sig, _ := typeOf(info, call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through unboxed
+			}
+			if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				target = slice.Elem()
+			}
+		case i < params.Len():
+			target = params.At(i).Type()
+		}
+		if boxes(info, arg, target) {
+			add(arg, AllocBox)
+		}
+	}
+}
+
+// boxes reports whether assigning e to a target of the given type heap-
+// allocates an interface box. Nil targets, non-interface targets,
+// interface-typed sources, nil literals, pointer-shaped values, and
+// zero-size values do not box.
+func boxes(info *types.Info, e ast.Expr, target types.Type) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return false
+	}
+	if pointerShaped(t) || zeroSize(t) {
+		return false
+	}
+	return true
+}
+
+// pointerShaped reports whether values of t fit in one pointer word and
+// are stored directly in an interface, without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// zeroSize reports whether t is statically zero-sized (empty struct or
+// zero-length array, recursively) — such values convert to interfaces
+// via a shared static object, not a heap box.
+func zeroSize(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !zeroSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || zeroSize(u.Elem())
+	}
+	return false
+}
+
+// MayAlloc computes, over the package call graph, which declared
+// functions may allocate: those whose own body holds an AllocSite, plus
+// everything that (transitively) calls one — the interprocedural
+// summary the hotpath-alloc analyzer consults for in-package calls.
+func MayAlloc(info *types.Info, cg *CallGraph) map[*types.Func]bool {
+	return cg.Propagate(func(f *types.Func, fd *ast.FuncDecl) bool {
+		return len(AllocSites(info, fd.Body)) > 0
+	})
+}
+
+// EscapeMask records how a variable may leave its function.
+type EscapeMask uint8
+
+const (
+	// EscReturned: appears in a return statement.
+	EscReturned EscapeMask = 1 << iota
+	// EscStored: assigned somewhere, has its address taken, or placed in
+	// a composite literal.
+	EscStored
+	// EscSent: sent on a channel.
+	EscSent
+	// EscCaptured: referenced from inside a nested function literal.
+	EscCaptured
+	// EscArg: passed as a call argument (the callee may retain it).
+	EscArg
+)
+
+// Escapes conservatively classifies how each local variable referenced
+// in body may escape. Only bare identifier occurrences count (x, not
+// x.f — a field read copies a value and is a plain use). Method-call
+// receivers are uses, not escapes. The result is keyed by the
+// variable's object; variables absent from the map do not escape by any
+// tracked route.
+func Escapes(info *types.Info, body *ast.BlockStmt) map[types.Object]EscapeMask {
+	out := make(map[types.Object]EscapeMask)
+	mark := func(id *ast.Ident, m EscapeMask) {
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); !ok || v.IsField() {
+			return
+		}
+		out[obj] |= m
+	}
+	bare := func(e ast.Expr) *ast.Ident {
+		id, _ := ast.Unparen(e).(*ast.Ident)
+		return id
+	}
+	var walk func(n ast.Node, inLit *ast.FuncLit)
+	walk = func(n ast.Node, inLit *ast.FuncLit) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != n {
+					// Everything referenced inside the literal that was
+					// declared outside it is captured.
+					walk(m.Body, m)
+					return false
+				}
+			case *ast.ReturnStmt:
+				for _, res := range m.Results {
+					if id := bare(res); id != nil {
+						mark(id, EscReturned)
+					}
+				}
+			case *ast.SendStmt:
+				if id := bare(m.Value); id != nil {
+					mark(id, EscSent)
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range m.Rhs {
+					if id := bare(rhs); id != nil {
+						mark(id, EscStored)
+					}
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					if id := bare(m.X); id != nil {
+						mark(id, EscStored)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range m.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if id := bare(el); id != nil {
+						mark(id, EscStored)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range m.Args {
+					if id := bare(arg); id != nil {
+						mark(id, EscArg)
+					}
+				}
+			case *ast.Ident:
+				if inLit != nil {
+					if obj := info.Uses[m]; obj != nil && obj.Pos().IsValid() &&
+						(obj.Pos() < inLit.Pos() || obj.Pos() > inLit.End()) {
+						mark(m, EscCaptured)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+	return out
+}
+
+// typeOf is info.Types lookup tolerating partial information.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// builtinName resolves a call to a language builtin, if it is one.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// DefUse inverts a solved ReachingDefs relation into def-use chains:
+// for every definition site, the use occurrences it may reach. Together
+// with ReachingDefs.At this gives both directions of the value-flow
+// relation over one function body.
+type DefUse struct {
+	// RD is the underlying reaching-definitions solution.
+	RD *ReachingDefs
+
+	uses map[int][]*ast.Ident // Def.ID -> use occurrences, source order
+}
+
+// NewDefUse builds def-use chains from a solved ReachingDefs.
+func NewDefUse(rd *ReachingDefs) *DefUse {
+	du := &DefUse{RD: rd, uses: make(map[int][]*ast.Ident)}
+	for _, use := range rd.TrackedUses() {
+		for _, d := range rd.At(use) {
+			du.uses[d.ID] = append(du.uses[d.ID], use)
+		}
+	}
+	for _, ids := range du.uses {
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+	}
+	return du
+}
+
+// Uses returns the use occurrences that definition d may reach, in
+// source order.
+func (du *DefUse) Uses(d *Def) []*ast.Ident {
+	return du.uses[d.ID]
+}
+
+// Defs returns the definitions that may reach the given use — a
+// convenience forwarding to the underlying ReachingDefs.
+func (du *DefUse) Defs(use *ast.Ident) []*Def {
+	return du.RD.At(use)
+}
+
+// Dead returns the non-entry definitions with no reachable use — handy
+// for diagnostics and as a fuzzing invariant (a definition that kills
+// itself before any use must have an empty chain).
+func (du *DefUse) Dead() []*Def {
+	var out []*Def
+	for _, d := range du.RD.Defs {
+		if !d.Entry && len(du.uses[d.ID]) == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

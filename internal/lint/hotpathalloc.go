@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"promonet/internal/lint/flow"
+)
+
+// hotpathAlloc enforces the allocation-free discipline of marked hot
+// paths. A //promolint:hotpath marker in a function's doc comment makes
+// the whole body hot; on (or directly above) a statement it makes that
+// statement's subtree hot — typically the inner loop of a kernel.
+// Inside hot code the analyzer flags every potential heap allocation
+// the flow layer can see (composite literals, make/new, growing append,
+// closures, interface boxing) plus calls to in-package functions that
+// may themselves allocate, via the call-graph MayAlloc summary.
+//
+// Amortized allocations — append into a scratch buffer that reaches a
+// steady-state capacity — are legitimate and annotated in place with
+// //promolint:allow hotpath-alloc and a justification. Allocations
+// hidden behind cross-package calls are invisible here by design; the
+// runtime gate (BenchmarkSpanDisabled, 0 allocs/op, cross-checked by
+// scripts/check.sh) covers that blind spot for the obs fast path.
+//
+// Findings are errors inside the performance-critical packages
+// (internal/centrality, internal/engine, internal/obs) and warnings
+// elsewhere.
+var hotpathAlloc = &Analyzer{
+	Name:     "hotpath-alloc",
+	Doc:      "flag heap allocations inside //promolint:hotpath-marked hot code",
+	Severity: SevWarn,
+	Run:      runHotpathAlloc,
+}
+
+const hotpathMarker = "promolint:hotpath"
+
+// parseHotpath reports whether a comment is a hotpath marker.
+func parseHotpath(text string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, hotpathMarker) {
+		return false
+	}
+	rest := strings.TrimPrefix(text, hotpathMarker)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' // not "promolint:hotpathx"
+}
+
+// hotpathScopes are the packages whose hot-path findings are errors.
+var hotpathScopes = []string{"internal/centrality", "internal/engine", "internal/obs"}
+
+func runHotpathAlloc(p *Pass) {
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+	mayAlloc := flow.MayAlloc(info, cg)
+	sev := SevWarn
+	if p.relScope(hotpathScopes...) {
+		sev = SevError
+	}
+
+	for _, file := range p.Pkg.Files {
+		// Lines carrying a hotpath marker: a marker covers its own line
+		// and the next, so both end-of-line and preceding-line placements
+		// work (mirroring allow annotations).
+		markerLines := make(map[int]bool)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if parseHotpath(c.Text) {
+					markerLines[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var hot []ast.Node
+			if fd.Doc != nil && hasHotpathMarker(fd.Doc) {
+				hot = append(hot, fd.Body)
+			} else if len(markerLines) > 0 {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					stmt, ok := n.(ast.Stmt)
+					if !ok {
+						return true
+					}
+					line := p.Fset.Position(stmt.Pos()).Line
+					if markerLines[line] || markerLines[line-1] {
+						hot = append(hot, stmt)
+						return false // outer-most marked statement wins
+					}
+					return true
+				})
+			}
+			reported := make(map[token.Pos]bool)
+			for _, node := range hot {
+				checkHotNode(p, sev, node, cg, mayAlloc, reported)
+			}
+		}
+	}
+}
+
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if parseHotpath(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotNode reports the allocation sites and may-allocate in-package
+// calls inside one hot node.
+func checkHotNode(p *Pass, sev Severity, node ast.Node, cg *flow.CallGraph,
+	mayAlloc map[*types.Func]bool, reported map[token.Pos]bool) {
+	info := p.Pkg.Info
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.ReportSevf(sev, pos, format, args...)
+	}
+	for _, site := range flow.AllocSites(info, node) {
+		report(site.Pos, "heap allocation in hot path: %s", site.Kind)
+	}
+	flow.WalkNodes(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		if callee == nil || !mayAlloc[callee] {
+			return true
+		}
+		if _, hasDecl := cg.Decls[callee]; hasDecl {
+			report(call.Pos(), "hot path calls %s, which may allocate", callee.Name())
+		}
+		return true
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Severity ranks a finding. Errors gate CI; warnings are advisory and
@@ -75,7 +76,8 @@ func (a *Analyzer) severity() Severity {
 
 // Analyzers returns the full suite in stable order: the five syntactic
 // analyzers from the first generation, then the four CFG/dataflow
-// analyzers built on internal/lint/flow.
+// analyzers built on internal/lint/flow, then the four value-flow
+// analyzers built on its reaching-defs/escape layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		mutationSafety,
@@ -87,6 +89,10 @@ func Analyzers() []*Analyzer {
 		engineBypass,
 		poolHygiene,
 		lockOrder,
+		spanHygiene,
+		hotpathAlloc,
+		atomicConsistency,
+		nilReceiver,
 	}
 }
 
@@ -110,14 +116,24 @@ type Pass struct {
 
 // Reportf records a finding at pos unless an allow annotation covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportSevf(p.analyzer.severity(), pos, format, args...)
+}
+
+// ReportSevf is Reportf with an explicit severity, for analyzers whose
+// findings escalate by package scope (hotpath-alloc: warnings in
+// general code, errors inside the kernel packages).
+func (p *Pass) ReportSevf(sev Severity, pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if p.suppress.allows(position, p.analyzer.Name) {
 		return
 	}
+	if sev == "" {
+		sev = p.analyzer.severity()
+	}
 	*p.out = append(*p.out, Diagnostic{
 		Pos:      position,
 		Analyzer: p.analyzer.Name,
-		Severity: p.analyzer.severity(),
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -132,9 +148,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // the debug build too; findings from files shared by both passes are
 // deduplicated.
 func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(moduleRoot, patterns, cfg)
+	return diags, err
+}
+
+// AnalyzerTiming is the accumulated wall-clock cost of one analyzer
+// across every package and both build-tag passes of a run.
+type AnalyzerTiming struct {
+	Analyzer string `json:"analyzer"`
+	Nanos    int64  `json:"nanos"`
+}
+
+// RunTimed is Run plus per-analyzer timings, in suite order — the
+// -json report carries them so CI can watch the suite's cost.
+func RunTimed(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, []AnalyzerTiming, error) {
 	for _, name := range append(append([]string{}, cfg.Enable...), cfg.Disable...) {
 		if !hasAnalyzer(name) {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			return nil, nil, fmt.Errorf("lint: unknown analyzer %q", name)
 		}
 	}
 	enabled := make(map[string]bool)
@@ -154,14 +184,15 @@ func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error)
 
 	var diags []Diagnostic
 	seen := make(map[string]bool)
+	spent := make(map[string]time.Duration)
 	for pass, tags := range [][]string{nil, {"promodebug"}} {
 		l, err := newLoader(moduleRoot, tags...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		paths, err := resolvePatterns(l, moduleRoot, patterns)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, path := range paths {
 			pkg, err := l.load(path)
@@ -171,11 +202,12 @@ func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error)
 				if pass > 0 && errors.Is(err, errNoGoFiles) {
 					continue
 				}
-				return nil, err
+				return nil, nil, err
 			}
 			supp := buildSuppressionIndex(l.fset, pkg.Files)
 			var pkgDiags []Diagnostic
 			for _, a := range analyzers {
+				began := time.Now()
 				a.Run(&Pass{
 					Fset:     l.fset,
 					Pkg:      pkg,
@@ -183,6 +215,7 @@ func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error)
 					suppress: supp,
 					out:      &pkgDiags,
 				})
+				spent[a.Name] += time.Since(began)
 			}
 			for _, d := range pkgDiags {
 				key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
@@ -206,7 +239,11 @@ func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error)
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Nanos: spent[a.Name].Nanoseconds()})
+	}
+	return diags, timings, nil
 }
 
 func hasAnalyzer(name string) bool {

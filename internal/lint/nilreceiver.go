@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"promonet/internal/lint/flow"
+)
+
+// nilReceiver enforces the nil-safe method contract of types that are
+// deliberately usable through nil pointers — today the obs Span, whose
+// disabled-tracing fast path hands out nil spans by design. The
+// contract has two sides:
+//
+//   - In the defining package, every method declared nil-safe must
+//     begin with a guard: `if recv == nil { return ... }`. Anything else
+//     (a later guard, a guard the method forgot) is a finding — the
+//     guard IS the API contract.
+//   - At every call site in the module, a method invoked on a receiver
+//     that may be nil — it is reachable from an obs.Start binding, a nil
+//     literal, or an uninitialized var, per the reaching-definitions
+//     solver — must belong to the declared nil-safe set.
+//
+// The analysis is path-insensitive: a receiver that was nil-checked
+// with an if still counts as possibly nil. Guard-protected calls to
+// non-nil-safe methods are rare by design; annotate them with
+// //promolint:allow nil-receiver and a justification.
+var nilReceiver = &Analyzer{
+	Name:     "nil-receiver",
+	Doc:      "flag non-nil-safe methods called on possibly-nil receivers of nil-safe types",
+	Severity: SevError,
+	Run:      runNilReceiver,
+}
+
+// nilSafeType declares one type whose pointer methods partially
+// tolerate nil receivers.
+type nilSafeType struct {
+	// pkgSuffix matches the defining package by import-path suffix, so
+	// fixture modules behave like the real tree.
+	pkgSuffix string
+	// typeName is the named type (methods are on *typeName).
+	typeName string
+	// methods is the declared nil-safe set.
+	methods map[string]bool
+}
+
+// nilSafeTypes is the declared nil-safe registry. Extend it when a new
+// type adopts the nil-receiver no-op pattern.
+var nilSafeTypes = []nilSafeType{
+	{
+		pkgSuffix: "internal/obs",
+		typeName:  "Span",
+		methods:   map[string]bool{"End": true, "Int": true, "Int64": true, "Str": true, "Float": true},
+	},
+}
+
+// nilSafeFor looks up the registry entry for a named type.
+func nilSafeFor(obj *types.TypeName) *nilSafeType {
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	for i := range nilSafeTypes {
+		e := &nilSafeTypes[i]
+		if obj.Name() == e.typeName &&
+			(path == e.pkgSuffix || strings.HasSuffix(path, "/"+e.pkgSuffix)) {
+			return e
+		}
+	}
+	return nil
+}
+
+// pointerToNilSafe resolves t to a registry entry when t is a pointer
+// to a registered named type.
+func pointerToNilSafe(t types.Type) *nilSafeType {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return nilSafeFor(named.Obj())
+}
+
+func runNilReceiver(p *Pass) {
+	checkNilGuardContracts(p)
+	checkNilReceiverCalls(p)
+}
+
+// checkNilGuardContracts verifies, in the defining package, that every
+// declared nil-safe method opens with its nil guard.
+func checkNilGuardContracts(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			star, ok := recvField.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			tid, ok := ast.Unparen(star.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tobj, _ := info.Uses[tid].(*types.TypeName)
+			entry := nilSafeFor(tobj)
+			if entry == nil || !entry.methods[fd.Name.Name] {
+				continue
+			}
+			if len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
+				p.Reportf(fd.Pos(), "nil-safe method (*%s).%s has no named receiver, so it cannot begin with the required nil guard",
+					entry.typeName, fd.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(info, fd.Body, info.Defs[recvField.Names[0]]) {
+				p.Reportf(fd.Pos(), "nil-safe method (*%s).%s must begin with `if %s == nil { return ... }` — callers rely on the nil no-op contract",
+					entry.typeName, fd.Name.Name, recvField.Names[0].Name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether body's first statement is
+// `if recv == nil { ...terminating in return... }`.
+func startsWithNilGuard(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	if recv == nil || len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(bin.X) && isNil(bin.Y) || isNil(bin.X) && isRecv(bin.Y)) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ok = ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// checkNilReceiverCalls flags, everywhere in the module, calls to
+// non-nil-safe methods through receivers that may be nil.
+func checkNilReceiverCalls(p *Pass) {
+	nilSources := nilSpanSources(p)
+
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCallsInBody(p, fd.Body, flow.ParamIdents(fd.Recv, fd.Type), nilSources)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+					checkCallsInBody(p, lit.Body, flow.ParamIdents(nil, lit.Type), nilSources)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCallsInBody runs the reaching-defs-based call-site check over
+// one function body.
+func checkCallsInBody(p *Pass, body *ast.BlockStmt, params []*ast.Ident, nilSources map[*types.Func]bool) {
+	info := p.Pkg.Info
+
+	// Cheap pre-scan: only build the CFG and solve reaching defs when
+	// the body actually calls a method on a nil-safe pointer type.
+	interesting := false
+	flow.WalkNodes(body, func(n ast.Node) bool {
+		if interesting {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := exprType(info, sel.X); t != nil && pointerToNilSafe(t) != nil {
+				interesting = true
+			}
+		}
+		return true
+	})
+	if !interesting {
+		return
+	}
+
+	cfg := flow.New(body, info)
+	rd := flow.NewReachingDefs(cfg, info, params, body)
+
+	flow.WalkNodes(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		t := exprType(info, recv)
+		if t == nil {
+			return true
+		}
+		entry := pointerToNilSafe(t)
+		if entry == nil || entry.methods[sel.Sel.Name] {
+			return true
+		}
+		for _, d := range rd.At(recv) {
+			if at := nilSourceDef(info, d, nilSources); at != "" {
+				p.Reportf(call.Pos(),
+					"(*%s).%s is not nil-safe, but %q may be nil here (%s on line %d)",
+					entry.typeName, sel.Sel.Name, recv.Name, at,
+					p.Fset.Position(d.Pos).Line)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// nilSourceDef classifies a definition as a possible nil source,
+// returning a short description ("" when the def cannot be nil as far
+// as this analysis knows).
+func nilSourceDef(info *types.Info, d *flow.Def, nilSources map[*types.Func]bool) string {
+	if d.Entry {
+		return "" // parameters are the caller's responsibility
+	}
+	switch node := d.Node.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range node.Rhs {
+			if call := sourceExprCall(rhs, func(c *ast.CallExpr) bool {
+				if isObsStartCall(info, c) {
+					return true
+				}
+				callee := flow.Callee(info, c)
+				return callee != nil && nilSources[callee]
+			}); call != nil {
+				return "nil while tracing is disabled: bound from obs.Start"
+			}
+			if isNilIdent(info, rhs) {
+				return "assigned nil"
+			}
+		}
+	case *ast.DeclStmt:
+		hasValue := false
+		ast.Inspect(node, func(m ast.Node) bool {
+			if vs, ok := m.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+				hasValue = true
+			}
+			return !hasValue
+		})
+		if !hasValue {
+			return "declared without a value, so zero (nil)"
+		}
+	}
+	return ""
+}
+
+// nilSpanSources computes, by fixpoint, the in-package functions whose
+// results may be a nil span: they return a value derived from obs.Start
+// (nil while tracing is off), a nil literal typed as a nil-safe
+// pointer, or the result of another nil source.
+func nilSpanSources(p *Pass) map[*types.Func]bool {
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+	sources := make(map[*types.Func]bool)
+
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if isObsStartCall(info, call) {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sources[callee]
+	}
+
+	returnsNilable := func(fd *ast.FuncDecl) bool {
+		// Only functions that can return a nil-safe pointer matter.
+		obj, _ := info.Defs[fd.Name].(*types.Func)
+		if obj == nil {
+			return false
+		}
+		sig := obj.Type().(*types.Signature)
+		yieldsNilSafe := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if pointerToNilSafe(sig.Results().At(i).Type()) != nil {
+				yieldsNilSafe = true
+			}
+		}
+		if !yieldsNilSafe {
+			return false
+		}
+		if returnsSpanValue(info, fd, isSourceCall) {
+			return true
+		}
+		found := false
+		flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for i, res := range ret.Results {
+				if i >= sig.Results().Len() {
+					break
+				}
+				if pointerToNilSafe(sig.Results().At(i).Type()) == nil {
+					continue
+				}
+				if isNilIdent(info, res) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range cg.Decls {
+			if !sources[f] && returnsNilable(fd) {
+				sources[f] = true
+				changed = true
+			}
+		}
+	}
+	return sources
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	if obj := info.Uses[id]; obj != nil {
+		_, isNil := obj.(*types.Nil)
+		return isNil
+	}
+	return true // untyped / partial info: trust the spelling
+}
+
+// exprType is a tolerant info.Types lookup.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

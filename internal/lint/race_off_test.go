@@ -1,0 +1,6 @@
+//go:build !race
+
+package lint
+
+// raceEnabled mirrors race_on_test.go for builds without the detector.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package lint
+
+// raceEnabled reports whether the race detector is compiled in. The
+// mutation acceptance tests loop over every real guarded site, and each
+// iteration is a full load+typecheck+analyze pass that costs several
+// times more under -race; with the detector on they trim to one
+// representative site per analyzer. The plain and promodebug test
+// passes still exercise every site.
+const raceEnabled = true

@@ -11,6 +11,9 @@ type Report struct {
 	Findings []ReportFinding `json:"findings"`
 	// Stale lists baseline entries that matched no current finding.
 	Stale []BaselineEntry `json:"stale,omitempty"`
+	// Timings is the per-analyzer wall-clock cost of the run, in suite
+	// order (omitted when the caller did not collect timings).
+	Timings []AnalyzerTiming `json:"timings,omitempty"`
 }
 
 // ReportFinding is one finding in a Report.

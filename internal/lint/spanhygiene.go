@@ -1,0 +1,578 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// spanHygiene checks obs tracing span lifecycle discipline everywhere
+// in the module: a span obtained from obs.Start (directly or through a
+// package-local wrapper that returns one) must reach End on every path
+// — explicitly or via defer — must not End twice, must not be used
+// after End, and must not be reassigned while still live. A leaked span
+// never records its timing and leaks from the span pool; a double End
+// returns one Span struct to the pool twice, aliasing it across two
+// concurrent spans.
+//
+// Transferring ownership ends tracking, mirroring pool-hygiene:
+// returning the span (a Start wrapper), storing it, sending it, passing
+// it to a non-End function, or capturing it in a closure.
+var spanHygiene = &Analyzer{
+	Name:     "span-hygiene",
+	Doc:      "flag obs spans that leak without End, End twice, or are used after End",
+	Severity: SevError,
+	Run:      runSpanHygiene,
+}
+
+// Span-hygiene dataflow bits, the same shape as pool-hygiene's plus a
+// registration bit that makes defers flow-sensitive: a deferred End only
+// runs at exits the defer statement actually reached, so an early return
+// before `defer sp.End()` is registered neither Ends the span nor
+// double-Ends an explicitly-Ended one.
+const (
+	shLive     uint64 = 1 << iota // started, not yet ended
+	shEnded                       // End has run
+	shDeferred                    // a deferred End is registered on this path
+)
+
+// isObsStartCall reports whether call is obs.Start — the function named
+// Start of a package whose import path is internal/obs (of any module,
+// so fixtures behave like the real tree).
+func isObsStartCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Name() != "Start" || callee.Pkg() == nil {
+		return false
+	}
+	if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return isObsPkgPath(callee.Pkg().Path())
+}
+
+func isObsPkgPath(path string) bool {
+	return path == "internal/obs" || len(path) > len("/internal/obs") &&
+		path[len(path)-len("/internal/obs"):] == "/internal/obs"
+}
+
+// isSpanEndCall reports whether call is the End method invoked on a
+// bare identifier receiver, returning that identifier.
+func isSpanEndCall(info *types.Info, call *ast.CallExpr) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	callee := flow.Callee(info, call)
+	if callee == nil {
+		return nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	id, _ := ast.Unparen(sel.X).(*ast.Ident)
+	return id
+}
+
+// spanWrappers computes, by fixpoint over the package, the functions
+// that act as span sources (return a span that came from Start) and
+// span sinks (forward a parameter to an End).
+func spanWrappers(p *Pass) (sources, sinks map[*types.Func]bool) {
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+	sources = make(map[*types.Func]bool)
+	sinks = make(map[*types.Func]bool)
+
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if isObsStartCall(info, call) {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sources[callee]
+	}
+	isSinkCall := func(call *ast.CallExpr) (*ast.Ident, bool) {
+		if id := isSpanEndCall(info, call); id != nil {
+			return id, true
+		}
+		callee := flow.Callee(info, call)
+		if callee != nil && sinks[callee] {
+			return nil, true
+		}
+		return nil, false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range cg.Decls {
+			if !sources[f] && returnsSpanValue(info, fd, isSourceCall) {
+				sources[f] = true
+				changed = true
+			}
+			if !sinks[f] && forwardsParamToEnd(info, fd, isSinkCall) {
+				sinks[f] = true
+				changed = true
+			}
+		}
+	}
+	return sources, sinks
+}
+
+// spanBoundObjs collects the local variables of fd that are bound to a
+// span source call — either the single result of a wrapper or the
+// second result of the (ctx, span) tuple Start returns.
+func spanBoundObjs(info *types.Info, body ast.Node, isSourceCall func(*ast.CallExpr) bool) map[types.Object]bool {
+	bound := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				bound[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				bound[obj] = true
+			}
+		}
+	}
+	flow.WalkNodes(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) == 1 {
+			if call := sourceExprCall(assign.Rhs[0], func(c *ast.CallExpr) bool { return isSourceCall(c) }); call != nil {
+				switch len(assign.Lhs) {
+				case 1:
+					record(assign.Lhs[0])
+				case 2:
+					record(assign.Lhs[1]) // ctx, sp := obs.Start(...)
+				}
+				return true
+			}
+		}
+		if len(assign.Lhs) == len(assign.Rhs) {
+			for i, rhs := range assign.Rhs {
+				if call := sourceExprCall(rhs, func(c *ast.CallExpr) bool { return isSourceCall(c) }); call != nil {
+					record(assign.Lhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+// returnsSpanValue reports whether fd can return a span derived from a
+// source call: a return of the call itself or of a local bound to one
+// (the flow.Escapes classifier supplies the "is it returned" bit).
+func returnsSpanValue(info *types.Info, fd *ast.FuncDecl, isSourceCall func(*ast.CallExpr) bool) bool {
+	found := false
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if sourceExprCall(res, isSourceCall) != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	bound := spanBoundObjs(info, fd.Body, isSourceCall)
+	if len(bound) == 0 {
+		return false
+	}
+	esc := flow.Escapes(info, fd.Body)
+	for obj := range bound {
+		if esc[obj]&flow.EscReturned != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardsParamToEnd reports whether fd hands one of its parameters to
+// a span sink — as the receiver of an End call or as an argument to
+// another sink.
+func forwardsParamToEnd(info *types.Info, fd *ast.FuncDecl, isSinkCall func(*ast.CallExpr) (*ast.Ident, bool)) bool {
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return false
+	}
+	found := false
+	flow.WalkNodes(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, isSink := isSinkCall(call)
+		if !isSink {
+			return true
+		}
+		if recv != nil && params[info.Uses[recv]] {
+			found = true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && params[info.Uses[id]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func runSpanHygiene(p *Pass) {
+	info := p.Pkg.Info
+	sources, sinks := spanWrappers(p)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkSpanBody(p, info, body, sources, sinks)
+			})
+		}
+	}
+}
+
+// trackedSpan is one Start-bound local under analysis.
+type trackedSpan struct {
+	obj    types.Object
+	def    *ast.AssignStmt
+	defPos token.Pos
+}
+
+func checkSpanBody(p *Pass, info *types.Info, body *ast.BlockStmt, sources, sinks map[*types.Func]bool) {
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if isObsStartCall(info, call) {
+			return true
+		}
+		callee := flow.Callee(info, call)
+		return callee != nil && sources[callee]
+	}
+	isSinkCall := func(call *ast.CallExpr) (*ast.Ident, bool) {
+		if id := isSpanEndCall(info, call); id != nil {
+			return id, true
+		}
+		callee := flow.Callee(info, call)
+		if callee != nil && sinks[callee] {
+			return nil, true
+		}
+		return nil, false
+	}
+
+	// Collect tracked spans: `sp := <source>()`, `_, sp := obs.Start()`,
+	// and the `=` reassignment forms of both. Each binding occurrence is
+	// its own tracked value; a reassignment of a live one is reported.
+	var tracked []*trackedSpan
+	flow.WalkNodes(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		record := func(lhs ast.Expr) {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				tracked = append(tracked, &trackedSpan{obj: obj, def: assign, defPos: assign.Pos()})
+			}
+		}
+		if len(assign.Rhs) == 1 && len(assign.Lhs) == 2 {
+			if sourceExprCall(assign.Rhs[0], isSourceCall) != nil {
+				record(assign.Lhs[1]) // ctx, sp := obs.Start(...)
+			}
+			return true
+		}
+		if len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if sourceExprCall(rhs, isSourceCall) != nil {
+				record(assign.Lhs[i])
+			}
+		}
+		return true
+	})
+
+	if len(tracked) == 0 {
+		return
+	}
+	cfg := flow.New(body, info)
+	for _, tv := range tracked {
+		checkSpan(p, info, cfg, tv, isSinkCall)
+	}
+}
+
+// spanEvent is one ordered occurrence of the tracked span.
+type spanEvent int
+
+const (
+	sevDef      spanEvent = iota // the defining Start assignment
+	sevEnd                       // End (or a sink call) on the span
+	sevKill                      // rebound by a different assignment
+	sevEscape                    // returned, sent, stored, or captured
+	sevUse                       // any other read (attribute setters etc.)
+	sevDeferReg                  // `defer sp.End()` registered on this path
+)
+
+// spanEvents walks one CFG node and yields the tracked span's events in
+// source order. Nested function literals are scanned only for captures;
+// deferred Ends are applied at exit via cfg.Defers, and a deferred
+// closure capturing the span takes ownership.
+func spanEvents(info *types.Info, node ast.Node, tv *trackedSpan,
+	isSinkCall func(*ast.CallExpr) (*ast.Ident, bool), yield func(ev spanEvent, pos token.Pos)) {
+	skip := make(map[*ast.Ident]bool)
+	usesVar := func(e ast.Expr) *ast.Ident {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if ok && info.Uses[id] == tv.obj {
+			return id
+		}
+		return nil
+	}
+	captures := func(lit *ast.FuncLit) bool {
+		captured := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == tv.obj {
+				captured = true
+			}
+			return !captured
+		})
+		return captured
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && captures(lit) {
+				yield(sevEscape, n.Pos())
+				return false
+			}
+			if recv, isSink := isSinkCall(n.Call); isSink {
+				if recv != nil && info.Uses[recv] == tv.obj {
+					yield(sevDeferReg, n.Pos())
+				}
+				for _, arg := range n.Call.Args {
+					if usesVar(arg) != nil {
+						yield(sevDeferReg, n.Pos())
+					}
+				}
+			} else {
+				// Deferring the span into any other call transfers ownership.
+				for _, arg := range n.Call.Args {
+					if usesVar(arg) != nil {
+						yield(sevEscape, n.Pos())
+					}
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			if captures(n) {
+				yield(sevEscape, n.Pos())
+			}
+			return false
+		case *ast.AssignStmt:
+			if n == tv.def {
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						skip[id] = true
+					}
+				}
+				yield(sevDef, n.Pos())
+				return true
+			}
+			// Re-binding the same variable from another Start kills this
+			// tracked value; storing it anywhere transfers ownership.
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && (info.Uses[id] == tv.obj || info.Defs[id] == tv.obj) {
+					skip[id] = true
+					yield(sevKill, n.Pos())
+				}
+			}
+			for _, rhs := range n.Rhs {
+				if id := usesVar(rhs); id != nil {
+					skip[id] = true
+					yield(sevEscape, n.Pos())
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id := usesVar(res); id != nil {
+					skip[id] = true
+					yield(sevEscape, n.Pos())
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			if id := usesVar(n.Value); id != nil {
+				skip[id] = true
+				yield(sevEscape, n.Pos())
+			}
+			return true
+		case *ast.CallExpr:
+			if recv, isSink := isSinkCall(n); isSink {
+				if recv != nil && info.Uses[recv] == tv.obj {
+					skip[recv] = true
+					yield(sevEnd, n.Pos())
+				}
+				for _, arg := range n.Args {
+					if id := usesVar(arg); id != nil {
+						skip[id] = true
+						yield(sevEnd, n.Pos())
+					}
+				}
+				return true
+			}
+			// Method call on the span itself (sp.Int, sp.Str, ...) is a
+			// use of the receiver, handled by the Ident case. Passing the
+			// span to any other function transfers ownership.
+			for _, arg := range n.Args {
+				if id := usesVar(arg); id != nil {
+					skip[id] = true
+					yield(sevEscape, n.Pos())
+				}
+			}
+			return true
+		case *ast.Ident:
+			if info.Uses[n] == tv.obj && !skip[n] {
+				yield(sevUse, n.Pos())
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// checkSpan solves and reports the {live, ended} states of one tracked
+// span over the CFG.
+func checkSpan(p *Pass, info *types.Info, cfg *flow.CFG, tv *trackedSpan,
+	isSinkCall func(*ast.CallExpr) (*ast.Ident, bool)) {
+	apply := func(state uint64, ev spanEvent) uint64 {
+		switch ev {
+		case sevDef:
+			// A fresh value: an earlier registered defer bound the previous
+			// value at registration time, so it does not cover this one.
+			return shLive
+		case sevEnd:
+			return (state &^ shLive) | shEnded
+		case sevDeferReg:
+			return state | shDeferred
+		case sevKill, sevEscape:
+			return 0
+		}
+		return state
+	}
+	trans := func(b *flow.Block, in uint64) uint64 {
+		state := in
+		for _, node := range b.Nodes {
+			spanEvents(info, node, tv, isSinkCall, func(ev spanEvent, pos token.Pos) {
+				state = apply(state, ev)
+			})
+		}
+		return state
+	}
+	in := cfg.Solve(0, trans)
+
+	// Deferred Ends of this span run on every path into Exit.
+	var deferredEnds []*ast.DeferStmt
+	for _, d := range cfg.Defers {
+		recv, isSink := isSinkCall(d.Call)
+		if !isSink {
+			continue
+		}
+		if recv != nil && info.Uses[recv] == tv.obj {
+			deferredEnds = append(deferredEnds, d)
+			continue
+		}
+		for _, arg := range d.Call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == tv.obj {
+				deferredEnds = append(deferredEnds, d)
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	reportf := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Reportf(pos, format, args...)
+	}
+
+	name := tv.obj.Name()
+	for _, b := range cfg.Blocks {
+		start, reached := in[b]
+		if !reached {
+			continue
+		}
+		state := start
+		var lastReturn *ast.ReturnStmt
+		for _, node := range b.Nodes {
+			spanEvents(info, node, tv, isSinkCall, func(ev spanEvent, pos token.Pos) {
+				switch ev {
+				case sevEnd:
+					// The ENDED bit can only arrive over a path that already
+					// ran End: any further End is a may-double-End.
+					if state&shEnded != 0 {
+						reportf(pos, "span %q may End twice — End recycles the span through the pool; a second End corrupts another span's record", name)
+					}
+				case sevKill:
+					// A registered deferred End owns the old value, so only a
+					// rebind with no defer on the path leaks it.
+					if state&shLive != 0 && state&shDeferred == 0 {
+						reportf(pos, "span %q is rebound while still live — the previous span never Ends and leaks from the pool", name)
+					}
+				case sevEscape, sevUse:
+					if state&shEnded != 0 && state&shLive == 0 {
+						reportf(pos, "span %q used after End — the pool may already have recycled it into another span", name)
+					}
+				}
+				state = apply(state, ev)
+			})
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				lastReturn = ret
+			}
+		}
+		if !linksTo(b, cfg.Exit) {
+			continue
+		}
+		// A deferred End runs here only if its registration reached this
+		// exit (the shDeferred bit), not merely because the defer exists
+		// somewhere in the function — early returns above the defer
+		// statement are untouched by it.
+		if state&shDeferred != 0 && len(deferredEnds) > 0 {
+			if state&shEnded != 0 {
+				reportf(deferredEnds[0].Pos(), "span %q may End twice (explicit End plus deferred End)", name)
+			}
+			state = apply(state, sevEnd)
+		}
+		if state&shLive != 0 {
+			pos := cfg.End - 1
+			if lastReturn != nil {
+				pos = lastReturn.Pos()
+			}
+			reportf(pos, "span %q can reach this return without End — its timing is never recorded and the span leaks from the pool", name)
+		}
+	}
+}

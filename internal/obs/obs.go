@@ -94,6 +94,8 @@ type ctxKey struct{}
 // "promote/strategy-apply"); DESIGN.md §11 lists the vocabulary. Build
 // the name without concatenation on hot paths (precompute constants) so
 // the disabled path stays allocation-free.
+//
+//promolint:hotpath
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	rec := recorder.Load()
 	if rec == nil {

@@ -26,11 +26,31 @@ step "go build ./... (default and promodebug)"
 go build ./...
 go build -tags promodebug ./...
 
-step "promolint ./... (all analyzers, findings saved to lint-findings.json)"
-# The JSON report is written even on failure so CI can upload it as an
-# artifact; a stale lint-baseline.json entry is itself a failure.
+step "promolint ./... (13-analyzer suite, findings saved to lint-findings.json)"
+# One promolint invocation analyzes both build-tag sets (default and
+# promodebug) and dedupes shared files. The JSON report is written even
+# on failure so CI can upload it as an artifact; a stale
+# lint-baseline.json entry is itself a failure.
 if ! go run ./cmd/promolint -json -baseline lint-baseline.json ./... > lint-findings.json; then
     cat lint-findings.json >&2
+    exit 1
+fi
+
+step "lint report sanity (13 analyzers timed)"
+timed=$(grep -c '"nanos"' lint-findings.json || true)
+if [[ "$timed" -ne 13 ]]; then
+    echo "lint-findings.json carries $timed per-analyzer timings, want 13" >&2
+    exit 1
+fi
+
+step "hotpath-alloc runtime cross-check (BenchmarkSpanDisabled, 0 allocs/op)"
+# The static hotpath-alloc analyzer cannot see allocations hidden behind
+# cross-package calls; the obs disabled-path benchmark closes that blind
+# spot. Both gates must hold together.
+bench_out=$(go test ./internal/obs/ -run '^$' -bench BenchmarkSpanDisabled -benchtime 100x -benchmem)
+echo "$bench_out" | grep BenchmarkSpanDisabled
+if ! echo "$bench_out" | grep -q '\b0 allocs/op'; then
+    echo "BenchmarkSpanDisabled allocates — the obs disabled fast path regressed" >&2
     exit 1
 fi
 
@@ -42,7 +62,9 @@ if [[ "${1:-}" == "quick" ]]; then
 fi
 
 step "go test -race ./..."
-go test -race ./...
+# internal/lint re-typechecks fixture modules per mutation and runs
+# close to the default 600s package budget under the race detector.
+go test -race -timeout 900s ./...
 
 step "go test -tags promodebug ./... (runtime invariant checks active)"
 go test -tags promodebug ./...
