@@ -22,6 +22,7 @@ import (
 	"promonet/internal/exp"
 	"promonet/internal/gen"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 	"promonet/internal/greedy"
 )
 
@@ -556,6 +557,132 @@ func BenchmarkEnginePooled(b *testing.B) {
 			_ = e.Scores(h, engine.Farness())
 		})
 	}
+}
+
+// --- CSR snapshot backend (DESIGN.md §13, BENCH_7.json) ---
+//
+// The CSR benchmarks run the same kernel on both scoring backends so
+// the flat-array speedup stays a tracked number rather than folklore.
+// Each has a map sub-benchmark (the adjacency-map *graph.Graph) and a
+// csr sub-benchmark (the frozen Snapshot); scripts/bench.sh records
+// both sides in BENCH_7.json and scripts/bench_report.sh reports the
+// ratio. The acceptance bar is csr >= 2x map for the BFS sweep on BA
+// hosts — contiguous rows plus the direction-optimizing kernel, which
+// only the flat Arcs representation supports, carry the gap.
+
+// csrBFSSweep runs a BFS from sources strided across the id space and
+// folds the three BFS-family aggregates (farness, harmonic,
+// eccentricity) from each distance vector, exactly the per-source work
+// of a sweep-family scoring pass.
+func csrBFSSweep(k *centrality.Kernel, g graph.View, sources int) float64 {
+	n := g.N()
+	stride := n / sources
+	if stride < 1 {
+		stride = 1
+	}
+	var acc float64
+	for s := 0; s < n; s += stride {
+		dist, _, ecc := k.BFS(g, s)
+		var far int64
+		var harm float64
+		for _, d := range dist {
+			if d > 0 {
+				far += int64(d)
+				harm += 1 / float64(d)
+			}
+		}
+		acc += float64(far) + harm + float64(ecc)
+	}
+	return acc
+}
+
+func BenchmarkCSRFreeze(b *testing.B) {
+	g := benchHost(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += float64(csr.Freeze(g).M())
+	}
+}
+
+func BenchmarkCSRBFS(b *testing.B) {
+	// Denser than benchHost (m = 10): the paper-scale hosts average
+	// degree ~20, and the bottom-up phase's early-exit parent scan is
+	// what the acceptance ratio measures.
+	g := gen.BarabasiAlbert(rand.New(rand.NewSource(1234)), 20000, 10)
+	backends := map[string]graph.View{"map": g, "csr": csr.Freeze(g)}
+	for _, name := range []string{"map", "csr"} {
+		v := backends[name]
+		b.Run(name, func(b *testing.B) {
+			k := centrality.NewKernel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink += csrBFSSweep(k, v, 64)
+			}
+		})
+	}
+}
+
+func BenchmarkCSRBrandes(b *testing.B) {
+	g := benchHost(1000)
+	backends := map[string]graph.View{"map": g, "csr": csr.Freeze(g)}
+	for _, name := range []string{"map", "csr"} {
+		v := backends[name]
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				//promolint:allow engine-bypass -- backend comparison needs the bare kernel, not the memoizing engine
+				benchSink += centrality.BetweennessWorkers(v, centrality.PairsUnordered, 1)[0]
+			}
+		})
+	}
+}
+
+// BenchmarkCSRGreedyRound prices one delta-scored greedy round (the
+// EvaluateEdgeBatch path greedy.Improve uses) against each backend; the
+// csr leg is what a greedy round pays now that Improve freezes the host
+// and layers trial edges in an overlay.
+func BenchmarkCSRGreedyRound(b *testing.B) {
+	g, target, cands := greedyRoundHost(10000, 64)
+	backends := map[string]graph.View{"map": g, "csr": csr.Freeze(g)}
+	for _, name := range []string{"map", "csr"} {
+		v := backends[name]
+		b.Run(name, func(b *testing.B) {
+			e := engine.New(0, engine.WithCacheSize(0))
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := e.EvaluateEdgeBatch(v, target, cands, engine.Farness())
+				benchSink += out[len(out)-1]
+			}
+		})
+	}
+}
+
+// BenchmarkCSRMillionSweep is the scale demonstration: freeze a
+// 10^6-node / 10^7-edge Barabási–Albert host and complete a sampled
+// BFS-family sweep (32 sources) over the snapshot. Skipped with -short;
+// scripts/bench.sh runs it once (-benchtime 1x) into BENCH_7.json.
+func BenchmarkCSRMillionSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10^6-node host: skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(42))
+	g := gen.BarabasiAlbert(rng, 1_000_000, 10)
+	var snap *csr.Snapshot
+	b.Run("freeze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap = csr.Freeze(g)
+			benchSink += float64(snap.M())
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		k := centrality.NewKernel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += csrBFSSweep(k, snap, 32)
+		}
+	})
 }
 
 func BenchmarkEngineMemoized(b *testing.B) {

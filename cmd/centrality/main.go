@@ -18,7 +18,32 @@ import (
 	"promonet/internal/core"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 )
+
+// engineMeasure maps a CLI measure name to the engine.Measure the CSR
+// backend scores with. Current-flow betweenness is the one measure with
+// no engine kind (its electrical solver works on the map backend only).
+func engineMeasure(name string) (engine.Measure, error) {
+	switch name {
+	case "betweenness", "BC":
+		return engine.Betweenness(centrality.PairsUnordered), nil
+	case "coreness", "RC":
+		return engine.Coreness(), nil
+	case "closeness", "CC":
+		return engine.Closeness(), nil
+	case "eccentricity", "EC":
+		return engine.Eccentricity(), nil
+	case "harmonic", "HC":
+		return engine.Harmonic(), nil
+	case "degree", "DC":
+		return engine.Degree(), nil
+	case "katz", "KC":
+		return engine.Katz(), nil
+	default:
+		return engine.Measure{}, fmt.Errorf("measure %q has no csr backend (use -backend map)", name)
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -30,6 +55,7 @@ func main() {
 func run() error {
 	graphPath := flag.String("graph", "", "edge-list file (required)")
 	measureName := flag.String("measure", "closeness", "measure: betweenness|coreness|closeness|eccentricity|harmonic|degree|katz")
+	backend := flag.String("backend", "map", "scoring backend: map (adjacency-map graph) or csr (frozen flat-array snapshot)")
 	top := flag.Int("top", 20, "print the top-k nodes by score")
 	stats := flag.Bool("stats", false, "print Table VI-style statistics instead of scores")
 	lcc := flag.Bool("lcc", true, "restrict to the largest connected component (the paper's preprocessing)")
@@ -66,7 +92,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	scores := m.Scores(g)
+	var scores []float64
+	switch *backend {
+	case "map":
+		scores = m.Scores(g)
+	case "csr":
+		em, err := engineMeasure(*measureName)
+		if err != nil {
+			return err
+		}
+		scores = engine.Default().Scores(csr.Freeze(g), em)
+	default:
+		return fmt.Errorf("-backend must be map or csr, got %q", *backend)
+	}
 	ranks := centrality.Ranks(scores)
 
 	idx := make([]int, len(scores))

@@ -50,9 +50,15 @@ func newBrandesScratch(n int) *brandesScratch {
 // source accumulates the dependencies of source s into acc. After
 // summing over all sources, acc holds the ordered-pairs betweenness.
 //
+// The traversal is strictly top-down on every backend — flat-array
+// views only swap the row lookup, not the visit order — so the σ and δ
+// floating-point accumulation order, and hence the scores, are bitwise
+// identical across backends.
+//
 //promolint:hotpath
-func (bs *brandesScratch) source(g *graph.Graph, s int, acc []float64) {
+func (bs *brandesScratch) source(g graph.View, s int, acc []float64) {
 	n := g.N()
+	rowptr, cols := graph.ArcsOf(g)
 	for i := 0; i < n; i++ {
 		bs.dist[i] = Unreachable
 		bs.sigma[i] = 0
@@ -68,7 +74,13 @@ func (bs *brandesScratch) source(g *graph.Graph, s int, acc []float64) {
 		q = q[1:]
 		order = append(order, v) //promolint:allow hotpath-alloc -- amortized: bs.order reaches steady-state n capacity after the first source
 		dv := bs.dist[v]
-		for _, u := range g.Adjacency(int(v)) {
+		var row []int32
+		if rowptr != nil {
+			row = cols[rowptr[v]:rowptr[v+1]]
+		} else {
+			row = g.Adjacency(int(v))
+		}
+		for _, u := range row {
 			if bs.dist[u] == Unreachable {
 				bs.dist[u] = dv + 1
 				q = append(q, u) //promolint:allow hotpath-alloc -- amortized: at most n enqueues into the n-cap scratch queue
@@ -105,8 +117,9 @@ func (bs *brandesScratch) source(g *graph.Graph, s int, acc []float64) {
 // adjacency row, so the floating-point accumulation order can differ in
 // the last ulps from a run on a graph with the edge physically
 // inserted; integer-valued state (distances, path counts) is identical.
-func (bs *brandesScratch) sourceDep(g *graph.Graph, s, t int, eu, ev int32) float64 {
+func (bs *brandesScratch) sourceDep(g graph.View, s, t int, eu, ev int32) float64 {
 	n := g.N()
+	rowptr, cols := graph.ArcsOf(g)
 	for i := 0; i < n; i++ {
 		bs.dist[i] = Unreachable
 		bs.sigma[i] = 0
@@ -122,7 +135,13 @@ func (bs *brandesScratch) sourceDep(g *graph.Graph, s, t int, eu, ev int32) floa
 		q = q[1:]
 		order = append(order, v) //promolint:allow hotpath-alloc -- amortized: bs.order reaches steady-state n capacity after the first source
 		dv := bs.dist[v]
-		for _, u := range g.Adjacency(int(v)) {
+		var row []int32
+		if rowptr != nil {
+			row = cols[rowptr[v]:rowptr[v+1]]
+		} else {
+			row = g.Adjacency(int(v))
+		}
+		for _, u := range row {
 			if bs.dist[u] == Unreachable {
 				bs.dist[u] = dv + 1
 				q = append(q, u) //promolint:allow hotpath-alloc -- amortized: at most n enqueues into the n-cap scratch queue
@@ -169,14 +188,14 @@ func (bs *brandesScratch) sourceDep(g *graph.Graph, s, t int, eu, ev int32) floa
 // (Definition 2.3) using Brandes' algorithm, parallelized over sources.
 // The counting convention selects the paper's ordered-pairs definition
 // or the conventional unordered count.
-func Betweenness(g *graph.Graph, counting PairCounting) []float64 {
+func Betweenness(g graph.View, counting PairCounting) []float64 {
 	return betweennessFrom(g, allSources(g.N()), counting, 1)
 }
 
 // BetweennessWorkers is Betweenness with an explicit worker count
 // (1 forces a sequential run). It exists for the parallel-scaling
 // ablation benchmarks; Betweenness uses GOMAXPROCS.
-func BetweennessWorkers(g *graph.Graph, counting PairCounting, workers int) []float64 {
+func BetweennessWorkers(g graph.View, counting PairCounting, workers int) []float64 {
 	return betweennessWorkers(g, allSources(g.N()), counting, 1, workers)
 }
 
@@ -195,7 +214,7 @@ func BetweennessWorkers(g *graph.Graph, counting PairCounting, workers int) []fl
 // bitwise-reproducible scores should go through internal/engine, whose
 // deterministic strided schedule guarantees identical output for
 // identical (graph, measure, seed, worker count).
-func BetweennessSampled(g *graph.Graph, counting PairCounting, k int, rng *rand.Rand) []float64 {
+func BetweennessSampled(g graph.View, counting PairCounting, k int, rng *rand.Rand) []float64 {
 	n := g.N()
 	if k >= n {
 		return Betweenness(g, counting)
@@ -212,11 +231,11 @@ func allSources(n int) []int {
 	return s
 }
 
-func betweennessFrom(g *graph.Graph, sources []int, counting PairCounting, scale float64) []float64 {
+func betweennessFrom(g graph.View, sources []int, counting PairCounting, scale float64) []float64 {
 	return betweennessWorkers(g, sources, counting, scale, runtime.GOMAXPROCS(0))
 }
 
-func betweennessWorkers(g *graph.Graph, sources []int, counting PairCounting, scale float64, workers int) []float64 {
+func betweennessWorkers(g graph.View, sources []int, counting PairCounting, scale float64, workers int) []float64 {
 	n := g.N()
 	if workers > len(sources) {
 		workers = len(sources)
@@ -279,7 +298,7 @@ func betweennessWorkers(g *graph.Graph, sources []int, counting PairCounting, sc
 // using the identity σ_v(s,t) = σ(s,v)·σ(v,t) when
 // dist(s,v)+dist(v,t) = dist(s,t). It is O(n²·m)-ish and exists purely
 // as a differential-testing oracle for Brandes.
-func BetweennessNaive(g *graph.Graph, counting PairCounting) []float64 {
+func BetweennessNaive(g graph.View, counting PairCounting) []float64 {
 	n := g.N()
 	dist := make([][]int32, n)
 	sigma := make([][]float64, n)

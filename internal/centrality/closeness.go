@@ -6,7 +6,7 @@ import "promonet/internal/graph"
 // ĈC(v) = Σ_u dist(v, u) — the quantity the paper tabulates in Tables V,
 // XI and XII. Unreachable pairs contribute nothing (the paper assumes
 // connected graphs); use Reached to detect disconnection if needed.
-func Farness(g *graph.Graph) []int64 {
+func Farness(g graph.View) []int64 {
 	n := g.N()
 	out := make([]int64, n)
 	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {
@@ -24,7 +24,7 @@ func Farness(g *graph.Graph) []int64 {
 
 // Closeness returns CC(v) = 1 / Σ_u dist(v, u) for every node
 // (Definition 2.1). Isolated nodes (farness 0) get score 0.
-func Closeness(g *graph.Graph) []float64 {
+func Closeness(g graph.View) []float64 {
 	farness := Farness(g)
 	out := make([]float64, len(farness))
 	for v, f := range farness {
@@ -38,7 +38,7 @@ func Closeness(g *graph.Graph) []float64 {
 // Harmonic returns the harmonic centrality Σ_{u≠v} 1/dist(v, u) for
 // every node [27]. Unlike closeness it is well defined on disconnected
 // graphs: unreachable pairs contribute zero.
-func Harmonic(g *graph.Graph) []float64 {
+func Harmonic(g graph.View) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {

@@ -5,7 +5,7 @@ import "promonet/internal/graph"
 // LocalClustering returns the local clustering coefficient of every
 // node: the fraction of pairs of neighbors that are themselves adjacent.
 // Nodes of degree < 2 get coefficient 0.
-func LocalClustering(g *graph.Graph) []float64 {
+func LocalClustering(g graph.View) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -29,7 +29,7 @@ func LocalClustering(g *graph.Graph) []float64 {
 
 // AverageClustering returns the mean local clustering coefficient
 // (Watts–Strogatz global clustering).
-func AverageClustering(g *graph.Graph) float64 {
+func AverageClustering(g graph.View) float64 {
 	if g.N() == 0 {
 		return 0
 	}
@@ -41,7 +41,7 @@ func AverageClustering(g *graph.Graph) float64 {
 }
 
 // Triangles returns the number of triangles each node participates in.
-func Triangles(g *graph.Graph) []int {
+func Triangles(g graph.View) []int {
 	n := g.N()
 	out := make([]int, n)
 	for v := 0; v < n; v++ {
@@ -59,8 +59,8 @@ func Triangles(g *graph.Graph) []int {
 
 // DegreeHistogram returns counts[d] = number of nodes with degree d,
 // for d in [0, MaxDegree].
-func DegreeHistogram(g *graph.Graph) []int {
-	counts := make([]int, g.MaxDegree()+1)
+func DegreeHistogram(g graph.View) []int {
+	counts := make([]int, maxDegree(g)+1)
 	for v := 0; v < g.N(); v++ {
 		counts[g.Degree(v)]++
 	}

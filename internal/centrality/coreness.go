@@ -6,7 +6,7 @@ import "promonet/internal/graph"
 // subgraph in which every node has degree at least k (Definition 2.4) —
 // for every node, using the linear-time bucket algorithm of Batagelj and
 // Zaveršnik (the k-core decomposition underlying [15]).
-func Coreness(g *graph.Graph) []int {
+func Coreness(g graph.View) []int {
 	n := g.N()
 	core := make([]int, n)
 	if n == 0 {
@@ -64,7 +64,7 @@ func Coreness(g *graph.Graph) []int {
 
 // Degeneracy returns the largest coreness max_v RC(v), the statistic in
 // the paper's Table VI.
-func Degeneracy(g *graph.Graph) int {
+func Degeneracy(g graph.View) int {
 	max := 0
 	for _, c := range Coreness(g) {
 		if c > max {
@@ -76,7 +76,7 @@ func Degeneracy(g *graph.Graph) int {
 
 // KCore returns the node set of the k-core of g (possibly empty): the
 // maximal induced subgraph in which every node has degree >= k.
-func KCore(g *graph.Graph, k int) []int {
+func KCore(g graph.View, k int) []int {
 	core := Coreness(g)
 	var nodes []int
 	for v, c := range core {
@@ -89,7 +89,7 @@ func KCore(g *graph.Graph, k int) []int {
 
 // CorenessFloat returns Coreness as float64 scores, convenient for the
 // generic ranking helpers.
-func CorenessFloat(g *graph.Graph) []float64 {
+func CorenessFloat(g graph.View) []float64 {
 	core := Coreness(g)
 	out := make([]float64, len(core))
 	for v, c := range core {

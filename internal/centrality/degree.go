@@ -8,7 +8,7 @@ import (
 )
 
 // Degree returns the degree centrality deg(v) of every node.
-func Degree(g *graph.Graph) []float64 {
+func Degree(g graph.View) []float64 {
 	out := make([]float64, g.N())
 	for v := range out {
 		out[v] = float64(g.Degree(v))
@@ -20,7 +20,7 @@ func Degree(g *graph.Graph) []float64 {
 // computed by fixed-point iteration x ← αAx + 1. alpha must satisfy
 // α < 1/λ_max for convergence; KatzAuto picks a safe value. It returns
 // an error if the iteration has not converged within maxIter sweeps.
-func Katz(g *graph.Graph, alpha float64, maxIter int, tol float64) ([]float64, error) {
+func Katz(g graph.View, alpha float64, maxIter int, tol float64) ([]float64, error) {
 	n := g.N()
 	x := make([]float64, n)
 	nxt := make([]float64, n)
@@ -47,11 +47,24 @@ func Katz(g *graph.Graph, alpha float64, maxIter int, tol float64) ([]float64, e
 	return nil, fmt.Errorf("centrality: Katz(alpha=%g) did not converge in %d iterations", alpha, maxIter)
 }
 
+// maxDegree returns the largest degree in g; 0 on the empty graph. The
+// View interface deliberately has no MaxDegree method, so the handful
+// of callers that need it pay the O(n) scan here.
+func maxDegree(g graph.View) int {
+	max := 0
+	for v, n := 0, g.N(); v < n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // KatzAuto computes Katz centrality with α = 0.9/(maxDegree+1), which is
 // strictly below 1/λ_max (λ_max <= maxDegree) and therefore always
 // converges.
-func KatzAuto(g *graph.Graph) []float64 {
-	alpha := 0.9 / float64(g.MaxDegree()+1)
+func KatzAuto(g graph.View) []float64 {
+	alpha := 0.9 / float64(maxDegree(g)+1)
 	x, err := Katz(g, alpha, 1000, 1e-12)
 	if err != nil {
 		// Unreachable for this α by the spectral bound; keep the API

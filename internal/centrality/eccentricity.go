@@ -6,7 +6,7 @@ import "promonet/internal/graph"
 // — the quantity tabulated in Tables XIII/XIV — computed by all-pairs
 // BFS. Nodes in other components are ignored (the paper assumes
 // connected graphs).
-func ReciprocalEccentricity(g *graph.Graph) []int32 {
+func ReciprocalEccentricity(g graph.View) []int32 {
 	n := g.N()
 	out := make([]int32, n)
 	forEachSource(g, 0, func(_, s int, sc *bfsScratch) {
@@ -19,7 +19,7 @@ func ReciprocalEccentricity(g *graph.Graph) []int32 {
 // Eccentricity returns EC(v) = 1 / max_u dist(v, u) for every node
 // (Definition 2.2). A node with eccentricity zero (singleton graph) gets
 // score 0 to avoid dividing by zero.
-func Eccentricity(g *graph.Graph) []float64 {
+func Eccentricity(g graph.View) []float64 {
 	recip := ReciprocalEccentricity(g)
 	out := make([]float64, len(recip))
 	for v, e := range recip {

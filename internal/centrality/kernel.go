@@ -24,7 +24,7 @@ func NewKernel() *Kernel { return &Kernel{} }
 // vector (Unreachable for other components), the number of reached
 // nodes, and the eccentricity of s within its component. The returned
 // slice is owned by the kernel and overwritten by the next BFS call.
-func (k *Kernel) BFS(g *graph.Graph, s int) (dist []int32, reached int, ecc int32) {
+func (k *Kernel) BFS(g graph.View, s int) (dist []int32, reached int, ecc int32) {
 	n := g.N()
 	if k.bfs == nil || cap(k.bfs.dist) < n {
 		k.bfs = newBFSScratch(n)
@@ -38,7 +38,7 @@ func (k *Kernel) BFS(g *graph.Graph, s int) (dist []int32, reached int, ecc int3
 // adding the ordered-pair dependencies of s into acc (len acc must be
 // g.N()). Summing over all sources yields the ordered-pairs betweenness;
 // see PairCounting for the factor-of-two relation to unordered counts.
-func (k *Kernel) Brandes(g *graph.Graph, s int, acc []float64) {
+func (k *Kernel) Brandes(g graph.View, s int, acc []float64) {
 	n := g.N()
 	if k.br == nil || len(k.br.preds) < n {
 		k.br = newBrandesScratch(n)
@@ -52,7 +52,7 @@ func (k *Kernel) Brandes(g *graph.Graph, s int, acc []float64) {
 // score g unmodified. The virtual edge lets the engine's delta scorer
 // price a candidate edge without mutating the shared graph; the caller
 // must ensure (eu, ev) is not already an edge of g (or pass -1s).
-func (k *Kernel) BrandesDep(g *graph.Graph, s, t, eu, ev int) float64 {
+func (k *Kernel) BrandesDep(g graph.View, s, t, eu, ev int) float64 {
 	n := g.N()
 	if k.br == nil || len(k.br.preds) < n {
 		k.br = newBrandesScratch(n)

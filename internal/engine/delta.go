@@ -80,7 +80,7 @@ func WithDeltaFallbackFraction(frac float64) Option {
 // batches on an unchanged graph (or several measures over one greedy
 // round) pay for them once. EvaluateEdgeBatch is safe for concurrent
 // use and panics if target is not a node of g.
-func (e *Engine) EvaluateEdgeBatch(g *graph.Graph, target int, cands []int, m Measure) []float64 {
+func (e *Engine) EvaluateEdgeBatch(g graph.View, target int, cands []int, m Measure) []float64 {
 	n := g.N()
 	if target < 0 || target >= n {
 		panic(fmt.Sprintf("engine: EvaluateEdgeBatch target %d outside [0, %d)", target, n))
@@ -121,14 +121,14 @@ type deltaSweepBase struct {
 
 // deltaSweepBaseFor resolves (computing at most once per snapshot) the
 // BFS-family base for (g, target).
-func (e *Engine) deltaSweepBaseFor(g *graph.Graph, target int) *deltaSweepBase {
+func (e *Engine) deltaSweepBaseFor(g graph.View, target int) *deltaSweepBase {
 	key := fmt.Sprintf("delta-sweep|t=%d", target)
 	return e.resolve(g, key, famDelta, func() any {
 		return e.computeDeltaSweepBase(g, target)
 	}).(*deltaSweepBase)
 }
 
-func (e *Engine) computeDeltaSweepBase(g *graph.Graph, target int) *deltaSweepBase {
+func (e *Engine) computeDeltaSweepBase(g graph.View, target int) *deltaSweepBase {
 	k := e.getKernel()
 	defer e.putKernel(k)
 	dist, _, ecc := k.BFS(g, target)
@@ -173,7 +173,7 @@ func newDeltaScratch(n int) *deltaScratch {
 // their new distances in sc.nd.
 //
 //promolint:hotpath
-func (sc *deltaScratch) frontier(g *graph.Graph, dT []int32, target, v int) {
+func (sc *deltaScratch) frontier(g graph.View, dT []int32, target, v int) {
 	sc.epoch++
 	sc.touched = sc.touched[:0]
 	if v == target || (dT[v] >= 0 && dT[v] <= 1) {
@@ -207,7 +207,7 @@ func (sc *deltaScratch) frontier(g *graph.Graph, dT []int32, target, v int) {
 
 // deltaBatchSweep scores every candidate of a BFS-family measure
 // through the affected frontier, fanned out on the strided schedule.
-func (e *Engine) deltaBatchSweep(g *graph.Graph, target int, cands []int, m Measure, out []float64) {
+func (e *Engine) deltaBatchSweep(g graph.View, target int, cands []int, m Measure, out []float64) {
 	base := e.deltaSweepBaseFor(g, target)
 	n := g.N()
 	needHisto := m.kind == kindEccentricity || m.kind == kindReciprocalEccentricity
@@ -313,14 +313,14 @@ type deltaBCBase struct {
 // the measure's pivot sampling (sample = 0 means exact; the pair
 // counting convention does not enter — dependencies are stored in
 // ordered-pair units and scaled at the end).
-func (e *Engine) deltaBCBaseFor(g *graph.Graph, target, sample int, seed int64) *deltaBCBase {
+func (e *Engine) deltaBCBaseFor(g graph.View, target, sample int, seed int64) *deltaBCBase {
 	key := fmt.Sprintf("delta-bc|t=%d|k=%d|seed=%d", target, sample, seed)
 	return e.resolve(g, key, famDelta, func() any {
 		return e.computeDeltaBCBase(g, target, sample, seed)
 	}).(*deltaBCBase)
 }
 
-func (e *Engine) computeDeltaBCBase(g *graph.Graph, target, sample int, seed int64) *deltaBCBase {
+func (e *Engine) computeDeltaBCBase(g graph.View, target, sample int, seed int64) *deltaBCBase {
 	n := g.N()
 	base := &deltaBCBase{scale: 1}
 	if sample > 0 {
@@ -361,7 +361,7 @@ func (e *Engine) computeDeltaBCBase(g *graph.Graph, target, sample int, seed int
 // deltaBatchBetweenness scores every candidate by restricted
 // re-accumulation against a virtual edge, with the counted fallback to
 // a full sweep when the affected-source set is too large.
-func (e *Engine) deltaBatchBetweenness(g *graph.Graph, target int, cands []int, m Measure, out []float64) {
+func (e *Engine) deltaBatchBetweenness(g graph.View, target int, cands []int, m Measure, out []float64) {
 	n := g.N()
 	sample := m.sample
 	if sample >= n {
@@ -426,11 +426,11 @@ func (e *Engine) deltaBatchBetweenness(g *graph.Graph, target int, cands []int, 
 // deltaBatchClone prices candidates for measures the delta scorer
 // cannot patch incrementally (coreness, degree, Katz): each candidate
 // scores a mutated private clone. Every candidate counts as a fallback.
-func (e *Engine) deltaBatchClone(g *graph.Graph, target int, cands []int, m Measure, out []float64) {
+func (e *Engine) deltaBatchClone(g graph.View, target int, cands []int, m Measure, out []float64) {
 	w := e.span(len(cands), g.N()+g.M())
 	e.forWorkers(w, func(worker int) {
 		for i := worker; i < len(cands); i += w {
-			h := g.Clone()
+			h := graph.Materialize(g)
 			if v := cands[i]; v != target {
 				h.AddEdge(target, v)
 			}

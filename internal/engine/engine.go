@@ -162,7 +162,7 @@ type contentKey struct {
 }
 
 // hashGraph digests g's adjacency structure. O(n + m).
-func hashGraph(g *graph.Graph) contentKey {
+func hashGraph(g graph.View) contentKey {
 	const (
 		fnvOffset = 14695981039346656037
 		fnvPrime  = 1099511628211
@@ -187,7 +187,7 @@ func hashGraph(g *graph.Graph) contentKey {
 // version so unchanged graphs are hashed once. Version 0 (a zero-value
 // graph that was never mutated) is not memoized — two distinct graphs
 // may share it.
-func (e *Engine) contentKeyOf(g *graph.Graph) contentKey {
+func (e *Engine) contentKeyOf(g graph.View) contentKey {
 	v := g.Version()
 	if v != 0 {
 		e.mu.Lock()
@@ -230,7 +230,7 @@ type memo struct {
 // memoFor returns the memo slot for (g's content, key), creating it and
 // applying LRU eviction as needed. With caching disabled it returns a
 // fresh slot, so the caller always computes.
-func (e *Engine) memoFor(g *graph.Graph, key string) *memo {
+func (e *Engine) memoFor(g graph.View, key string) *memo {
 	if e.cacheCap <= 0 {
 		return &memo{}
 	}
@@ -264,7 +264,7 @@ func (e *Engine) memoFor(g *graph.Graph, key string) *memo {
 // size) and recorded into the lock-free per-family stats slot; the
 // span name is precomputed per family, so with tracing disabled the
 // instrumentation costs one atomic load and zero allocations.
-func (e *Engine) resolve(g *graph.Graph, key string, fam family, compute func() any) any {
+func (e *Engine) resolve(g graph.View, key string, fam family, compute func() any) any {
 	mm := e.memoFor(g, key)
 	ran := false
 	mm.once.Do(func() {
@@ -345,13 +345,13 @@ type sweepResult struct {
 
 // sweep returns (computing at most once per snapshot) the distance
 // family for g.
-func (e *Engine) sweep(g *graph.Graph) *sweepResult {
+func (e *Engine) sweep(g graph.View) *sweepResult {
 	return e.resolve(g, "distance-sweep", famSweep, func() any {
 		return e.computeSweep(g)
 	}).(*sweepResult)
 }
 
-func (e *Engine) computeSweep(g *graph.Graph) *sweepResult {
+func (e *Engine) computeSweep(g graph.View) *sweepResult {
 	n := g.N()
 	sw := &sweepResult{far: make([]int64, n), harm: make([]float64, n), ecc: make([]int32, n)}
 	if n == 0 {
@@ -384,7 +384,7 @@ func (e *Engine) computeSweep(g *graph.Graph) *sweepResult {
 // rawBetweenness returns the cached ordered-pairs dependency sums over
 // the measure's source set, plus the pivot scale (n/k for sampled, 1
 // for exact) still to be applied. The returned slice is cache-owned.
-func (e *Engine) rawBetweenness(g *graph.Graph, m Measure) ([]float64, float64) {
+func (e *Engine) rawBetweenness(g graph.View, m Measure) ([]float64, float64) {
 	n := g.N()
 	sample := m.sample
 	if sample >= n {
@@ -418,7 +418,7 @@ func (e *Engine) rawBetweenness(g *graph.Graph, m Measure) ([]float64, float64) 
 // takes sources w, w+span, w+2·span, ... and partials merge in worker
 // order, so the floating-point result depends only on (graph, sources,
 // span) — not on goroutine scheduling.
-func (e *Engine) brandesAccumulate(g *graph.Graph, sources []int) []float64 {
+func (e *Engine) brandesAccumulate(g graph.View, sources []int) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	if n == 0 || len(sources) == 0 {
@@ -456,7 +456,7 @@ func (e *Engine) brandesAccumulate(g *graph.Graph, sources []int) []float64 {
 // Scores returns C(v) for every node of g under measure m, as a freshly
 // allocated slice the caller owns. Results are memoized per graph
 // snapshot; see the package comment for the invalidation contract.
-func (e *Engine) Scores(g *graph.Graph, m Measure) []float64 {
+func (e *Engine) Scores(g graph.View, m Measure) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	switch m.kind {
@@ -512,7 +512,7 @@ func (e *Engine) Scores(g *graph.Graph, m Measure) []float64 {
 // ScoresFor scores g under every measure in one batch. Measures from
 // the same compute family (e.g. closeness and eccentricity) share a
 // single underlying computation.
-func (e *Engine) ScoresFor(g *graph.Graph, measures ...Measure) [][]float64 {
+func (e *Engine) ScoresFor(g graph.View, measures ...Measure) [][]float64 {
 	out := make([][]float64, len(measures))
 	for i, m := range measures {
 		out[i] = e.Scores(g, m)
@@ -522,7 +522,7 @@ func (e *Engine) ScoresFor(g *graph.Graph, measures ...Measure) [][]float64 {
 
 // RanksFor returns the competition ranking (Section III) of every node
 // under each measure. Rankings are memoized alongside the scores.
-func (e *Engine) RanksFor(g *graph.Graph, measures ...Measure) [][]int {
+func (e *Engine) RanksFor(g graph.View, measures ...Measure) [][]int {
 	out := make([][]int, len(measures))
 	for i, m := range measures {
 		cached := e.resolve(g, "ranks|"+m.Key(), famRanks, func() any {
@@ -536,7 +536,7 @@ func (e *Engine) RanksFor(g *graph.Graph, measures ...Measure) [][]int {
 // FarnessInt64 returns the exact integer farness vector Σ_u dist(v, u)
 // — the bookkeeping unit of the greedy closeness baseline — from the
 // shared distance sweep.
-func (e *Engine) FarnessInt64(g *graph.Graph) []int64 {
+func (e *Engine) FarnessInt64(g graph.View) []int64 {
 	return append([]int64(nil), e.sweep(g).far...)
 }
 
@@ -544,7 +544,7 @@ func (e *Engine) FarnessInt64(g *graph.Graph) []int64 {
 // coreness baseline compares in), sharing the memo slot of the float
 // coreness measure. Core numbers are exact small integers, so the
 // float64 round trip is lossless.
-func (e *Engine) CorenessInt(g *graph.Graph) []int {
+func (e *Engine) CorenessInt(g graph.View) []int {
 	cached := e.resolve(g, "coreness", famCoreness, func() any {
 		return centrality.CorenessFloat(g)
 	}).([]float64)
@@ -558,7 +558,7 @@ func (e *Engine) CorenessInt(g *graph.Graph) []int {
 // AverageClustering returns the mean local clustering coefficient,
 // memoizing the per-node vector (the detectability report evaluates it
 // on both snapshots of every comparison).
-func (e *Engine) AverageClustering(g *graph.Graph) float64 {
+func (e *Engine) AverageClustering(g graph.View) float64 {
 	cl := e.resolve(g, "clustering", famClustering, func() any {
 		return centrality.LocalClustering(g)
 	}).([]float64)

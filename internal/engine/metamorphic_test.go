@@ -8,6 +8,7 @@ import (
 	"promonet/internal/centrality"
 	"promonet/internal/gen"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 )
 
 // Metamorphic properties of centrality: transformations of the input
@@ -32,6 +33,16 @@ func disjointUnion(g, h *graph.Graph) *graph.Graph {
 	off := g.N()
 	h.Edges(func(a, b int) bool { u.AddEdge(a+off, b+off); return true })
 	return u
+}
+
+// metamorphicBackends present each host graph to the engine under both
+// scoring backends. Every metamorphic property is asserted per backend
+// with its own engine — a shared engine would serve the map backend's
+// cached scores to the structurally identical (same version, same
+// content key) snapshot and never exercise the CSR kernels.
+var metamorphicBackends = map[string]func(*graph.Graph) graph.View{
+	"map": func(g *graph.Graph) graph.View { return g },
+	"csr": func(g *graph.Graph) graph.View { return csr.Freeze(g) },
 }
 
 // metamorphicMeasures are the measures whose scores depend only on the
@@ -59,14 +70,16 @@ func metamorphicMeasures() []Measure {
 // ranking absorbs by construction for the int-derived measures and
 // which we bound with a relative tolerance on the raw scores.
 func TestRankInvarianceUnderRelabeling(t *testing.T) {
-	e := New(4)
-	defer e.Close()
 	rng := rand.New(rand.NewSource(11))
 	hosts := []*graph.Graph{
 		gen.ErdosRenyi(rng, 70, 180),
 		gen.BarabasiAlbert(rng, 70, 3),
 		gen.WattsStrogatz(rng, 70, 4, 0.1),
 		gen.Grid(6, 7),
+	}
+	perms := make([][]int, len(hosts))
+	for i, g := range hosts {
+		perms[i] = rng.Perm(g.N())
 	}
 	// exactKinds score through integer arithmetic (distances, degrees,
 	// cores), so relabeling permutes them bitwise and ranks must match
@@ -80,33 +93,40 @@ func TestRankInvarianceUnderRelabeling(t *testing.T) {
 		"ecc-reciprocal": true, "coreness": true, "degree": true,
 	}
 	measures := append(metamorphicMeasures(), Katz())
-	for gi, g := range hosts {
-		perm := rng.Perm(g.N())
-		h := relabel(g, perm)
-		for _, m := range measures {
-			orig := e.Scores(g, m)
-			rel := e.Scores(h, m)
-			for v := range orig {
-				if d := math.Abs(orig[v] - rel[perm[v]]); d > 1e-9*(1+math.Abs(orig[v])) {
-					t.Fatalf("host %d measure %v: score(%d)=%v but relabeled score(%d)=%v",
-						gi, m, v, orig[v], perm[v], rel[perm[v]])
+	for backend, view := range metamorphicBackends {
+		backend, view := backend, view
+		t.Run(backend, func(t *testing.T) {
+			e := New(4)
+			defer e.Close()
+			for gi, g := range hosts {
+				perm := perms[gi]
+				h := relabel(g, perm)
+				for _, m := range measures {
+					orig := e.Scores(view(g), m)
+					rel := e.Scores(view(h), m)
+					for v := range orig {
+						if d := math.Abs(orig[v] - rel[perm[v]]); d > 1e-9*(1+math.Abs(orig[v])) {
+							t.Fatalf("host %d measure %v: score(%d)=%v but relabeled score(%d)=%v",
+								gi, m, v, orig[v], perm[v], rel[perm[v]])
+						}
+					}
+					var origRanks, relRanks []int
+					if exactKinds[m.Key()] {
+						origRanks = centrality.Ranks(orig)
+						relRanks = centrality.Ranks(rel)
+					} else {
+						origRanks = centrality.Ranks(quantize(orig))
+						relRanks = centrality.Ranks(quantize(rel))
+					}
+					for v := range origRanks {
+						if origRanks[v] != relRanks[perm[v]] {
+							t.Fatalf("host %d measure %v: rank(%d)=%d but relabeled rank(%d)=%d",
+								gi, m, v, origRanks[v], perm[v], relRanks[perm[v]])
+						}
+					}
 				}
 			}
-			var origRanks, relRanks []int
-			if exactKinds[m.Key()] {
-				origRanks = centrality.Ranks(orig)
-				relRanks = centrality.Ranks(rel)
-			} else {
-				origRanks = centrality.Ranks(quantize(orig))
-				relRanks = centrality.Ranks(quantize(rel))
-			}
-			for v := range origRanks {
-				if origRanks[v] != relRanks[perm[v]] {
-					t.Fatalf("host %d measure %v: rank(%d)=%d but relabeled rank(%d)=%d",
-						gi, m, v, origRanks[v], perm[v], relRanks[perm[v]])
-				}
-			}
-		}
+		})
 	}
 }
 
@@ -134,38 +154,50 @@ func quantize(scores []float64) []float64 {
 // every measure here restricted to one side of G ⊔ H equals the measure
 // on that side alone.
 func TestDisjointUnionRestriction(t *testing.T) {
-	e := New(4)
-	defer e.Close()
 	rng := rand.New(rand.NewSource(23))
 	g := gen.BarabasiAlbert(rng, 50, 3)
 	h := gen.ErdosRenyi(rng, 40, 90)
 	u := disjointUnion(g, h)
 
-	for _, m := range metamorphicMeasures() {
-		gScores := e.Scores(g, m)
-		hScores := e.Scores(h, m)
-		uScores := e.Scores(u, m)
-		for v := range gScores {
-			if d := math.Abs(gScores[v] - uScores[v]); d > 1e-9*(1+math.Abs(gScores[v])) {
-				t.Fatalf("measure %v: G-side score(%d) %v != %v in union", m, v, uScores[v], gScores[v])
+	for backend, view := range metamorphicBackends {
+		backend, view := backend, view
+		t.Run(backend, func(t *testing.T) {
+			e := New(4)
+			defer e.Close()
+			for _, m := range metamorphicMeasures() {
+				gScores := e.Scores(view(g), m)
+				hScores := e.Scores(view(h), m)
+				uScores := e.Scores(view(u), m)
+				for v := range gScores {
+					if d := math.Abs(gScores[v] - uScores[v]); d > 1e-9*(1+math.Abs(gScores[v])) {
+						t.Fatalf("measure %v: G-side score(%d) %v != %v in union", m, v, uScores[v], gScores[v])
+					}
+				}
+				off := g.N()
+				for v := range hScores {
+					if d := math.Abs(hScores[v] - uScores[off+v]); d > 1e-9*(1+math.Abs(hScores[v])) {
+						t.Fatalf("measure %v: H-side score(%d) %v != %v in union", m, v, uScores[off+v], hScores[v])
+					}
+				}
 			}
-		}
-		off := g.N()
-		for v := range hScores {
-			if d := math.Abs(hScores[v] - uScores[off+v]); d > 1e-9*(1+math.Abs(hScores[v])) {
-				t.Fatalf("measure %v: H-side score(%d) %v != %v in union", m, v, uScores[off+v], hScores[v])
-			}
-		}
+		})
 	}
 }
 
 // TestClosedFormStar checks exact textbook values on Star(n): the hub
 // lies on every leaf pair's only path.
 func TestClosedFormStar(t *testing.T) {
+	const n = 17
+	for backend, view := range metamorphicBackends {
+		t.Run(backend, func(t *testing.T) {
+			testClosedFormStar(t, n, view(gen.Star(n)))
+		})
+	}
+}
+
+func testClosedFormStar(t *testing.T, n int, g graph.View) {
 	e := New(2)
 	defer e.Close()
-	const n = 17
-	g := gen.Star(n)
 
 	bc := e.Scores(g, Betweenness(centrality.PairsUnordered))
 	wantHub := float64((n - 1) * (n - 2) / 2)
@@ -197,10 +229,17 @@ func TestClosedFormStar(t *testing.T) {
 // TestClosedFormPath checks Path(n): BC(i) = i·(n-1-i) unordered,
 // farness(i) = Σ left + Σ right, ecc(i) = max(i, n-1-i).
 func TestClosedFormPath(t *testing.T) {
+	const n = 13
+	for backend, view := range metamorphicBackends {
+		t.Run(backend, func(t *testing.T) {
+			testClosedFormPath(t, n, view(gen.Path(n)))
+		})
+	}
+}
+
+func testClosedFormPath(t *testing.T, n int, g graph.View) {
 	e := New(2)
 	defer e.Close()
-	const n = 13
-	g := gen.Path(n)
 	bc := e.Scores(g, Betweenness(centrality.PairsUnordered))
 	far := e.Scores(g, Farness())
 	ecc := e.Scores(g, ReciprocalEccentricity())
@@ -221,10 +260,17 @@ func TestClosedFormPath(t *testing.T) {
 // TestClosedFormClique checks Clique(n): all pairs adjacent, so no node
 // mediates anything; everything is symmetric.
 func TestClosedFormClique(t *testing.T) {
+	const n = 11
+	for backend, view := range metamorphicBackends {
+		t.Run(backend, func(t *testing.T) {
+			testClosedFormClique(t, n, view(gen.Clique(n)))
+		})
+	}
+}
+
+func testClosedFormClique(t *testing.T, n int, g graph.View) {
 	e := New(2)
 	defer e.Close()
-	const n = 11
-	g := gen.Clique(n)
 	bc := e.Scores(g, Betweenness(centrality.PairsOrdered))
 	far := e.Scores(g, Farness())
 	ecc := e.Scores(g, ReciprocalEccentricity())
@@ -242,10 +288,17 @@ func TestClosedFormClique(t *testing.T) {
 // TestClosedFormGrid checks corner values on the r×c lattice (L1
 // distances; betweenness is skipped — grid path counts are fractional).
 func TestClosedFormGrid(t *testing.T) {
+	const r, c = 5, 8
+	for backend, view := range metamorphicBackends {
+		t.Run(backend, func(t *testing.T) {
+			testClosedFormGrid(t, r, c, view(gen.Grid(r, c)))
+		})
+	}
+}
+
+func testClosedFormGrid(t *testing.T, r, c int, g graph.View) {
 	e := New(2)
 	defer e.Close()
-	const r, c = 5, 8
-	g := gen.Grid(r, c)
 	far := e.Scores(g, Farness())
 	ecc := e.Scores(g, ReciprocalEccentricity())
 	// Corner (0,0): dist((0,0),(i,j)) = i + j.

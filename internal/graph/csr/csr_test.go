@@ -1,0 +1,219 @@
+package csr_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
+)
+
+// host returns a small random host graph at a fixed seed.
+func host() *graph.Graph {
+	return gen.ErdosRenyi(rand.New(rand.NewSource(3)), 24, 48)
+}
+
+func TestFreezeMatchesSource(t *testing.T) {
+	g := host()
+	s := csr.Freeze(g)
+	if s.N() != g.N() || s.M() != g.M() {
+		t.Fatalf("Freeze: n=%d m=%d, want n=%d m=%d", s.N(), s.M(), g.N(), g.M())
+	}
+	if s.Version() != g.Version() {
+		t.Errorf("Freeze must inherit the source version (Clone semantics): %d != %d", s.Version(), g.Version())
+	}
+	if s.Digest() != graph.Digest(g) {
+		t.Errorf("snapshot digest differs from source digest")
+	}
+	for v := 0; v < g.N(); v++ {
+		if s.Degree(v) != g.Degree(v) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, s.Degree(v), g.Degree(v))
+		}
+		row, want := s.Adjacency(v), g.Adjacency(v)
+		if len(row) != len(want) {
+			t.Fatalf("Adjacency(%d): len %d, want %d", v, len(row), len(want))
+		}
+		for i := range row {
+			if row[i] != want[i] {
+				t.Fatalf("Adjacency(%d)[%d] = %d, want %d", v, i, row[i], want[i])
+			}
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := -1; v <= g.N(); v++ {
+			if s.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d, %d) = %v, want %v", u, v, s.HasEdge(u, v), g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+func TestSnapshotArcsShape(t *testing.T) {
+	g := host()
+	s := csr.Freeze(g)
+	rowptr, cols := s.Arcs()
+	if len(rowptr) != g.N()+1 {
+		t.Fatalf("len(rowptr) = %d, want %d", len(rowptr), g.N()+1)
+	}
+	if rowptr[0] != 0 || rowptr[g.N()] != int64(2*g.M()) || len(cols) != 2*g.M() {
+		t.Fatalf("arc array ends: rowptr[0]=%d rowptr[n]=%d len(cols)=%d, want 0, %d, %d",
+			rowptr[0], rowptr[g.N()], len(cols), 2*g.M(), 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		row := cols[rowptr[v]:rowptr[v+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly sorted: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestOverlayMutationSemantics(t *testing.T) {
+	g := host()
+	s := csr.Freeze(g)
+	ov := csr.NewOverlay(s)
+	if ov.Version() != s.Version() {
+		t.Fatalf("fresh overlay must share the base version")
+	}
+
+	// No-op mutations are version-neutral, like graph.Graph.
+	v0 := ov.Version()
+	var existing [2]int
+	g.Edges(func(u, v int) bool { existing = [2]int{u, v}; return false })
+	if ov.AddEdge(existing[0], existing[1]) {
+		t.Fatalf("AddEdge of an existing base edge must report false")
+	}
+	var missing [2]int
+found:
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				missing = [2]int{u, v}
+				break found
+			}
+		}
+	}
+	if ov.RemoveEdge(missing[0], missing[1]) {
+		t.Fatalf("RemoveEdge of a missing edge must report false")
+	}
+	if ov.AddNodes(0) != ov.N() {
+		t.Fatalf("AddNodes(0) must return N()")
+	}
+	if ov.Version() != v0 {
+		t.Fatalf("no-op mutations must not bump the version")
+	}
+	if ov.Touched() != 0 {
+		t.Fatalf("no-op mutations must not copy rows, touched = %d", ov.Touched())
+	}
+
+	// Effective mutations bump to fresh versions and only copy the rows
+	// they touch.
+	if !ov.AddEdge(missing[0], missing[1]) {
+		t.Fatalf("AddEdge(%d, %d) refused a missing edge", missing[0], missing[1])
+	}
+	if ov.Version() == v0 {
+		t.Fatalf("effective AddEdge must bump the version")
+	}
+	if ov.Touched() != 2 {
+		t.Fatalf("one edge must touch two rows, got %d", ov.Touched())
+	}
+	if !ov.HasEdge(missing[0], missing[1]) || !ov.HasEdge(missing[1], missing[0]) {
+		t.Fatalf("added edge not visible in both directions")
+	}
+	if s.HasEdge(missing[0], missing[1]) {
+		t.Fatalf("overlay mutation leaked into the frozen base")
+	}
+	if ov.M() != g.M()+1 {
+		t.Fatalf("M = %d, want %d", ov.M(), g.M()+1)
+	}
+
+	// Base edges are removable; the base stays frozen.
+	if !ov.RemoveEdge(existing[0], existing[1]) {
+		t.Fatalf("RemoveEdge(%d, %d) refused a base edge", existing[0], existing[1])
+	}
+	if ov.HasEdge(existing[0], existing[1]) {
+		t.Fatalf("removed base edge still visible through the overlay")
+	}
+	if !s.HasEdge(existing[0], existing[1]) {
+		t.Fatalf("RemoveEdge mutated the frozen base")
+	}
+
+	// Nodes added past the base start isolated and accept edges.
+	first := ov.AddNodes(3)
+	if first != g.N() || ov.N() != g.N()+3 {
+		t.Fatalf("AddNodes(3): first=%d n=%d, want %d, %d", first, ov.N(), g.N(), g.N()+3)
+	}
+	if ov.Degree(first) != 0 || ov.Adjacency(first) != nil {
+		t.Fatalf("fresh overlay node must be isolated")
+	}
+	if !ov.AddEdge(first, 0) {
+		t.Fatalf("AddEdge from a past-the-base node refused")
+	}
+	if !ov.HasEdge(0, first) {
+		t.Fatalf("past-the-base edge not visible from the base-range endpoint")
+	}
+}
+
+func TestOverlayPanicsMatchGraph(t *testing.T) {
+	ov := csr.NewOverlay(csr.Freeze(gen.Path(4)))
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"add-self-loop", func() { ov.AddEdge(1, 1) }},
+		{"add-out-of-range", func() { ov.AddEdge(0, 99) }},
+		{"add-negative", func() { ov.AddEdge(-1, 0) }},
+		{"add-nodes-negative", func() { ov.AddNodes(-1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic, matching graph.Graph", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestOverlayFreezeCompacts(t *testing.T) {
+	g := host()
+	ov := csr.NewOverlay(csr.Freeze(g))
+	ov.AddNodes(2)
+	n := ov.N()
+	ov.AddEdge(n-1, 0)
+	ov.AddEdge(n-2, n-1)
+	ov.RemoveEdge(n-1, 0)
+
+	s2 := ov.Freeze()
+	if s2.Version() != ov.Version() {
+		t.Fatalf("compacted snapshot must carry the overlay version: %d != %d", s2.Version(), ov.Version())
+	}
+	if s2.Digest() != graph.Digest(ov) {
+		t.Fatalf("compacted snapshot digest differs from the overlay digest")
+	}
+	if s2.N() != ov.N() || s2.M() != ov.M() {
+		t.Fatalf("compacted snapshot: n=%d m=%d, want n=%d m=%d", s2.N(), s2.M(), ov.N(), ov.M())
+	}
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	g := host()
+	s := csr.Freeze(g)
+	if !s.Materialize().Equal(g) {
+		t.Fatalf("Freeze+Materialize is not the identity")
+	}
+	if s.Materialize().Version() != g.Version() {
+		t.Fatalf("Materialize must preserve the version (Clone semantics)")
+	}
+
+	ov := csr.NewOverlay(s)
+	ov.AddEdge(0, g.N()-1)
+	want := g.Clone()
+	want.AddEdge(0, g.N()-1)
+	if !ov.Materialize().Equal(want) {
+		t.Fatalf("overlay Materialize differs from the same mutation on a clone")
+	}
+}

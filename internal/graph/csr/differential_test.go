@@ -1,0 +1,320 @@
+package csr_test
+
+// The differential harness that gates the CSR backend: every kernel and
+// every engine path must produce bitwise-identical output on the mutable
+// map graph, the frozen Snapshot, and a reconstructed Overlay, across
+// the whole graph zoo and across worker counts. "Bitwise" is deliberate
+// — the CSR BFS is direction-optimizing and the flat-array Brandes path
+// skips interface dispatch, but neither is allowed to change a single
+// floating-point accumulation order the scores can see.
+//
+// Run under -race this also shakes out data races in the parallel
+// sweeps over the shared immutable snapshot.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/datasets"
+	"promonet/internal/engine"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
+)
+
+// diffWorkers are the engine pool widths every engine-level comparison
+// runs at.
+var diffWorkers = []int{1, 2, 8}
+
+// zoo returns the named differential-test graphs: the closed-form
+// shapes, the random-model shapes at fixed seeds, the paper's Fig. 1
+// example, and a deliberately disconnected graph (distance-based
+// kernels must agree on the unreachable conventions, too).
+func zoo() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(41))
+	z := map[string]*graph.Graph{
+		"star-10":    gen.Star(10),
+		"path-12":    gen.Path(12),
+		"clique-7":   gen.Clique(7),
+		"grid-4x5":   gen.Grid(4, 5),
+		"ba-40-3":    gen.BarabasiAlbert(rng, 40, 3),
+		"er-30-60":   gen.ErdosRenyi(rng, 30, 60),
+		"fig1-paper": datasets.Fig1(),
+	}
+	two := gen.Clique(5)
+	first := two.AddNodes(5)
+	for u := first; u < first+5; u++ {
+		for w := u + 1; w < first+5; w++ {
+			two.AddEdge(u, w)
+		}
+	}
+	z["two-cliques"] = two
+	return z
+}
+
+// backendsOf returns structurally identical views of g under every
+// backend: the map graph itself, a frozen snapshot, and an overlay
+// whose base is missing a few of g's edges and two of its nodes — so
+// overlay reads genuinely mix copied rows, base rows, and past-the-base
+// rows rather than passing through untouched.
+func backendsOf(t *testing.T, g *graph.Graph) map[string]graph.View {
+	t.Helper()
+	snap := csr.Freeze(g)
+
+	// Rebuild g as base + overlay edits: the base lacks g's last two
+	// nodes and every edge incident to them, plus a few spread-out
+	// earlier edges; the overlay adds them all back.
+	edges := g.EdgeList()
+	cut := g.N() - 2
+	if cut < 1 {
+		cut = 1
+	}
+	base := graph.NewWithNodes(cut)
+	var edits [][2]int
+	for i, e := range edges {
+		if e[0] >= cut || e[1] >= cut || i%7 == 3 {
+			edits = append(edits, e)
+		} else {
+			base.AddEdge(e[0], e[1])
+		}
+	}
+	ov := csr.NewOverlay(csr.Freeze(base))
+	ov.AddNodes(g.N() - cut)
+	for _, e := range edits {
+		if !ov.AddEdge(e[0], e[1]) {
+			t.Fatalf("overlay rebuild: AddEdge(%d, %d) refused a missing edge", e[0], e[1])
+		}
+	}
+	if ov.N() != g.N() || ov.M() != g.M() {
+		t.Fatalf("overlay rebuild: got n=%d m=%d, want n=%d m=%d", ov.N(), ov.M(), g.N(), g.M())
+	}
+	return map[string]graph.View{"snapshot": snap, "overlay": ov}
+}
+
+// wantSameFloats asserts bitwise equality (NaN-safe) of two score
+// vectors.
+func wantSameFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("%s: node %d = %v (bits %x), want %v (bits %x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func wantSameInt32s(t *testing.T, what string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: node %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestKernelsBitwiseIdenticalAcrossBackends compares every direct
+// centrality kernel on each backend against the map-graph reference.
+func TestKernelsBitwiseIdenticalAcrossBackends(t *testing.T) {
+	for name, g := range zoo() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			wantDist := make([][]int32, n)
+			for s := 0; s < n; s++ {
+				wantDist[s] = centrality.Distances(g, s)
+			}
+			wantFar := centrality.Farness(g)
+			wantHarm := centrality.Harmonic(g)
+			wantEcc := centrality.ReciprocalEccentricity(g)
+			wantCore := centrality.Coreness(g)
+			// One worker on both sides: the direct functions' racing batch
+			// scheduler makes multi-worker float merges schedule-dependent
+			// even on a single backend. The engine-level test below covers
+			// workers 1/2/8 through the deterministic strided schedule.
+			wantBCo := centrality.BetweennessWorkers(g, centrality.PairsOrdered, 1)
+			wantBCu := centrality.BetweennessWorkers(g, centrality.PairsUnordered, 1)
+			wantKatz := centrality.KatzAuto(g)
+			wantClust := centrality.LocalClustering(g)
+
+			for backend, v := range backendsOf(t, g) {
+				v := v
+				t.Run(backend, func(t *testing.T) {
+					for s := 0; s < n; s++ {
+						wantSameInt32s(t, "distances", centrality.Distances(v, s), wantDist[s])
+					}
+					far := centrality.Farness(v)
+					for i := range far {
+						if far[i] != wantFar[i] {
+							t.Errorf("farness: node %d = %d, want %d", i, far[i], wantFar[i])
+						}
+					}
+					wantSameFloats(t, "harmonic", centrality.Harmonic(v), wantHarm)
+					wantSameInt32s(t, "recip-ecc", centrality.ReciprocalEccentricity(v), wantEcc)
+					core := centrality.Coreness(v)
+					for i := range core {
+						if core[i] != wantCore[i] {
+							t.Errorf("coreness: node %d = %d, want %d", i, core[i], wantCore[i])
+						}
+					}
+					wantSameFloats(t, "betweenness-ordered",
+						centrality.BetweennessWorkers(v, centrality.PairsOrdered, 1), wantBCo)
+					wantSameFloats(t, "betweenness-unordered",
+						centrality.BetweennessWorkers(v, centrality.PairsUnordered, 1), wantBCu)
+					wantSameFloats(t, "katz", centrality.KatzAuto(v), wantKatz)
+					wantSameFloats(t, "clustering", centrality.LocalClustering(v), wantClust)
+				})
+			}
+		})
+	}
+}
+
+// TestBrandesDepBitwiseIdenticalAcrossBackends pins the per-source
+// dependency kernel (the unit of the engine's restricted delta
+// re-accumulation), with and without a virtual edge.
+func TestBrandesDepBitwiseIdenticalAcrossBackends(t *testing.T) {
+	for name, g := range zoo() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			k := centrality.NewKernel()
+			for backend, v := range backendsOf(t, g) {
+				v := v
+				t.Run(backend, func(t *testing.T) {
+					kb := centrality.NewKernel()
+					target := n / 2
+					for s := 0; s < n; s++ {
+						want := k.BrandesDep(g, s, target, -1, -1)
+						got := kb.BrandesDep(v, s, target, -1, -1)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Errorf("BrandesDep(s=%d, t=%d) = %v, want %v", s, target, got, want)
+						}
+					}
+					// A virtual edge from the target to its farthest
+					// non-neighbor.
+					ev := -1
+					dist := centrality.Distances(g, target)
+					for u := 0; u < n; u++ {
+						if u != target && !g.HasEdge(target, u) &&
+							(ev == -1 || dist[u] > dist[ev]) {
+							ev = u
+						}
+					}
+					if ev < 0 {
+						return
+					}
+					for s := 0; s < n; s += 3 {
+						want := k.BrandesDep(g, s, target, target, ev)
+						got := kb.BrandesDep(v, s, target, target, ev)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Errorf("BrandesDep(s=%d, t=%d, +edge %d-%d) = %v, want %v",
+								s, target, target, ev, got, want)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// diffMeasures is the engine measure set the engine-level differential
+// runs over.
+func diffMeasures() []engine.Measure {
+	return []engine.Measure{
+		engine.Closeness(),
+		engine.Farness(),
+		engine.Harmonic(),
+		engine.Eccentricity(),
+		engine.ReciprocalEccentricity(),
+		engine.Betweenness(centrality.PairsOrdered),
+		engine.Betweenness(centrality.PairsUnordered),
+		engine.BetweennessSampled(centrality.PairsOrdered, 5, 17),
+		engine.Coreness(),
+		engine.Degree(),
+		engine.Katz(),
+	}
+}
+
+// TestEngineScoresBitwiseIdenticalAcrossBackends runs the full measure
+// set through per-backend engines at every worker width. Each backend
+// gets its own cache-disabled engine: the snapshot shares the source
+// graph's version and content key by design, so a shared (or warm)
+// engine would serve one backend's scores to the other and mask a
+// divergence.
+func TestEngineScoresBitwiseIdenticalAcrossBackends(t *testing.T) {
+	for name, g := range zoo() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			for _, w := range diffWorkers {
+				ref := engine.New(w, engine.WithCacheSize(0))
+				want := make([][]float64, 0, len(diffMeasures()))
+				for _, m := range diffMeasures() {
+					want = append(want, ref.Scores(g, m))
+				}
+				ref.Close()
+				for backend, v := range backendsOf(t, g) {
+					e := engine.New(w, engine.WithCacheSize(0))
+					for i, m := range diffMeasures() {
+						wantSameFloats(t, backend+"/"+m.Key(), e.Scores(v, m), want[i])
+					}
+					e.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateEdgeBatchBitwiseIdenticalAcrossBackends pins the delta
+// scorer: candidate pricing on a snapshot or overlay must equal pricing
+// on the map graph, measure by measure, at every worker width.
+func TestEvaluateEdgeBatchBitwiseIdenticalAcrossBackends(t *testing.T) {
+	measures := []engine.Measure{
+		engine.Closeness(),
+		engine.Farness(),
+		engine.Harmonic(),
+		engine.Eccentricity(),
+		engine.ReciprocalEccentricity(),
+		engine.Betweenness(centrality.PairsUnordered),
+		engine.Coreness(),
+	}
+	for name, g := range zoo() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			target := n / 3
+			var cands []int
+			for v := 0; v < n; v++ {
+				if v != target && !g.HasEdge(target, v) {
+					cands = append(cands, v)
+				}
+			}
+			cands = append(cands, target) // no-op candidates must agree too
+			if ns := g.Adjacency(target); len(ns) > 0 {
+				cands = append(cands, int(ns[0]))
+			}
+			for _, w := range diffWorkers {
+				ref := engine.New(w, engine.WithCacheSize(0))
+				want := make([][]float64, 0, len(measures))
+				for _, m := range measures {
+					want = append(want, ref.EvaluateEdgeBatch(g, target, cands, m))
+				}
+				ref.Close()
+				for backend, v := range backendsOf(t, g) {
+					e := engine.New(w, engine.WithCacheSize(0))
+					for i, m := range measures {
+						wantSameFloats(t, backend+"/"+m.Key(),
+							e.EvaluateEdgeBatch(v, target, cands, m), want[i])
+					}
+					e.Close()
+				}
+			}
+		})
+	}
+}

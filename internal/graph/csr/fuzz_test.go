@@ -1,0 +1,94 @@
+package csr_test
+
+// FuzzCSRRoundTrip drives a random mutation script against two
+// implementations at once — the mutable map graph and an Overlay over a
+// frozen Snapshot of the same starting host — and requires them to stay
+// indistinguishable: same mutation outcomes, node/edge counts, content
+// digest, BFS distances, and a Materialize/Freeze round trip that
+// reproduces the reference graph exactly. It is the property-based
+// complement of the example-based differential suite.
+
+import (
+	"math/rand"
+	"testing"
+
+	"promonet/internal/centrality"
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
+)
+
+func FuzzCSRRoundTrip(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{0, 0, 0})
+	f.Add(int64(3), []byte{1, 4, 9, 1, 9, 4, 3, 4, 9})
+	f.Add(int64(4), []byte{0, 0, 0, 1, 0, 200, 2, 1, 2, 3, 1, 2, 1, 7, 3})
+	f.Add(int64(5), []byte{3, 0, 1, 3, 0, 1, 1, 0, 1, 2, 250, 251})
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		want := gen.ErdosRenyi(rng, 8+int(seed&7), 14)
+		ov := csr.NewOverlay(csr.Freeze(want))
+		want = want.Clone()
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i]%4, ops[i+1], ops[i+2]
+			n := want.N()
+			switch op {
+			case 0: // AddNode
+				gv, cv := want.AddNode(), ov.AddNode()
+				if gv != cv {
+					t.Fatalf("op %d: AddNode ids diverge: graph %d, overlay %d", i, gv, cv)
+				}
+			case 1, 2: // AddEdge (twice as likely as removal)
+				u, v := int(a)%n, int(b)%n
+				if u == v {
+					continue
+				}
+				gv, cv := want.AddEdge(u, v), ov.AddEdge(u, v)
+				if gv != cv {
+					t.Fatalf("op %d: AddEdge(%d, %d) outcomes diverge: graph %v, overlay %v", i, u, v, gv, cv)
+				}
+			case 3: // RemoveEdge
+				u, v := int(a)%n, int(b)%n
+				gv, cv := want.RemoveEdge(u, v), ov.RemoveEdge(u, v)
+				if gv != cv {
+					t.Fatalf("op %d: RemoveEdge(%d, %d) outcomes diverge: graph %v, overlay %v", i, u, v, gv, cv)
+				}
+			}
+		}
+
+		if ov.N() != want.N() || ov.M() != want.M() {
+			t.Fatalf("counts diverge: overlay n=%d m=%d, graph n=%d m=%d", ov.N(), ov.M(), want.N(), want.M())
+		}
+		if graph.Digest(ov) != graph.Digest(want) {
+			t.Fatalf("content digests diverge after identical mutations")
+		}
+		if !ov.Materialize().Equal(want) {
+			t.Fatalf("Materialize of the overlay differs from the reference graph")
+		}
+		frozen := ov.Freeze()
+		if frozen.Digest() != graph.Digest(want) {
+			t.Fatalf("compacted snapshot digest diverges from the reference graph")
+		}
+		if frozen.Version() != ov.Version() {
+			t.Fatalf("compacted snapshot dropped the overlay version: %d != %d", frozen.Version(), ov.Version())
+		}
+
+		// BFS distances through all three shapes — overlay (generic
+		// interface path), compacted snapshot (direction-optimizing flat
+		// path), reference graph — must agree node for node.
+		step := want.N()/3 + 1
+		for s := 0; s < want.N(); s += step {
+			ref := centrality.Distances(want, s)
+			for name, v := range map[string]graph.View{"overlay": ov, "frozen": frozen} {
+				got := centrality.Distances(v, s)
+				for u := range ref {
+					if got[u] != ref[u] {
+						t.Fatalf("%s: dist(%d, %d) = %d, want %d", name, s, u, got[u], ref[u])
+					}
+				}
+			}
+		}
+	})
+}

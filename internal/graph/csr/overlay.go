@@ -1,0 +1,222 @@
+package csr
+
+import (
+	"fmt"
+	"sort"
+
+	"promonet/internal/graph"
+)
+
+// Overlay is a small mutable edit layer over an immutable Snapshot: it
+// supports the same structural mutations as graph.Graph (AddNode,
+// AddNodes, AddEdge, RemoveEdge, with identical panic and no-op
+// semantics) while sharing the frozen base untouched. Only the rows a
+// mutation touches are copied — a promotion structure of a few hundred
+// edges costs a few hundred small rows, not a clone of a million-node
+// host.
+//
+// Overlay satisfies graph.View, so kernels, the engine, and the greedy
+// baselines score it directly. Like graph.Graph it is not safe for
+// concurrent mutation; concurrent reads are safe, and the shared base
+// is never written.
+//
+// Version follows the module-wide contract: a fresh overlay shares its
+// base's stamp (identical structure), every effective mutation draws a
+// fresh globally unique stamp from graph.NewVersion, and no-op
+// mutations leave it untouched — so the engine's version-keyed caches
+// invalidate correctly without knowing overlays exist.
+type Overlay struct {
+	base *Snapshot
+	// rows holds the merged, sorted neighbor row of every touched node:
+	// base rows copied on first touch, nil-grown rows for nodes added
+	// past the base. Untouched nodes read through to the base.
+	rows    map[int32][]int32
+	n       int
+	m       int
+	version uint64
+}
+
+// NewOverlay returns an empty edit layer over base. The overlay starts
+// structurally identical to base and shares its version stamp.
+func NewOverlay(base *Snapshot) *Overlay {
+	return &Overlay{
+		base:    base,
+		rows:    make(map[int32][]int32),
+		n:       base.N(),
+		m:       base.M(),
+		version: base.Version(),
+	}
+}
+
+// Base returns the frozen snapshot the overlay layers over.
+func (o *Overlay) Base() *Snapshot { return o.base }
+
+// Touched returns the number of nodes whose rows live in the overlay —
+// the memory the edit layer actually costs.
+func (o *Overlay) Touched() int { return len(o.rows) }
+
+// N returns the number of nodes (base nodes plus overlay-added ones).
+func (o *Overlay) N() int { return o.n }
+
+// M returns the number of undirected edges.
+func (o *Overlay) M() int { return o.m }
+
+// row returns v's current sorted neighbor row without copying:
+// overlay-owned if touched, the base row otherwise.
+func (o *Overlay) row(v int) []int32 {
+	if r, ok := o.rows[int32(v)]; ok {
+		return r
+	}
+	if v < o.base.N() {
+		return o.base.Adjacency(v)
+	}
+	return nil
+}
+
+// Degree returns the number of neighbors of v.
+func (o *Overlay) Degree(v int) int { return len(o.row(v)) }
+
+// Adjacency returns the sorted neighbor row of v, read-only; it remains
+// valid until the next mutation of the overlay.
+func (o *Overlay) Adjacency(v int) []int32 { return o.row(v) }
+
+// HasEdge reports whether the edge (u, v) exists. Self-loops never
+// exist.
+func (o *Overlay) HasEdge(u, v int) bool {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n || u == v {
+		return false
+	}
+	row := o.row(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// Version is the structure-change stamp; see (*graph.Graph).Version for
+// the contract.
+func (o *Overlay) Version() uint64 { return o.version }
+
+// bump stamps an effective structural mutation.
+func (o *Overlay) bump() { o.version = graph.NewVersion() }
+
+// AddNode appends a new isolated node and returns its identifier.
+func (o *Overlay) AddNode() int {
+	v := o.n
+	o.n++
+	o.bump()
+	return v
+}
+
+// AddNodes appends k isolated nodes and returns the identifier of the
+// first one. It panics if k is negative; AddNodes(0) is a version-
+// neutral no-op, like every other no-op mutation.
+func (o *Overlay) AddNodes(k int) (first int) {
+	if k < 0 {
+		panic(fmt.Sprintf("csr: AddNodes(%d) with negative count", k))
+	}
+	first = o.n
+	if k == 0 {
+		return first
+	}
+	o.n += k
+	o.bump()
+	return first
+}
+
+// mutableRow returns v's overlay-owned row, copying the base row on
+// first touch.
+func (o *Overlay) mutableRow(v int) []int32 {
+	if r, ok := o.rows[int32(v)]; ok {
+		return r
+	}
+	var r []int32
+	if v < o.base.N() {
+		r = append([]int32(nil), o.base.Adjacency(v)...)
+	}
+	o.rows[int32(v)] = r
+	return r
+}
+
+// AddEdge inserts the undirected edge (u, v). It returns true if the
+// edge was inserted, and false if it already existed. It panics if u or
+// v is not a node or if u == v, matching graph.Graph.
+func (o *Overlay) AddEdge(u, v int) bool {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n {
+		panic(fmt.Sprintf("csr: AddEdge(%d, %d) outside node range [0, %d)", u, v, o.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("csr: AddEdge(%d, %d) would create a self-loop", u, v))
+	}
+	if o.HasEdge(u, v) {
+		return false
+	}
+	o.insertArc(u, v)
+	o.insertArc(v, u)
+	o.m++
+	o.bump()
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v), reporting whether it
+// existed. Base edges are removable too: the touched rows move into the
+// overlay, the base stays frozen.
+func (o *Overlay) RemoveEdge(u, v int) bool {
+	if !o.HasEdge(u, v) {
+		return false
+	}
+	o.removeArc(u, v)
+	o.removeArc(v, u)
+	o.m--
+	o.bump()
+	return true
+}
+
+func (o *Overlay) insertArc(u, v int) {
+	r := o.mutableRow(u)
+	i := sort.Search(len(r), func(i int) bool { return r[i] >= int32(v) })
+	r = append(r, 0)
+	copy(r[i+1:], r[i:])
+	r[i] = int32(v)
+	o.rows[int32(u)] = r
+}
+
+func (o *Overlay) removeArc(u, v int) {
+	r := o.mutableRow(u)
+	i := sort.Search(len(r), func(i int) bool { return r[i] >= int32(v) })
+	copy(r[i:], r[i+1:])
+	o.rows[int32(u)] = r[:len(r)-1]
+}
+
+// Freeze compacts the overlay into a fresh immutable Snapshot in
+// O(n + m). The snapshot carries the overlay's current version stamp
+// (identical structure), so caches warmed through the overlay stay
+// valid for the compacted base — the snapshot-swap primitive for
+// promotion services that periodically re-freeze accumulated edits.
+func (o *Overlay) Freeze() *Snapshot {
+	s := &Snapshot{
+		rowptr:  make([]int64, o.n+1),
+		cols:    make([]int32, 2*o.m),
+		m:       o.m,
+		version: o.version,
+	}
+	var at int64
+	for v := 0; v < o.n; v++ {
+		s.rowptr[v] = at
+		at += int64(copy(s.cols[at:], o.row(v)))
+	}
+	s.rowptr[o.n] = at
+	return s
+}
+
+// Materialize rebuilds a mutable graph.Graph with the overlay's
+// combined structure (and version, per the Clone semantics).
+func (o *Overlay) Materialize() *graph.Graph { return graph.Materialize(o) }
+
+// String returns a short human-readable summary.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("csr.Overlay(n=%d, m=%d, touched=%d over %s)", o.n, o.m, len(o.rows), o.base)
+}
+
+// Compile-time check: Overlay is a View. It is deliberately not an
+// ArcsView — its adjacency is not flat — so kernels route it through
+// the generic interface loops.
+var _ graph.View = (*Overlay)(nil)

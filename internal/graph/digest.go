@@ -8,23 +8,29 @@ import (
 
 // Digest returns a hex SHA-256 digest of the graph's canonical form:
 // the node count followed by every undirected edge (u, v) with u < v in
-// lexicographic order. Two graphs have equal digests iff they have the
-// same node count and edge set, independently of insertion order, so
-// run manifests can cite the exact dataset a result was computed on.
-func Digest(g *Graph) string {
+// lexicographic order. Two views have equal digests iff they have the
+// same node count and edge set — independently of insertion order and
+// of the backend (map graph, CSR snapshot, overlay) — so run manifests
+// can cite the exact dataset a result was computed on and the
+// round-trip suites in graph/csr can compare representations by digest.
+func Digest(g View) string {
 	h := sha256.New()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
 	h.Write(buf[:])
-	// Edges visits (u, v) with u < v in increasing u, and within one u in
-	// increasing v (adjacency lists are kept sorted), which is exactly
+	// Adjacency rows are sorted, so visiting (u, v) with u < v in
+	// increasing u, and within one u in increasing v, is exactly
 	// lexicographic order — no re-sorting needed.
-	g.Edges(func(u, v int) bool {
-		binary.LittleEndian.PutUint64(buf[:], uint64(u))
-		h.Write(buf[:])
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-		return true
-	})
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Adjacency(u) {
+			if int32(u) < v {
+				binary.LittleEndian.PutUint64(buf[:], uint64(u))
+				h.Write(buf[:])
+				binary.LittleEndian.PutUint64(buf[:], uint64(v))
+				h.Write(buf[:])
+			}
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

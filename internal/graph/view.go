@@ -1,0 +1,96 @@
+package graph
+
+// View is the read-only backend interface every graph representation in
+// this module satisfies: the mutable sorted-adjacency Graph, the frozen
+// CSR snapshot (graph/csr.Snapshot), and the snapshot-plus-edits overlay
+// (graph/csr.Overlay). The centrality kernels, the execution engine, and
+// the greedy baselines are written against View, so one implementation
+// of every algorithm serves all backends — and the differential suite in
+// graph/csr holds them bitwise identical.
+//
+// View is deliberately mutation-free: code that receives a View cannot
+// change the structure it describes, which turns the black-box read-only
+// contract promolint's mutation-safety analyzer enforces dynamically
+// into a property the type system carries.
+//
+// Adjacency follows the Graph contract: the returned slice is sorted
+// ascending, must not be modified, and remains valid only until the next
+// mutation of the underlying structure. Version follows the Graph
+// contract too: equal nonzero versions imply equal structure, so
+// version-keyed caches (internal/engine) work unchanged across backends.
+type View interface {
+	// N returns the number of nodes; identifiers are [0, N()).
+	N() int
+	// M returns the number of undirected edges.
+	M() int
+	// Degree returns the number of neighbors of v.
+	Degree(v int) int
+	// Adjacency returns the sorted neighbor row of v, read-only.
+	Adjacency(v int) []int32
+	// HasEdge reports whether the undirected edge (u, v) exists.
+	HasEdge(u, v int) bool
+	// Version is the structure-change stamp; see (*Graph).Version.
+	Version() uint64
+}
+
+// ArcsView is the optional capability of backends whose entire adjacency
+// lives in one contiguous CSR arc array: node v's neighbors are
+// cols[rowptr[v]:rowptr[v+1]]. The hot kernels (internal/centrality BFS
+// and Brandes) detect it once per traversal and run branch-predictable
+// inner loops over the two flat arrays, with no per-node interface
+// dispatch — and the BFS kernel additionally switches to a
+// direction-optimizing (top-down/bottom-up) schedule, which needs the
+// cheap whole-graph row scans only a flat layout provides.
+//
+// Both returned slices are read-only and must stay valid for the
+// lifetime of the backend (which is why only immutable snapshots
+// implement it).
+type ArcsView interface {
+	View
+	// Arcs returns the CSR row-pointer (len N()+1) and column (len
+	// 2·M()) arrays.
+	Arcs() (rowptr []int64, cols []int32)
+}
+
+// ArcsOf returns g's flat CSR arrays when the backend provides them, or
+// (nil, nil) for adjacency-list backends. Kernels call it once per
+// traversal to pick their inner loop.
+func ArcsOf(g View) (rowptr []int64, cols []int32) {
+	if av, ok := g.(ArcsView); ok {
+		return av.Arcs()
+	}
+	return nil, nil
+}
+
+// NewVersion issues a fresh, globally unique, nonzero version from the
+// same counter (*Graph).bumpVersion draws from. Alternative backends
+// (graph/csr.Overlay) stamp their mutations with it so the cross-backend
+// invariant — equal nonzero versions imply equal structure — holds
+// module-wide and the engine's version-keyed digest memo can never alias
+// two different structures.
+func NewVersion() uint64 { return nextVersion() }
+
+// Materialize builds a mutable Graph with v's node count and edge set.
+// A *Graph input is deep-copied via Clone (preserving its version); any
+// other backend is rebuilt row by row, inheriting v's version when that
+// version is nonzero — the two structures are identical, the Clone
+// semantics. It is the bridge back from snapshot land: overlay-built
+// promotion results materialize into ordinary graphs for strategy
+// application, invariant checking, and IO.
+func Materialize(v View) *Graph {
+	if g, ok := v.(*Graph); ok {
+		return g.Clone()
+	}
+	n := v.N()
+	g := &Graph{adj: make([][]int32, n), m: v.M(), version: v.Version()}
+	if g.version == 0 {
+		g.version = nextVersion()
+	}
+	for u := 0; u < n; u++ {
+		g.adj[u] = append([]int32(nil), v.Adjacency(u)...)
+	}
+	return g
+}
+
+// Compile-time check: the mutable map-backed Graph is itself a View.
+var _ View = (*Graph)(nil)

@@ -6,6 +6,7 @@ import (
 
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 )
 
 // ImproveCloseness implements the greedy algorithm of Crescenzi et al.
@@ -31,7 +32,7 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
-	work := g.Clone()
+	work := csr.NewOverlay(csr.Freeze(g))
 	res := &ClosenessResult{BeforeFarness: engine.Default().FarnessInt64(g)}
 
 	for round := 0; round < budget; round++ {
@@ -51,7 +52,7 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 		res.FarnessPerRound = append(res.FarnessPerRound, bestFar)
 	}
 	res.AfterFarness = engine.Default().FarnessInt64(work)
-	return work, res, nil
+	return work.Materialize(), res, nil
 }
 
 // ClosenessOptions configures ImproveCloseness.

@@ -7,6 +7,7 @@ import (
 
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 )
 
 // ImproveEccentricity is the structure-aware counterpart for
@@ -30,7 +31,7 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
-	work := g.Clone()
+	work := csr.NewOverlay(csr.Freeze(g))
 	res := &EccentricityResult{Before: reciprocalEccInt32(g)}
 
 	for round := 0; round < budget; round++ {
@@ -50,14 +51,14 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 		res.EccPerRound = append(res.EccPerRound, bestEcc)
 	}
 	res.After = reciprocalEccInt32(work)
-	return work, res, nil
+	return work.Materialize(), res, nil
 }
 
 // reciprocalEccInt32 scores ĒC through the shared engine (one memoized
 // distance sweep) in the []int32 unit of EccentricityResult. Max
 // distances are exact small integers, so the float64 round trip is
 // lossless.
-func reciprocalEccInt32(g *graph.Graph) []int32 {
+func reciprocalEccInt32(g graph.View) []int32 {
 	scores := engine.Default().Scores(g, engine.ReciprocalEccentricity())
 	out := make([]int32, len(scores))
 	for v, x := range scores {
@@ -82,7 +83,7 @@ type EccentricityResult struct {
 // after the shuffle-truncate draw, so candidate evaluation order — and
 // with it the lowest-id tie-break every baseline documents — does not
 // depend on the shuffle.
-func nonNeighbors(g *graph.Graph, target, sample int, rng *rand.Rand) []int {
+func nonNeighbors(g graph.View, target, sample int, rng *rand.Rand) []int {
 	var all []int
 	for v := 0; v < g.N(); v++ {
 		if v != target && !g.HasEdge(target, v) {

@@ -14,6 +14,7 @@ import (
 	"promonet/internal/centrality"
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
 	"promonet/internal/obs"
 )
 
@@ -72,6 +73,11 @@ type Result struct {
 // pivot-sampled path (PivotSources > 0) keeps the classic
 // mutate-score-revert loop, because its per-probe pivot resample must
 // draw from the caller's advancing Options.Rand.
+//
+// The working graph is a CSR overlay over a one-time frozen snapshot of
+// g (graph/csr): each round's winning edge touches two overlay rows
+// instead of cloning the host, so b rounds cost O(b) row copies rather
+// than O(n + m) up front.
 func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *Result, error) {
 	if target < 0 || target >= g.N() {
 		return nil, nil, fmt.Errorf("greedy: target %d outside [0, %d)", target, g.N())
@@ -90,7 +96,7 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 	root.Int("m", g.M())
 	defer root.End()
 
-	work := g.Clone()
+	work := csr.NewOverlay(csr.Freeze(g))
 	res := &Result{Before: scores(g, opts)}
 
 	for round := 0; round < budget; round++ {
@@ -156,13 +162,13 @@ func Improve(g *graph.Graph, target, budget int, opts Options) (*graph.Graph, *R
 	} else {
 		res.After = scores(work, opts)
 	}
-	return work, res, nil
+	return work.Materialize(), res, nil
 }
 
 // candidates returns the nodes not adjacent to target (and not target
 // itself) in increasing id order, optionally subsampled. The order is
 // what makes the lowest-id tie-break of Options hold.
-func candidates(g *graph.Graph, target int, opts Options) []int {
+func candidates(g graph.View, target int, opts Options) []int {
 	return nonNeighbors(g, target, opts.CandidateSample, opts.Rand)
 }
 
@@ -173,7 +179,7 @@ func candidates(g *graph.Graph, target int, opts Options) []int {
 // recomputing. The pivot-sampled path must keep drawing from the
 // caller's advancing opts.Rand (each round re-samples pivots), so it
 // stays on the direct function.
-func scores(g *graph.Graph, opts Options) []float64 {
+func scores(g graph.View, opts Options) []float64 {
 	if opts.PivotSources > 0 && opts.PivotSources < g.N() {
 		//promolint:allow engine-bypass -- pivots must come from the caller's advancing opts.Rand; the engine's seeded-pivot measure would freeze the per-round resample
 		return centrality.BetweennessSampled(g, opts.Counting, opts.PivotSources, opts.Rand)

@@ -14,13 +14,13 @@ import (
 // once on the interface.
 var exportedDocs = &Analyzer{
 	Name:     "exported-docs",
-	Doc:      "flag undocumented exported identifiers in internal/centrality, internal/engine, internal/core, and internal/obs",
+	Doc:      "flag undocumented exported identifiers in internal/centrality, internal/engine, internal/core, internal/graph/csr, and internal/obs",
 	Severity: SevWarn,
 	Run:      runExportedDocs,
 }
 
 func runExportedDocs(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/obs") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/graph/csr", "internal/obs") {
 		return
 	}
 	for _, file := range p.Pkg.Files {

@@ -26,8 +26,8 @@ import (
 // scripts/check.sh) covers that blind spot for the obs fast path.
 //
 // Findings are errors inside the performance-critical packages
-// (internal/centrality, internal/engine, internal/obs) and warnings
-// elsewhere.
+// (internal/centrality, internal/engine, internal/graph/csr,
+// internal/obs) and warnings elsewhere.
 var hotpathAlloc = &Analyzer{
 	Name:     "hotpath-alloc",
 	Doc:      "flag heap allocations inside //promolint:hotpath-marked hot code",
@@ -49,7 +49,7 @@ func parseHotpath(text string) bool {
 }
 
 // hotpathScopes are the packages whose hot-path findings are errors.
-var hotpathScopes = []string{"internal/centrality", "internal/engine", "internal/obs"}
+var hotpathScopes = []string{"internal/centrality", "internal/engine", "internal/graph/csr", "internal/obs"}
 
 func runHotpathAlloc(p *Pass) {
 	info := p.Pkg.Info

@@ -6,8 +6,9 @@ import (
 	"strings"
 )
 
-// mutatingGraphMethods are the *graph.Graph methods that change the
-// structure of the graph. Calling any of them on a graph received as a
+// mutatingGraphMethods are the methods of the mutable graph backends
+// (*graph.Graph and *csr.Overlay share this mutation surface) that
+// change the structure. Calling any of them on a graph received as a
 // parameter violates the black-box read-only contract.
 var mutatingGraphMethods = map[string]bool{
 	"AddEdge":    true,
@@ -17,21 +18,22 @@ var mutatingGraphMethods = map[string]bool{
 }
 
 // mutationSafety enforces the paper's black-box contract: code in the
-// measurement, baseline, and observability packages
+// measurement, baseline, backend, and observability packages
 // (internal/centrality, internal/engine, internal/core,
-// internal/greedy, internal/obs) receives the host graph read-only.
-// Any mutating method call on a *graph.Graph parameter is flagged;
-// mutating a local clone is fine. Strategy-application code — whose
-// whole job is to attach structure — opts out explicitly with
-// //promolint:allow mutation-safety.
+// internal/greedy, internal/graph/csr, internal/obs) receives the host
+// graph read-only. Any mutating method call on a *graph.Graph or
+// *csr.Overlay parameter is flagged; mutating a local clone or overlay
+// is fine, and graph.View parameters are mutation-free by construction.
+// Strategy-application code — whose whole job is to attach structure —
+// opts out explicitly with //promolint:allow mutation-safety.
 var mutationSafety = &Analyzer{
 	Name: "mutation-safety",
-	Doc:  "flag mutating *graph.Graph method calls on function parameters in read-only packages",
+	Doc:  "flag mutating graph-backend method calls on function parameters in read-only packages",
 	Run:  runMutationSafety,
 }
 
 func runMutationSafety(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/obs") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/graph/csr", "internal/obs") {
 		return
 	}
 	info := p.Pkg.Info
@@ -61,7 +63,7 @@ func runMutationSafety(p *Pass) {
 				}
 				if obj := info.Uses[recv]; obj != nil && params[obj] {
 					p.Reportf(call.Pos(),
-						"%s mutates its *graph.Graph parameter %q via %s — the black-box contract requires treating the host as read-only (clone first, or annotate strategy code with //promolint:allow mutation-safety)",
+						"%s mutates its graph parameter %q via %s — the black-box contract requires treating the host as read-only (clone first, or annotate strategy code with //promolint:allow mutation-safety)",
 						funcName, recv.Name, sel.Sel.Name)
 				}
 				return true
@@ -70,8 +72,9 @@ func runMutationSafety(p *Pass) {
 	}
 }
 
-// graphParams returns the set of objects bound to *graph.Graph-typed
-// parameters (including the receiver) of fd.
+// graphParams returns the set of objects bound to mutable-graph-typed
+// (*graph.Graph or *csr.Overlay) parameters (including the receiver)
+// of fd.
 func graphParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	out := make(map[types.Object]bool)
 	collect := func(fields *ast.FieldList) {
@@ -92,8 +95,11 @@ func graphParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	return out
 }
 
-// isGraphPointer reports whether t is a pointer to a named type Graph
-// declared in a package whose import path ends in "internal/graph".
+// isGraphPointer reports whether t is a pointer to one of the mutable
+// graph backends: the named type Graph of a package whose import path
+// ends in "internal/graph", or the named type Overlay of a package
+// whose import path ends in "internal/graph/csr". (The frozen Snapshot
+// has no mutating methods, so it needs no guarding.)
 func isGraphPointer(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
@@ -104,9 +110,15 @@ func isGraphPointer(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	if obj.Name() != "Graph" || obj.Pkg() == nil {
+	if obj.Pkg() == nil {
 		return false
 	}
 	path := obj.Pkg().Path()
-	return path == "internal/graph" || strings.HasSuffix(path, "/internal/graph")
+	switch obj.Name() {
+	case "Graph":
+		return path == "internal/graph" || strings.HasSuffix(path, "/internal/graph")
+	case "Overlay":
+		return path == "internal/graph/csr" || strings.HasSuffix(path, "/internal/graph/csr")
+	}
+	return false
 }

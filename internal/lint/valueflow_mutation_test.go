@@ -47,7 +47,7 @@ func realGraphFiles(t *testing.T, files map[string]string) map[string]string {
 	t.Helper()
 	for _, name := range []string{
 		"components.go", "debug_off.go", "debug_on.go", "digest.go",
-		"dot.go", "graph.go", "invariants.go", "io.go",
+		"dot.go", "graph.go", "invariants.go", "io.go", "view.go",
 	} {
 		files["internal/graph/"+name] = realFile(t, "internal/graph/"+name)
 	}
@@ -109,6 +109,7 @@ func TestSpanHygieneCatchesEndDeletion(t *testing.T) {
 func TestHotpathAllocCatchesInjectedAlloc(t *testing.T) {
 	files := realGraphFiles(t, realObsFiles(t))
 	files["internal/centrality/bfs.go"] = realFile(t, "internal/centrality/bfs.go")
+	files["internal/centrality/bfs_csr.go"] = realFile(t, "internal/centrality/bfs_csr.go")
 	mustClean(t, runOnly(t, files, "hotpath-alloc"), "centrality+graph+obs")
 
 	bfs := files["internal/centrality/bfs.go"]

@@ -13,6 +13,11 @@
 #                 with one sub-benchmark per measure). The delta-vs-full
 #                 speedup CI reports comes from this file; the
 #                 acceptance bar is >= 5x on the BFS-family measures.
+#   BENCH_7.json  CSR snapshot backend vs the adjacency-map backend
+#                 (BenchmarkCSR{Freeze,BFS,Brandes,GreedyRound} with
+#                 map/csr sub-benchmarks), plus the 10^6-node / 10^7-edge
+#                 scale demonstration BenchmarkCSRMillionSweep run once.
+#                 The acceptance bar is csr >= 2x map on the BFS sweep.
 #
 # Non-gating: CI uploads the files as artifacts but never fails on their
 # contents.
@@ -66,3 +71,11 @@ echo "wrote BENCH_4.json"
 go test -run '^$' -bench 'BenchmarkGreedyRound(Full|Delta)' -benchmem -benchtime 1s -count "$COUNT" . | tee "$RAW"
 parse_bench < "$RAW" > BENCH_5.json
 echo "wrote BENCH_5.json"
+
+# BENCH_7: the backend comparison runs -count times like the others; the
+# 10^6-node scale case is appended from a single -benchtime 1x run (its
+# setup alone builds a 10^7-edge host, so repetition buys nothing).
+go test -run '^$' -bench 'BenchmarkCSR(Freeze|BFS|Brandes|GreedyRound)' -benchmem -benchtime 1s -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkCSRMillionSweep' -benchmem -benchtime 1x -count 1 -timeout 1800s . | tee -a "$RAW"
+parse_bench < "$RAW" > BENCH_7.json
+echo "wrote BENCH_7.json"

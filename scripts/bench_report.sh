@@ -6,7 +6,11 @@
 #      BENCH_5.json. Flags BFS-family measures that fall below the 5x
 #      acceptance bar (betweenness has no bar — its delta path is
 #      bounded by the affected-source fraction, not a fixed ratio).
-#   2. EnginePooled regression check: ns/op of BenchmarkEnginePooled in
+#   2. CSR-vs-map backend speedup per kernel, from BENCH_7.json. Flags
+#      a BFS sweep below the 2x acceptance bar (Freeze/Brandes/
+#      GreedyRound carry no bar — Brandes keeps the map backend's exact
+#      visit order for bitwise identity, so flat rows buy it little).
+#   3. EnginePooled regression check: ns/op of BenchmarkEnginePooled in
 #      the fresh BENCH_4.json against the committed baseline
 #      (git show HEAD:BENCH_4.json). Flags a >15% slowdown.
 #
@@ -53,6 +57,34 @@ END {
 }' BENCH_5.json | sort
 else
     echo "BENCH_5.json missing — run scripts/bench.sh first"
+fi
+
+echo
+if [ -f BENCH_7.json ]; then
+    echo "== CSR snapshot vs adjacency-map backend (BENCH_7.json) =="
+    awk '
+/"Benchmark/ {
+    line = $0
+    split(line, parts, "\"")
+    name = parts[2]
+    sub(/.*"ns_per_op": /, "", line); sub(/[^0-9].*/, "", line)
+    ns[name] = line + 0
+}
+END {
+    for (n in ns) {
+        if (n !~ /\/map$/) continue
+        kernel = substr(n, 1, length(n) - 4)
+        c = kernel "/csr"
+        if (!(c in ns) || ns[c] <= 0) continue
+        speedup = ns[n] / ns[c]
+        flag = ""
+        if (kernel == "BenchmarkCSRBFS" && speedup < 2) flag = "  ** below 2x bar **"
+        printf "  %-24s map %12.0f ns/op   csr %12.0f ns/op   speedup %6.2fx%s\n",
+            substr(kernel, 13), ns[n], ns[c], speedup, flag
+    }
+}' BENCH_7.json | sort
+else
+    echo "BENCH_7.json missing — run scripts/bench.sh first"
 fi
 
 echo
