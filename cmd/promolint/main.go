@@ -1,5 +1,5 @@
 // Command promolint runs promonet's custom static-analysis suite (see
-// internal/lint): thirteen analyzers enforcing the repo-specific
+// internal/lint): sixteen analyzers enforcing the repo-specific
 // invariants that generic tooling cannot know about — the black-box
 // read-only contract on the host graph, seeded-randomness and
 // map-iteration determinism, goroutine fan-out hygiene, error
@@ -7,11 +7,18 @@
 // exported API, the CFG/dataflow properties the execution engine
 // depends on (version stamping of graph mutations, engine routing of
 // heavy kernels, sync.Pool get/put balance, mutex acquisition order),
-// and the value-flow invariants of the observability and kernel layers:
-// obs span lifecycle (Start must reach End on every path), the
-// allocation-free discipline of //promolint:hotpath-marked hot code,
-// all-or-nothing sync/atomic access per variable, and the nil-safe
-// method contract of nil-receiver types like *obs.Span.
+// the value-flow invariants of the observability and kernel layers
+// (obs span lifecycle, the allocation-free discipline of
+// //promolint:hotpath-marked hot code, all-or-nothing sync/atomic
+// access per variable, the nil-safe method contract of nil-receiver
+// types like *obs.Span), and the interprocedural contracts built on
+// the summary engine: no write or unsafe retention of frozen
+// graph.View adjacency arrays, goroutine termination and WaitGroup
+// join discipline, and CSR snapshot/overlay aliasing safety.
+//
+// Packages fan out over a bounded worker pool (-workers, default
+// GOMAXPROCS); findings and the JSON report are byte-identical at any
+// worker count.
 //
 // Usage:
 //
@@ -22,6 +29,8 @@
 //	promolint -analyzers determinism ./internal/exp/...
 //	promolint -disable exported-docs ./...
 //	promolint -json -baseline lint-baseline.json ./...
+//	promolint -workers 1 ./...         # serial run (reference ordering)
+//	promolint -timings ./...           # per-analyzer wall/cpu table on stderr
 //	promolint -list                    # describe the analyzers
 //
 // Findings go to stdout (one per line as file:line:col: [analyzer]
@@ -43,6 +52,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"promonet/internal/lint"
 )
@@ -67,7 +77,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
 	baseline := fs.String("baseline", "", "baseline file of accepted findings; stale entries are errors")
+	workers := fs.Int("workers", 0, "package-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+	showTimings := fs.Bool("timings", false, "print the per-analyzer wall/cpu timing table on stderr")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(stderr, "promolint: -workers must be >= 0")
 		return 2
 	}
 
@@ -86,10 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var cfg lint.Config
 	cfg.Enable = splitNames(*analyzers)
 	cfg.Disable = splitNames(*disable)
+	cfg.Workers = *workers
 	diags, timings, err := lint.RunTimed(root, fs.Args(), cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "promolint:", err)
 		return 2
+	}
+	if *showTimings {
+		fmt.Fprintf(stderr, "%-20s %12s %12s\n", "analyzer", "wall", "cpu")
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "%-20s %12s %12s\n", tm.Analyzer,
+				time.Duration(tm.WallNanos).Round(time.Microsecond),
+				time.Duration(tm.CPUNanos).Round(time.Microsecond))
+		}
 	}
 
 	var stale []lint.BaselineEntry

@@ -75,7 +75,7 @@ func TestRunExitsTwoOutsideModule(t *testing.T) {
 }
 
 // TestRunListExitsZero: -list works without a module and exits 0 with
-// all thirteen analyzers.
+// all sixteen analyzers.
 func TestRunListExitsZero(t *testing.T) {
 	chdir(t, t.TempDir())
 	var stdout, stderr bytes.Buffer
@@ -83,8 +83,8 @@ func TestRunListExitsZero(t *testing.T) {
 		t.Fatalf("run -list = exit %d, want 0\nstderr: %s", code, stderr.String())
 	}
 	lines := strings.Count(strings.TrimSpace(stdout.String()), "\n") + 1
-	if lines != 13 {
-		t.Errorf("-list printed %d analyzers, want 13:\n%s", lines, stdout.String())
+	if lines != 16 {
+		t.Errorf("-list printed %d analyzers, want 16:\n%s", lines, stdout.String())
 	}
 }
 

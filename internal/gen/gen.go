@@ -257,6 +257,8 @@ func CliqueCover(rng *rand.Rand, n int, minSize, maxSize int, reuse float64) *gr
 // it repeatedly picks a random node and connects two of its random
 // neighbors. This raises clustering and degeneracy without changing the
 // degree profile much, tightening BA output toward real social graphs.
+//
+//promolint:allow mutation-safety -- generator code: g is the graph under construction, not a black-box host
 func TriadicClosure(rng *rand.Rand, g *graph.Graph, extra int) {
 	n := g.N()
 	if n == 0 {

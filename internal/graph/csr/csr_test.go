@@ -217,3 +217,83 @@ func TestMaterializeRoundTrip(t *testing.T) {
 		t.Fatalf("overlay Materialize differs from the same mutation on a clone")
 	}
 }
+
+// TestOverlayRemoveThenReAdd pins the tombstone-reuse sequence the
+// fuzzer explores stochastically: removing a base edge copies the row
+// into the overlay; re-adding the identical edge must land in that
+// already-touched row and restore the graph bit for bit.
+func TestOverlayRemoveThenReAdd(t *testing.T) {
+	g := host()
+	ov := csr.NewOverlay(csr.Freeze(g))
+	want := g.Clone()
+
+	type mutator interface {
+		AddEdge(u, v int) bool
+		RemoveEdge(u, v int) bool
+	}
+	var u, v int
+	g.Edges(func(a, b int) bool { u, v = a, b; return false })
+	for _, step := range []struct {
+		name string
+		op   func(mutator) bool
+		ok   bool
+	}{
+		{"remove", func(m mutator) bool { return m.RemoveEdge(u, v) }, true},
+		{"re-add", func(m mutator) bool { return m.AddEdge(u, v) }, true},
+		{"re-add again", func(m mutator) bool { return m.AddEdge(u, v) }, false},
+	} {
+		gv, cv := step.op(want), step.op(ov)
+		if gv != cv || gv != step.ok {
+			t.Fatalf("%s(%d, %d): graph %v, overlay %v, want %v", step.name, u, v, gv, cv, step.ok)
+		}
+	}
+	if graph.Digest(ov) != graph.Digest(want) {
+		t.Fatalf("digests diverge after remove-then-re-add")
+	}
+	if !ov.Materialize().Equal(want) {
+		t.Fatalf("Materialize diverges after remove-then-re-add")
+	}
+	if ov.Freeze().Digest() != graph.Digest(want) {
+		t.Fatalf("compacted snapshot diverges after remove-then-re-add")
+	}
+}
+
+// TestOverlayAppendNodesThenTouchNewRow pins the appended-row sequence:
+// nodes added past the frozen base have no backing row in the snapshot,
+// so an immediate edge into the new row must build it from nothing on
+// both endpoints and survive compaction.
+func TestOverlayAppendNodesThenTouchNewRow(t *testing.T) {
+	g := host()
+	ov := csr.NewOverlay(csr.Freeze(g))
+	want := g.Clone()
+
+	gv, cv := want.AddNode(), ov.AddNode()
+	if gv != cv {
+		t.Fatalf("AddNode ids diverge: graph %d, overlay %d", gv, cv)
+	}
+	if wantN, ovN := want.AddNodes(2), ov.AddNodes(2); wantN != ovN {
+		t.Fatalf("AddNodes counts diverge: graph %d, overlay %d", wantN, ovN)
+	}
+	// Edges touching every appended row: fresh-to-old, fresh-to-fresh.
+	edges := [][2]int{{gv, 0}, {gv + 1, 1}, {gv + 2, gv}, {gv, gv + 1}}
+	for _, e := range edges {
+		ga, ca := want.AddEdge(e[0], e[1]), ov.AddEdge(e[0], e[1])
+		if ga != ca || !ga {
+			t.Fatalf("AddEdge(%d, %d): graph %v, overlay %v, want true", e[0], e[1], ga, ca)
+		}
+	}
+	for _, e := range edges {
+		if !ov.HasEdge(e[0], e[1]) || !ov.HasEdge(e[1], e[0]) {
+			t.Fatalf("overlay lost appended edge (%d, %d)", e[0], e[1])
+		}
+	}
+	if graph.Digest(ov) != graph.Digest(want) {
+		t.Fatalf("digests diverge after append-then-touch")
+	}
+	if !ov.Materialize().Equal(want) {
+		t.Fatalf("Materialize diverges after append-then-touch")
+	}
+	if ov.Freeze().Digest() != graph.Digest(want) {
+		t.Fatalf("compacted snapshot diverges after append-then-touch")
+	}
+}

@@ -24,6 +24,8 @@ func FuzzCSRRoundTrip(f *testing.F) {
 	f.Add(int64(3), []byte{1, 4, 9, 1, 9, 4, 3, 4, 9})
 	f.Add(int64(4), []byte{0, 0, 0, 1, 0, 200, 2, 1, 2, 3, 1, 2, 1, 7, 3})
 	f.Add(int64(5), []byte{3, 0, 1, 3, 0, 1, 1, 0, 1, 2, 250, 251})
+	f.Add(int64(6), []byte{4, 0, 1, 4, 0, 1, 4, 5, 5, 1, 0, 1})
+	f.Add(int64(7), []byte{5, 0, 9, 5, 3, 3, 4, 2, 7, 5, 250, 0})
 
 	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
 		rng := rand.New(rand.NewSource(seed))
@@ -32,7 +34,7 @@ func FuzzCSRRoundTrip(f *testing.F) {
 		want = want.Clone()
 
 		for i := 0; i+2 < len(ops); i += 3 {
-			op, a, b := ops[i]%4, ops[i+1], ops[i+2]
+			op, a, b := ops[i]%6, ops[i+1], ops[i+2]
 			n := want.N()
 			switch op {
 			case 0: // AddNode
@@ -54,6 +56,30 @@ func FuzzCSRRoundTrip(f *testing.F) {
 				gv, cv := want.RemoveEdge(u, v), ov.RemoveEdge(u, v)
 				if gv != cv {
 					t.Fatalf("op %d: RemoveEdge(%d, %d) outcomes diverge: graph %v, overlay %v", i, u, v, gv, cv)
+				}
+			case 4: // remove-then-re-add the same edge (tombstone reuse)
+				u, v := int(a)%n, int(b)%n
+				if u == v {
+					continue
+				}
+				gr, cr := want.RemoveEdge(u, v), ov.RemoveEdge(u, v)
+				ga, ca := want.AddEdge(u, v), ov.AddEdge(u, v)
+				if gr != cr || ga != ca {
+					t.Fatalf("op %d: remove-then-re-add(%d, %d) diverges: graph %v/%v, overlay %v/%v",
+						i, u, v, gr, ga, cr, ca)
+				}
+			case 5: // append a node, then immediately touch its fresh row
+				gv, cv := want.AddNode(), ov.AddNode()
+				if gv != cv {
+					t.Fatalf("op %d: AddNode ids diverge: graph %d, overlay %d", i, gv, cv)
+				}
+				u := int(a) % want.N()
+				if u == gv {
+					continue
+				}
+				ga, ca := want.AddEdge(gv, u), ov.AddEdge(gv, u)
+				if ga != ca {
+					t.Fatalf("op %d: AddEdge on fresh node %d diverges: graph %v, overlay %v", i, gv, ga, ca)
 				}
 			}
 		}

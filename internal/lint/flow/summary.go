@@ -1,0 +1,590 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural summary engine of the value-flow
+// layer. Where alloc.go answers "may this expression allocate" and
+// callgraph.go propagates single-bit may-properties, Summarize computes
+// a structured per-function summary — per-parameter mutation, retention,
+// and alias facts plus goroutine/blocking facts — bottom-up over the
+// package call graph to a least fixpoint. The view-immutability,
+// snapshot-aliasing, and goroutine-lifecycle analyzers consult these
+// summaries so a write or leak hidden behind any chain of package-local
+// helpers is as visible as a direct one.
+//
+// Everything here is a conservative may-analysis: a summary bit is set
+// when the fact might hold, never cleared once set, and calls that
+// cannot be resolved statically (other packages, function values,
+// interface methods) contribute no facts — the analyzers built on top
+// document that blind spot and pair it with runtime/differential gates.
+
+// ParamFacts is the per-parameter summary lattice: a bitmask of ways a
+// function may use one of its parameters (or its receiver). The join is
+// bitwise OR.
+type ParamFacts uint8
+
+const (
+	// ParamMutated: the function may store through the parameter — a
+	// slice-element, field, or pointee write, a copy with the parameter
+	// as destination, an append that can write into its backing array,
+	// or a call forwarding it to a parameter with ParamMutated.
+	ParamMutated ParamFacts = 1 << iota
+	// ParamRetained: the parameter (or an alias of it) may outlive the
+	// call in a mutable heap location — stored into a struct field, map,
+	// slice element, package-level variable, composite literal, or sent
+	// on a channel, or forwarded to a parameter with ParamRetained.
+	ParamRetained
+	// ParamReturned: the function may return the parameter or an alias
+	// of it (the parameter itself, a subslice, a field chain), so the
+	// caller's result aliases the argument.
+	ParamReturned
+	// ParamWGDone: the parameter is a *sync.WaitGroup whose Done method
+	// the function may call (directly, deferred, or through a callee
+	// with ParamWGDone) — the join-side half of the goroutine-lifecycle
+	// contract for named worker functions.
+	ParamWGDone
+)
+
+// Summary is the interprocedural fact set of one declared function.
+type Summary struct {
+	// Func is the summarized function object.
+	Func *types.Func
+	// Recv holds the receiver's facts for methods (zero for functions).
+	Recv ParamFacts
+	// Params holds one fact set per declared parameter, in order.
+	// Unnamed and blank parameters get a zero entry.
+	Params []ParamFacts
+	// ReturnsSource reports that the function may return a value for
+	// which srcCall (the Summarize argument) returned true — the
+	// wrapper-source propagation the view analyzers build on.
+	ReturnsSource bool
+	// Spawns reports that the function may start a goroutine, directly
+	// or through a package-local callee.
+	Spawns bool
+	// Blocks reports that the function may block on synchronization: a
+	// WaitGroup.Wait, a channel operation, or a select without a
+	// default case, directly or through a package-local callee.
+	Blocks bool
+}
+
+// SummarySet holds the fixpoint summaries of one package.
+type SummarySet struct {
+	info *types.Info
+	// byFunc maps each declared function to its summary.
+	byFunc map[*types.Func]*Summary
+	// paramObjs maps every parameter/receiver object to its position in
+	// its function's summary (receiver is index -1).
+	paramObjs map[types.Object]paramRef
+}
+
+type paramRef struct {
+	fn    *types.Func
+	index int // -1 for the receiver
+}
+
+// Of returns the summary of fn, or nil for functions not declared in
+// the summarized package.
+func (s *SummarySet) Of(fn *types.Func) *Summary { return s.byFunc[fn] }
+
+// FactsAt returns the facts of callee's parameter at the given argument
+// index, resolving the receiver of method values. Unknown callees and
+// out-of-range indices yield zero facts.
+func (s *SummarySet) FactsAt(callee *types.Func, arg int) ParamFacts {
+	sum := s.byFunc[callee]
+	if sum == nil || arg < 0 || arg >= len(sum.Params) {
+		return 0
+	}
+	return sum.Params[arg]
+}
+
+// RecvFacts returns the receiver facts of callee, or zero for unknown
+// callees and plain functions.
+func (s *SummarySet) RecvFacts(callee *types.Func) ParamFacts {
+	if sum := s.byFunc[callee]; sum != nil {
+		return sum.Recv
+	}
+	return 0
+}
+
+// Summarize computes the package's function summaries to a least
+// fixpoint. srcCall classifies calls that produce protected source
+// values (e.g. View adjacency rows) for ReturnsSource propagation; nil
+// means no source tracking.
+func Summarize(info *types.Info, files []*ast.File, srcCall func(*ast.CallExpr) bool) *SummarySet {
+	cg := NewCallGraph(info, files)
+	set := &SummarySet{
+		info:      info,
+		byFunc:    make(map[*types.Func]*Summary, len(cg.Decls)),
+		paramObjs: make(map[types.Object]paramRef),
+	}
+	for fn, fd := range cg.Decls {
+		sum := &Summary{Func: fn}
+		if fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						set.paramObjs[obj] = paramRef{fn: fn, index: -1}
+					}
+				}
+			}
+		}
+		if fd.Type.Params != nil {
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				if len(field.Names) == 0 {
+					sum.Params = append(sum.Params, 0)
+					idx++
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						set.paramObjs[obj] = paramRef{fn: fn, index: idx}
+					}
+					sum.Params = append(sum.Params, 0)
+					idx++
+				}
+			}
+		}
+		set.byFunc[fn] = sum
+	}
+
+	// Bottom-up least fixpoint: re-walk every body until no summary
+	// gains a bit. Facts only accumulate, so this terminates in at most
+	// (bits × params) rounds; in practice two or three.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.order {
+			if set.summarizeOne(fn, cg.Decls[fn], srcCall) {
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// summarizeOne re-derives fn's summary from its body and the current
+// summaries of its callees, reporting whether any fact was added.
+func (s *SummarySet) summarizeOne(fn *types.Func, fd *ast.FuncDecl, srcCall func(*ast.CallExpr) bool) bool {
+	sum := s.byFunc[fn]
+	aliases := s.paramAliases(fn, fd)
+	srcLocals := s.sourceLocals(fd, srcCall)
+	old := *sum
+	oldParams := append([]ParamFacts(nil), sum.Params...)
+
+	mark := func(e ast.Expr, f ParamFacts) {
+		for _, ref := range s.rootsOf(e, aliases) {
+			if ref.fn != fn {
+				continue
+			}
+			if ref.index == -1 {
+				sum.Recv |= f
+			} else if ref.index < len(sum.Params) {
+				sum.Params[ref.index] |= f
+			}
+		}
+	}
+
+	// Channel operations that are the comm of a select case are judged
+	// by the select (which blocks only without a default), not as
+	// standalone operations.
+	selectComms := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					selectComms[commOp(comm.Comm)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Unlike WalkNodes this deliberately descends into function
+	// literals: a closure writing through a captured parameter mutates
+	// it on behalf of the enclosing function, and deferred closures run
+	// at its exits.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				s.markStore(lhs, n.Rhs, mark)
+			}
+		case *ast.IncDecStmt:
+			if isDerefWrite(n.X) {
+				mark(n.X, ParamMutated)
+			}
+		case *ast.SendStmt:
+			mark(n.Value, ParamRetained)
+			if !selectComms[ast.Node(n)] {
+				sum.Blocks = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				mark(el, ParamRetained)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				mark(res, ParamReturned)
+				if s.exprIsSource(res, srcCall, srcLocals) {
+					sum.ReturnsSource = true
+				}
+			}
+		case *ast.GoStmt:
+			sum.Spawns = true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				sum.Blocks = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !selectComms[ast.Node(n)] {
+				sum.Blocks = true
+			}
+		case *ast.CallExpr:
+			s.applyCall(fn, n, sum, mark)
+		}
+		return true
+	})
+
+	if sum.Recv != old.Recv || sum.ReturnsSource != old.ReturnsSource ||
+		sum.Spawns != old.Spawns || sum.Blocks != old.Blocks {
+		return true
+	}
+	for i := range sum.Params {
+		if sum.Params[i] != oldParams[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// markStore classifies one assignment target: a store through a
+// dereference (index, field, star) mutates its root; a store of a
+// parameter-rooted value into a non-local location retains it.
+func (s *SummarySet) markStore(lhs ast.Expr, rhs []ast.Expr, mark func(ast.Expr, ParamFacts)) {
+	if isDerefWrite(lhs) {
+		mark(lhs, ParamMutated)
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+		// Storing into any dereferenced location retains every
+		// parameter-rooted RHS value: the location may outlive the call.
+		for _, r := range rhs {
+			mark(r, ParamRetained)
+		}
+		_ = l
+	case *ast.Ident:
+		if obj := s.info.Uses[l]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				// Package-level variable: the store itself is a retention
+				// of every parameter-rooted RHS value.
+				for _, r := range rhs {
+					mark(r, ParamRetained)
+				}
+			}
+		}
+	}
+}
+
+// applyCall folds a callee's summary into the caller at one call site:
+// arguments forwarded to mutated/retained parameters inherit the facts,
+// WaitGroup.Wait blocks, and spawning callees make the caller spawn.
+func (s *SummarySet) applyCall(fn *types.Func, call *ast.CallExpr, sum *Summary, mark func(ast.Expr, ParamFacts)) {
+	if name, ok := builtinName(s.info, call); ok {
+		switch name {
+		case "copy":
+			if len(call.Args) == 2 {
+				mark(call.Args[0], ParamMutated)
+			}
+		case "append":
+			// append may write into the backing array of its first
+			// argument when spare capacity exists.
+			if len(call.Args) > 0 {
+				mark(call.Args[0], ParamMutated)
+			}
+		}
+		return
+	}
+	callee := Callee(s.info, call)
+	if callee == nil {
+		return
+	}
+	if isWaitGroupMethod(callee, "Wait") {
+		sum.Blocks = true
+	}
+	if recv := Receiver(call); recv != nil {
+		if isWaitGroupMethod(callee, "Done") {
+			mark(recv, ParamWGDone)
+		}
+		if csum := s.byFunc[callee]; csum != nil {
+			mark(recv, csum.Recv&(ParamMutated|ParamRetained))
+		}
+	}
+	csum := s.byFunc[callee]
+	if csum == nil {
+		return
+	}
+	if csum.Spawns {
+		sum.Spawns = true
+	}
+	if csum.Blocks {
+		sum.Blocks = true
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		idx := i
+		if sig != nil && sig.Variadic() && idx >= sig.Params().Len()-1 {
+			idx = sig.Params().Len() - 1
+		}
+		if idx < len(csum.Params) {
+			f := csum.Params[idx] & (ParamMutated | ParamRetained | ParamWGDone)
+			if f != 0 {
+				mark(arg, f)
+			}
+		}
+	}
+}
+
+// paramAliases computes the local variables of fd that may alias one of
+// fn's parameters: seeded with the parameter objects themselves, then
+// closed over assignments whose RHS is an alias-preserving expression
+// (the variable, a subslice, a field chain, an address-of, or a call to
+// a callee with ParamReturned). One forward pass per fixpoint round is
+// enough because Summarize iterates the whole package to stability.
+func (s *SummarySet) paramAliases(fn *types.Func, fd *ast.FuncDecl) map[types.Object]paramRef {
+	aliases := make(map[types.Object]paramRef)
+	for obj, ref := range s.paramObjs {
+		if ref.fn == fn {
+			aliases[obj] = ref
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := s.info.Defs[id]
+				if obj == nil {
+					obj = s.info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, known := aliases[obj]; known {
+					continue
+				}
+				for _, ref := range s.rootsOf(assign.Rhs[i], aliases) {
+					if ref.fn == fn {
+						aliases[obj] = ref
+						changed = true
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// rootsOf resolves an expression to the parameter references it may
+// alias, peeling alias-preserving wrappers: parens, subslices, indexing,
+// field selection, dereference, address-of, and calls whose callee
+// returns a parameter alias.
+func (s *SummarySet) rootsOf(e ast.Expr, aliases map[types.Object]paramRef) []paramRef {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if ref, ok := aliases[s.info.Uses[e]]; ok {
+			return []paramRef{ref}
+		}
+		if ref, ok := aliases[s.info.Defs[e]]; ok {
+			return []paramRef{ref}
+		}
+	case *ast.SliceExpr:
+		return s.rootsOf(e.X, aliases)
+	case *ast.IndexExpr:
+		return s.rootsOf(e.X, aliases)
+	case *ast.SelectorExpr:
+		return s.rootsOf(e.X, aliases)
+	case *ast.StarExpr:
+		return s.rootsOf(e.X, aliases)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return s.rootsOf(e.X, aliases)
+		}
+	case *ast.CallExpr:
+		callee := Callee(s.info, e)
+		if callee == nil {
+			return nil
+		}
+		csum := s.byFunc[callee]
+		if csum == nil {
+			return nil
+		}
+		var out []paramRef
+		if csum.Recv&ParamReturned != 0 {
+			if recv := Receiver(e); recv != nil {
+				out = append(out, s.rootsOf(recv, aliases)...)
+			}
+		}
+		for i, arg := range e.Args {
+			if i < len(csum.Params) && csum.Params[i]&ParamReturned != 0 {
+				out = append(out, s.rootsOf(arg, aliases)...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// sourceLocals closes, by fixpoint over fd's assignments, the set of
+// locals that may hold a source value — bound to a source call
+// (including the tuple form), or rebound from another source local
+// through an alias-preserving expression.
+func (s *SummarySet) sourceLocals(fd *ast.FuncDecl, srcCall func(*ast.CallExpr) bool) map[types.Object]bool {
+	srcLocals := make(map[types.Object]bool)
+	if srcCall == nil {
+		return srcLocals
+	}
+	record := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := s.info.Defs[id]
+		if obj == nil {
+			obj = s.info.Uses[id]
+		}
+		if obj == nil || srcLocals[obj] {
+			return false
+		}
+		srcLocals[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+				if s.exprIsSource(assign.Rhs[0], srcCall, srcLocals) {
+					for _, lhs := range assign.Lhs {
+						if record(lhs) {
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			if len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if s.exprIsSource(rhs, srcCall, srcLocals) && record(assign.Lhs[i]) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return srcLocals
+}
+
+// exprIsSource reports whether e may evaluate to a source value: a
+// srcCall result, a local holding one, an alias-preserving wrapper of
+// either, or a call into a package-local wrapper with ReturnsSource.
+func (s *SummarySet) exprIsSource(e ast.Expr, srcCall func(*ast.CallExpr) bool, srcLocals map[types.Object]bool) bool {
+	if srcCall == nil {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return srcLocals[s.info.Uses[e]] || srcLocals[s.info.Defs[e]]
+	case *ast.CallExpr:
+		if srcCall(e) {
+			return true
+		}
+		if callee := Callee(s.info, e); callee != nil {
+			if csum := s.byFunc[callee]; csum != nil && csum.ReturnsSource {
+				return true
+			}
+		}
+	case *ast.SliceExpr:
+		return s.exprIsSource(e.X, srcCall, srcLocals)
+	case *ast.IndexExpr:
+		return s.exprIsSource(e.X, srcCall, srcLocals)
+	}
+	return false
+}
+
+// isDerefWrite reports whether assigning to e stores through a
+// dereference — a slice/map element, a field, or a pointee — rather
+// than rebinding a variable.
+func isDerefWrite(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether fn is sync.WaitGroup's method of
+// the given name.
+func isWaitGroupMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// commOp unwraps a select case's comm statement to the channel
+// operation node it performs: the SendStmt itself, or the ARROW
+// UnaryExpr behind an expression or assignment receive.
+func commOp(comm ast.Stmt) ast.Node {
+	switch comm := comm.(type) {
+	case *ast.SendStmt:
+		return comm
+	case *ast.ExprStmt:
+		return ast.Unparen(comm.X)
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			return ast.Unparen(comm.Rhs[0])
+		}
+	}
+	return comm
+}
+
+// selectHasDefault reports whether the select statement has a default
+// clause (and therefore never blocks).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

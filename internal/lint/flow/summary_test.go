@@ -1,0 +1,294 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// summarize typechecks src and computes its summaries; srcCall marks
+// calls to functions named "source" as protected sources so wrapper
+// propagation is testable without a real View type.
+func summarize(t *testing.T, src string) *SummarySet {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("fixture", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Summarize(info, []*ast.File{file}, func(call *ast.CallExpr) bool {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			return id.Name == "source"
+		}
+		return false
+	})
+}
+
+// sumOf finds the summary of the function (or Type.Method) named name.
+func sumOf(t *testing.T, set *SummarySet, name string) *Summary {
+	t.Helper()
+	for fn, sum := range set.byFunc {
+		full := fn.Name()
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := sig.Recv().Type().String()
+			if i := strings.LastIndexByte(recv, '.'); i >= 0 {
+				recv = recv[i+1:]
+			}
+			full = recv + "." + fn.Name()
+		}
+		if full == name {
+			return sum
+		}
+	}
+	t.Fatalf("no summary for %q", name)
+	return nil
+}
+
+func TestSummaryDirectSliceWrite(t *testing.T) {
+	set := summarize(t, `package fixture
+func zero(xs []int) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+func rebind(xs []int) {
+	xs = nil
+	_ = xs
+}
+`)
+	if got := sumOf(t, set, "zero").Params[0]; got&ParamMutated == 0 {
+		t.Fatalf("zero: slice element write must set ParamMutated, got %b", got)
+	}
+	if got := sumOf(t, set, "rebind").Params[0]; got&ParamMutated != 0 {
+		t.Fatalf("rebind: plain parameter reassignment is not a mutation, got %b", got)
+	}
+}
+
+func TestSummaryMutationThroughAliasAndHelper(t *testing.T) {
+	set := summarize(t, `package fixture
+func clobber(xs []int) { xs[0] = 1 }
+func viaAlias(xs []int) {
+	ys := xs[1:]
+	ys[0] = 2
+}
+func viaHelper(xs []int) { clobber(xs) }
+func viaBoth(xs []int) {
+	ys := xs
+	viaHelper(ys)
+}
+func readOnly(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`)
+	for _, name := range []string{"viaAlias", "viaHelper", "viaBoth"} {
+		if got := sumOf(t, set, name).Params[0]; got&ParamMutated == 0 {
+			t.Errorf("%s: mutation through alias/helper must set ParamMutated, got %b", name, got)
+		}
+	}
+	if got := sumOf(t, set, "readOnly").Params[0]; got&ParamMutated != 0 {
+		t.Errorf("readOnly: reads must not set ParamMutated, got %b", got)
+	}
+}
+
+func TestSummaryBuiltinsMutateDst(t *testing.T) {
+	set := summarize(t, `package fixture
+func fill(dst, src []int) { copy(dst, src) }
+func grow(xs []int) []int { return append(xs, 1) }
+`)
+	fill := sumOf(t, set, "fill")
+	if fill.Params[0]&ParamMutated == 0 {
+		t.Errorf("fill: copy dst must be ParamMutated, got %b", fill.Params[0])
+	}
+	if fill.Params[1]&ParamMutated != 0 {
+		t.Errorf("fill: copy src must not be ParamMutated, got %b", fill.Params[1])
+	}
+	if got := sumOf(t, set, "grow").Params[0]; got&ParamMutated == 0 {
+		t.Errorf("grow: append may write the first arg's backing array, got %b", got)
+	}
+}
+
+func TestSummaryRetention(t *testing.T) {
+	set := summarize(t, `package fixture
+type box struct{ xs []int }
+var global []int
+func stash(b *box, xs []int)  { b.xs = xs }
+func toGlobal(xs []int)       { global = xs }
+func toLiteral(xs []int) *box { return &box{xs: xs} }
+func send(ch chan []int, xs []int) { ch <- xs }
+func harmless(xs []int) int   { return len(xs) }
+func viaHelper(b *box, xs []int) { stash(b, xs) }
+`)
+	cases := map[string]int{"stash": 1, "toGlobal": 0, "toLiteral": 0, "viaHelper": 1}
+	for name, idx := range cases {
+		if got := sumOf(t, set, name).Params[idx]; got&ParamRetained == 0 {
+			t.Errorf("%s: param %d must be ParamRetained, got %b", name, idx, got)
+		}
+	}
+	if got := sumOf(t, set, "send").Params[1]; got&ParamRetained == 0 {
+		t.Errorf("send: channel send must retain, got %b", got)
+	}
+	if got := sumOf(t, set, "harmless").Params[0]; got&ParamRetained != 0 {
+		t.Errorf("harmless: len() must not retain, got %b", got)
+	}
+	// The mutating stash also mutates its receiver-like *box param.
+	if got := sumOf(t, set, "stash").Params[0]; got&ParamMutated == 0 {
+		t.Errorf("stash: field store mutates the box param, got %b", got)
+	}
+}
+
+func TestSummaryReturnedAlias(t *testing.T) {
+	set := summarize(t, `package fixture
+func ident(xs []int) []int { return xs }
+func sub(xs []int) []int   { return xs[1:] }
+func fresh(xs []int) []int { return append([]int(nil), xs...) }
+func chain(xs []int) []int { return ident(sub(xs)) }
+`)
+	for _, name := range []string{"ident", "sub", "chain"} {
+		if got := sumOf(t, set, name).Params[0]; got&ParamReturned == 0 {
+			t.Errorf("%s: must be ParamReturned, got %b", name, got)
+		}
+	}
+	if got := sumOf(t, set, "fresh").Params[0]; got&ParamReturned != 0 {
+		t.Errorf("fresh: append to nil copies, must not be ParamReturned, got %b", got)
+	}
+}
+
+func TestSummaryReturnedAliasEnablesCallSiteMutation(t *testing.T) {
+	// Mutating the return value of an alias-returning helper mutates
+	// the argument fed to it.
+	set := summarize(t, `package fixture
+func tail(xs []int) []int { return xs[1:] }
+func hit(xs []int) {
+	ys := tail(xs)
+	ys[0] = 9
+}
+`)
+	if got := sumOf(t, set, "hit").Params[0]; got&ParamMutated == 0 {
+		t.Fatalf("hit: write through returned alias must set ParamMutated, got %b", got)
+	}
+}
+
+func TestSummaryClosureCapture(t *testing.T) {
+	set := summarize(t, `package fixture
+func viaClosure(xs []int) {
+	f := func() { xs[0] = 1 }
+	f()
+}
+func readClosure(xs []int) int {
+	n := 0
+	f := func() { n = len(xs) }
+	f()
+	return n
+}
+`)
+	if got := sumOf(t, set, "viaClosure").Params[0]; got&ParamMutated == 0 {
+		t.Errorf("viaClosure: captured write must set ParamMutated, got %b", got)
+	}
+	if got := sumOf(t, set, "readClosure").Params[0]; got&ParamMutated != 0 {
+		t.Errorf("readClosure: captured read must not set ParamMutated, got %b", got)
+	}
+}
+
+func TestSummaryReceiverFacts(t *testing.T) {
+	set := summarize(t, `package fixture
+type buf struct{ data []int }
+func (b *buf) Set(i, v int) { b.data[i] = v }
+func (b *buf) Len() int     { return len(b.data) }
+func (b *buf) SetVia(i, v int) { b.Set(i, v) }
+`)
+	if got := sumOf(t, set, "buf.Set").Recv; got&ParamMutated == 0 {
+		t.Errorf("Set: receiver write must set ParamMutated, got %b", got)
+	}
+	if got := sumOf(t, set, "buf.Len").Recv; got&ParamMutated != 0 {
+		t.Errorf("Len: receiver read must not set ParamMutated, got %b", got)
+	}
+	if got := sumOf(t, set, "buf.SetVia").Recv; got&ParamMutated == 0 {
+		t.Errorf("SetVia: receiver mutation through own method must propagate, got %b", got)
+	}
+}
+
+func TestSummaryGoroutineAndBlockingFacts(t *testing.T) {
+	set := summarize(t, `package fixture
+import "sync"
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+func spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(wg)
+	wg.Wait()
+}
+func indirect(wg *sync.WaitGroup) { spawn(wg) }
+func recv(ch chan int) int { return <-ch }
+func sel(ch chan int) {
+	select {
+	case <-ch:
+	}
+}
+func nonblocking(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+`)
+	if got := sumOf(t, set, "worker").Params[0]; got&ParamWGDone == 0 {
+		t.Errorf("worker: deferred Done must set ParamWGDone, got %b", got)
+	}
+	spawn := sumOf(t, set, "spawn")
+	if !spawn.Spawns || !spawn.Blocks {
+		t.Errorf("spawn: want Spawns && Blocks, got %+v", spawn)
+	}
+	ind := sumOf(t, set, "indirect")
+	if !ind.Spawns || !ind.Blocks {
+		t.Errorf("indirect: facts must propagate through callee, got %+v", ind)
+	}
+	if !sumOf(t, set, "recv").Blocks {
+		t.Error("recv: channel receive must set Blocks")
+	}
+	if !sumOf(t, set, "sel").Blocks {
+		t.Error("sel: default-less select must set Blocks")
+	}
+	if sumOf(t, set, "nonblocking").Blocks {
+		t.Error("nonblocking: select with default must not set Blocks")
+	}
+}
+
+func TestSummaryReturnsSourceWrappers(t *testing.T) {
+	set := summarize(t, `package fixture
+func source() []int { return nil }
+func wrapper() []int { return source() }
+func wrapWrap() []int { return wrapper()[1:] }
+func viaLocal() []int {
+	r := source()
+	return r
+}
+func clean() []int { return make([]int, 4) }
+`)
+	for _, name := range []string{"wrapper", "wrapWrap", "viaLocal"} {
+		if !sumOf(t, set, name).ReturnsSource {
+			t.Errorf("%s: must have ReturnsSource", name)
+		}
+	}
+	if sumOf(t, set, "clean").ReturnsSource {
+		t.Error("clean: make result is not a source")
+	}
+}

@@ -1,0 +1,483 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// goroutineLifecycle requires every `go` statement to have a visible
+// termination and join story before the snapshot-swap server brings
+// concurrent traffic: a leaked worker pins its scratch arrays and its
+// channel forever, and an unbalanced WaitGroup turns the first Wait
+// into a deadlock. Three rules, all package-local and conservative:
+//
+//  1. Termination: a spawned body must be able to finish. A bare
+//     `for {}` loop with no return or break inside is flagged; a
+//     `for range ch` worker loop is accepted only when the package
+//     closes that channel somewhere (the engine pool's close(e.jobs)),
+//     because a never-closed channel parks the worker forever.
+//  2. Join: when the spawning function both Adds and Waits on a local
+//     WaitGroup, some spawned goroutine must call Done on it (directly,
+//     deferred, or through a package-local worker function whose
+//     summary carries ParamWGDone). Deleting the `defer wg.Done()`
+//     from a worker makes Wait unreachable — the exact incident this
+//     rule turns into a finding.
+//  3. Done placement: a goroutine whose Done is not deferred and whose
+//     body has an exit path that skips it leaks one Wait count on that
+//     path; `defer wg.Done()` is the fix.
+//
+// Known blind spots, documented on purpose: goroutines whose WaitGroup
+// escapes into another package, context-based cancellation (a ctx-done
+// select is accepted as a terminating branch simply because select
+// branches can return), and function-value spawns the call graph cannot
+// resolve. The -race test suite remains the dynamic backstop.
+var goroutineLifecycle = &Analyzer{
+	Name:     "goroutine-lifecycle",
+	Doc:      "flag goroutines with no termination path and WaitGroup joins no goroutine can satisfy",
+	Severity: SevError,
+	Run:      runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(p *Pass) {
+	info := p.Pkg.Info
+	cg := flow.NewCallGraph(info, p.Pkg.Files)
+	sums := flow.Summarize(info, p.Pkg.Files, nil)
+	closed := closedChannels(info, p.Pkg.Files)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoTermination(p, info, cg, fd, closed)
+			checkWaitGroupJoin(p, info, sums, fd)
+		}
+	}
+}
+
+// --- rule 1: termination ---
+
+// closedChannels collects the root objects (locals and struct fields)
+// of every channel the package closes anywhere. A for-range worker loop
+// over one of these terminates when the producer shuts down.
+func closedChannels(info *types.Info, files []*ast.File) map[types.Object]bool {
+	closed := make(map[types.Object]bool)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, isBuiltin := builtinCallName(info, call); !isBuiltin || name != "close" || len(call.Args) != 1 {
+				return true
+			}
+			if obj := chanRootObj(info, call.Args[0]); obj != nil {
+				closed[obj] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// chanRootObj resolves a channel expression to its identity object: a
+// local/package variable, or the struct field of a selector chain
+// (e.jobs identifies as the jobs field, whichever instance e is — a
+// deliberate approximation that matches how worker pools name their
+// one channel).
+func chanRootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkGoTermination applies rule 1 to every go statement in fd.
+func checkGoTermination(p *Pass, info *types.Info, cg *flow.CallGraph, fd *ast.FuncDecl, closed map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := spawnedBody(info, cg, gs)
+		if body == nil {
+			return true // dynamic or out-of-package spawn: blind spot
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit && m != ast.Node(body) {
+				return false // nested goroutine bodies are their own spawns
+			}
+			switch loop := m.(type) {
+			case *ast.ForStmt:
+				if loop.Cond == nil && !loopCanExit(loop.Body) {
+					p.Reportf(loop.Pos(), "goroutine loops forever — this for loop has no condition, return, or break, so the goroutine can never terminate and its stack and captures leak")
+				}
+			case *ast.RangeStmt:
+				t := typeOfExpr(info, loop.X)
+				if t == nil {
+					return true
+				}
+				if _, isChan := t.Underlying().(*types.Chan); !isChan {
+					return true
+				}
+				if obj := chanRootObj(info, loop.X); obj == nil || !closed[obj] {
+					p.Reportf(loop.Pos(), "goroutine ranges over channel %s, which this package never closes — the worker parks forever once producers stop; close the channel on shutdown", exprString(loop.X))
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// spawnedBody resolves the body a go statement runs: a function
+// literal's own body, or the declaration body of a package-local named
+// callee. nil for anything the call graph cannot see.
+func spawnedBody(info *types.Info, cg *flow.CallGraph, gs *ast.GoStmt) ast.Node {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if callee := flow.Callee(info, gs.Call); callee != nil {
+		if fd, ok := cg.Decls[callee]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// loopCanExit reports whether a loop body contains a return or a break
+// that can leave the loop. Unlabeled breaks inside nested loops,
+// switches, and selects target those constructs, not our loop; a
+// labeled break or a goto is assumed to escape (conservative — this is
+// the no-finding direction).
+func loopCanExit(body *ast.BlockStmt) bool {
+	can := false
+	depth := 0
+	var scopes []bool // parallel to the walk stack: did this node bump depth?
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			if scopes[len(scopes)-1] {
+				depth--
+			}
+			scopes = scopes[:len(scopes)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns and breaks are its own
+		case *ast.ReturnStmt:
+			can = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if depth == 0 || n.Label != nil {
+					can = true
+				}
+			case token.GOTO:
+				can = true
+			}
+		}
+		isScope := false
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			isScope = true
+			depth++
+		}
+		scopes = append(scopes, isScope)
+		return true
+	})
+	return can
+}
+
+// --- rules 2 and 3: WaitGroup join ---
+
+// wgCall matches a sync.WaitGroup method call, returning the method
+// name and the receiver's identity object.
+func wgCall(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	callee := flow.Callee(info, call)
+	if callee == nil || !isSyncWGMethod(callee) {
+		return "", nil
+	}
+	recv := flow.Receiver(call)
+	if recv == nil {
+		return "", nil
+	}
+	return callee.Name(), chanRootObj(info, recv)
+}
+
+// isSyncWGMethod reports whether fn is a method of sync.WaitGroup.
+func isSyncWGMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// checkWaitGroupJoin applies rules 2 and 3 to every WaitGroup fd both
+// Adds and Waits on.
+func checkWaitGroupJoin(p *Pass, info *types.Info, sums *flow.SummarySet, fd *ast.FuncDecl) {
+	type use struct {
+		addPos  ast.Node
+		waitPos *ast.CallExpr
+	}
+	uses := make(map[types.Object]*use)
+	var goStmts []*ast.GoStmt
+	escaped := make(map[types.Object]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goStmts = append(goStmts, n)
+		case *ast.CallExpr:
+			if name, obj := wgCall(info, n); obj != nil {
+				u := uses[obj]
+				if u == nil {
+					u = &use{}
+					uses[obj] = u
+				}
+				switch name {
+				case "Add":
+					if u.addPos == nil {
+						u.addPos = n
+					}
+				case "Wait":
+					if u.waitPos == nil {
+						u.waitPos = n
+					}
+				}
+				return true
+			}
+			// A WaitGroup passed to any other call escapes this
+			// function's view unless the callee's summary proves it is a
+			// Done-forwarding worker (counted by goroutineDones below).
+			for i, arg := range n.Args {
+				if obj := wgArgObj(info, arg); obj != nil {
+					callee := flow.Callee(info, n)
+					if callee == nil || sums.FactsAt(callee, i)&flow.ParamWGDone == 0 {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, u := range uses {
+		if u.addPos == nil || u.waitPos == nil || escaped[obj] || len(goStmts) == 0 {
+			continue
+		}
+		// A WaitGroup parameter or field may be Added/Done'd by other
+		// functions; only a local's balance is fully visible here.
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || isParamOf(info, fd, obj) {
+			continue
+		}
+		done := false
+		for _, gs := range goStmts {
+			if goroutineDones(info, sums, gs, obj) {
+				done = true
+				break
+			}
+		}
+		if !done && !closureDones(info, fd, obj) {
+			p.Reportf(u.waitPos.Pos(), "%s.Wait() can never return: this function Adds to the WaitGroup and spawns goroutines, but no spawned goroutine calls %s.Done() — every worker needs a defer %s.Done()", obj.Name(), obj.Name(), obj.Name())
+		}
+	}
+
+	// Rule 3: a goroutine body with a non-deferred Done and an exit path
+	// that misses it.
+	for _, gs := range goStmts {
+		checkDonePlacement(p, info, gs)
+	}
+}
+
+// wgArgObj resolves a call argument to a WaitGroup identity object,
+// seeing through the &wg address-of.
+func wgArgObj(info *types.Info, arg ast.Expr) types.Object {
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	obj := chanRootObj(info, e)
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if named.Obj().Name() == "WaitGroup" && named.Obj().Pkg().Path() == "sync" {
+		return obj
+	}
+	return nil
+}
+
+// isParamOf reports whether obj is a parameter or receiver of fd.
+func isParamOf(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	match := false
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					match = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return match
+}
+
+// goroutineDones reports whether the goroutine spawned by gs calls
+// Done on the WaitGroup identified by obj: a literal body containing
+// wg.Done() (deferred or not), or a named package-local worker whose
+// parameter summary carries ParamWGDone for the argument bound to obj.
+func goroutineDones(info *types.Info, sums *flow.SummarySet, gs *ast.GoStmt, obj types.Object) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyDones(info, lit.Body, obj)
+	}
+	callee := flow.Callee(info, gs.Call)
+	if callee == nil {
+		return false
+	}
+	for i, arg := range gs.Call.Args {
+		if wgArgObj(info, arg) == obj && sums.FactsAt(callee, i)&flow.ParamWGDone != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyDones reports whether body contains a Done call on obj.
+func bodyDones(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, root := wgCall(info, call); name == "Done" && root == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// closureDones reports whether any non-go closure in fd calls Done on
+// obj — e.g. a callback handed to an in-package scheduler. Counting it
+// keeps rule 2 conservative.
+func closureDones(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && bodyDones(info, lit.Body, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDonePlacement applies rule 3 to one spawned literal body: if it
+// calls Done non-deferred and some path to the body's exit skips every
+// Done, that path under-counts the join.
+func checkDonePlacement(p *Pass, info *types.Info, gs *ast.GoStmt) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Collect the Done'd WaitGroups of this body, split by placement.
+	deferred := make(map[types.Object]bool)
+	var direct []struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit
+		case *ast.DeferStmt:
+			if name, obj := wgCall(info, n.Call); name == "Done" && obj != nil {
+				deferred[obj] = true
+			}
+			return false
+		case *ast.CallExpr:
+			if name, obj := wgCall(info, n); name == "Done" && obj != nil {
+				direct = append(direct, struct {
+					obj  types.Object
+					call *ast.CallExpr
+				}{obj, n})
+			}
+		}
+		return true
+	})
+	for _, d := range direct {
+		if deferred[d.obj] {
+			continue // a deferred Done covers every path
+		}
+		if mayExitWithout(info, lit.Body, d.obj) {
+			p.Reportf(d.call.Pos(), "%s.Done() is not deferred and some path through this goroutine exits without it — Wait under-counts on that path; use defer %s.Done() at the top of the goroutine", d.obj.Name(), d.obj.Name())
+		}
+	}
+}
+
+// mayExitWithout solves the goroutine body's CFG for "a Done on obj may
+// not have run yet" and reports whether that state reaches an exit. The
+// bit is the negation of the must-property, per the Solve contract.
+func mayExitWithout(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	const mayNoDone uint64 = 1
+	cfg := flow.New(body, info)
+	trans := func(b *flow.Block, in uint64) uint64 {
+		state := in
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name, root := wgCall(info, call); name == "Done" && root == obj {
+						state = 0
+					}
+				}
+				return true
+			})
+		}
+		return state
+	}
+	in := cfg.Solve(mayNoDone, trans)
+	for _, b := range cfg.Blocks {
+		start, reached := in[b]
+		if !reached || !linksTo(b, cfg.Exit) {
+			continue
+		}
+		if trans(b, start)&mayNoDone != 0 {
+			return true
+		}
+	}
+	return false
+}

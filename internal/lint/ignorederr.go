@@ -9,26 +9,27 @@ import (
 
 // ignoredErrors flags silently discarded error returns in the places
 // where a swallowed error corrupts results instead of crashing loudly:
-// the CLI entry points (cmd/...) and the graph serialization layer
-// (internal/graph/io.go). A call statement whose callee returns an
+// the CLI entry points (cmd/...), the graph generators (internal/gen),
+// and the graph serialization layer (internal/graph/io.go). A call
+// statement whose callee returns an
 // error is a finding; assigning the error to the blank identifier
 // (`_ = f.Close()`) is the explicit, greppable opt-out. The fmt print
 // family writing to stdout/stderr is exempt — those errors are
 // conventionally unactionable.
 var ignoredErrors = &Analyzer{
 	Name: "ignored-errors",
-	Doc:  "flag discarded error returns in cmd/ and internal/graph/io.go",
+	Doc:  "flag discarded error returns in cmd/, internal/gen, and internal/graph/io.go",
 	Run:  runIgnoredErrors,
 }
 
 func runIgnoredErrors(p *Pass) {
-	inCmd := p.relScope("cmd")
+	wholePkg := p.relScope("cmd", "internal/gen")
 	inGraph := p.Pkg.Rel == "internal/graph" || strings.HasSuffix(p.Pkg.Rel, "/internal/graph")
-	if !inCmd && !inGraph {
+	if !wholePkg && !inGraph {
 		return
 	}
 	for _, file := range p.Pkg.Files {
-		if inGraph && !inCmd {
+		if inGraph && !wholePkg {
 			name := filepath.Base(p.Fset.Position(file.Pos()).Filename)
 			if name != "io.go" {
 				continue

@@ -1,0 +1,421 @@
+package lint
+
+import "testing"
+
+// Fixtures for the interprocedural analyzers (view-immutability,
+// goroutine-lifecycle, snapshot-aliasing). Each analyzer gets its own
+// fixture module and a single-analyzer run, so the cases exercise
+// exactly the rule under test with no cross-analyzer noise.
+
+// viewImmutabilityFixture builds a stand-in graph package plus a
+// consumer package covering every write/retention rule.
+func viewImmutabilityFixture() map[string]string {
+	return map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+
+		"internal/graph/view.go": `package graph
+
+// View is the read-only backend stand-in.
+type View interface {
+	N() int
+	Adjacency(v int) []int32
+}
+
+// ArcsView adds the flat-array capability.
+type ArcsView interface {
+	View
+	Arcs() (rowptr []int64, cols []int32)
+}
+
+// ArcsOf returns the flat arrays when available.
+func ArcsOf(g View) (rowptr []int64, cols []int32) {
+	if av, ok := g.(ArcsView); ok {
+		return av.Arcs()
+	}
+	return nil, nil
+}
+
+// Graph is a minimal mutable backend.
+type Graph struct {
+	adj [][]int32
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Adjacency returns v's neighbor row, read-only.
+func (g *Graph) Adjacency(v int) []int32 { return g.adj[v] }
+`,
+
+		"internal/centrality/cases.go": `package centrality
+
+import "fixturemod/internal/graph"
+
+// holder is mutable storage a frozen row must never land in.
+type holder struct {
+	row []int32
+}
+
+// sink is package-level mutable storage.
+var sink []int32
+
+// BadDirectWrite writes straight through an adjacency row: finding.
+func BadDirectWrite(g graph.View) {
+	row := g.Adjacency(0)
+	row[0] = 1
+}
+
+// BadAliasWrite writes through a subslice alias: finding.
+func BadAliasWrite(g graph.View) {
+	row := g.Adjacency(0)
+	tail := row[1:]
+	tail[0] = 1
+}
+
+// zeroAll is an in-package helper that mutates its parameter.
+func zeroAll(xs []int32) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// BadHelperWrite reaches the write through a helper call: finding.
+func BadHelperWrite(g graph.View) {
+	zeroAll(g.Adjacency(0))
+}
+
+// BadRetainField parks a row in a struct field: finding.
+func BadRetainField(g graph.View, h *holder) {
+	h.row = g.Adjacency(0)
+}
+
+// BadRetainGlobal parks a row in a package variable: finding.
+func BadRetainGlobal(g graph.View) {
+	sink = g.Adjacency(0)
+}
+
+// BadArcsWrite writes into the flat column array: finding.
+func BadArcsWrite(g graph.View) {
+	_, cols := graph.ArcsOf(g)
+	if cols != nil {
+		cols[0] = 1
+	}
+}
+
+// firstRow is a wrapper source: its result is a live view row.
+func firstRow(g graph.View) []int32 {
+	return g.Adjacency(0)
+}
+
+// BadWrapperWrite writes through a wrapper's result: finding.
+func BadWrapperWrite(g graph.View) {
+	r := firstRow(g)
+	r[0] = 1
+}
+
+// BadCopyInto uses a view row as a copy destination: finding.
+func BadCopyInto(g graph.View, src []int32) {
+	copy(g.Adjacency(0), src)
+}
+
+// GoodCopyOut copies the row before editing: no finding.
+func GoodCopyOut(g graph.View) []int32 {
+	r := append([]int32(nil), g.Adjacency(0)...)
+	r[0] = 1
+	return r
+}
+
+// GoodRead only reads: no finding.
+func GoodRead(g graph.View) int {
+	total := 0
+	for _, u := range g.Adjacency(0) {
+		total += int(u)
+	}
+	return total
+}
+
+// GoodReturn forwards the row read-only: no finding (callers are
+// checked at their own use sites).
+func GoodReturn(g graph.View) []int32 {
+	return g.Adjacency(0)
+}
+
+// AllowedWrite is annotated: suppressed.
+func AllowedWrite(g graph.View) {
+	row := g.Adjacency(0)
+	//promolint:allow view-immutability -- fixture exercises suppression
+	row[0] = 1
+}
+`,
+	}
+}
+
+func TestViewImmutabilityFixture(t *testing.T) {
+	diags := runOnly(t, viewImmutabilityFixture(), "view-immutability")
+	want(t, diags, "view-immutability", "write through row[0]")
+	want(t, diags, "view-immutability", "write through tail[0]")
+	want(t, diags, "view-immutability", "passed to zeroAll")
+	want(t, diags, "view-immutability", "stored into h.row")
+	want(t, diags, "view-immutability", "stored into sink")
+	want(t, diags, "view-immutability", "write through cols[0]")
+	want(t, diags, "view-immutability", "write through r[0]")
+	want(t, diags, "view-immutability", "copy into g.Adjacency(0)")
+	for _, clean := range []string{"GoodCopyOut", "GoodRead", "GoodReturn", "AllowedWrite"} {
+		funcs := findingFuncs(t, diags, viewImmutabilityFixture(), "view-immutability", "internal/centrality/cases.go")
+		if funcs[clean] != 0 {
+			t.Errorf("clean case %s has %d view-immutability findings", clean, funcs[clean])
+		}
+	}
+}
+
+// goroutineLifecycleFixture covers the termination and join rules.
+func goroutineLifecycleFixture() map[string]string {
+	return map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+
+		"internal/engine/pool.go": `package engine
+
+import "sync"
+
+// Pool is a worker pool with a proper shutdown path.
+type Pool struct {
+	jobs chan func()
+}
+
+// NewPool spawns workers that drain jobs until close: no finding.
+func NewPool(workers int) *Pool {
+	p := &Pool{jobs: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Close shuts the pool down.
+func (p *Pool) Close() {
+	close(p.jobs)
+}
+
+// LeakyPool ranges over a channel nobody ever closes: finding.
+type LeakyPool struct {
+	work chan int
+}
+
+// NewLeakyPool spawns an unjoinable worker.
+func NewLeakyPool() *LeakyPool {
+	lp := &LeakyPool{work: make(chan int)}
+	go func() {
+		for range lp.work {
+		}
+	}()
+	return lp
+}
+
+// SpinForever spawns a loop with no exit at all: finding.
+func SpinForever() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// GoodBatchLoop is the kernel fan-out shape — an unconditional loop
+// that returns when the work runs out: no finding.
+func GoodBatchLoop(n int) {
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			lo := next
+			next++
+			mu.Unlock()
+			if lo >= n {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// BadMissingDone Adds and Waits, but the worker forgot Done: finding.
+func BadMissingDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		_ = 1
+	}()
+	wg.Wait()
+}
+
+// BadLateDone has a path that skips the non-deferred Done: finding.
+func BadLateDone(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if cond {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// namedWorker carries its Done in the summary (ParamWGDone).
+func namedWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// GoodNamedWorker joins through a named worker function: no finding.
+func GoodNamedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go namedWorker(&wg)
+	wg.Wait()
+}
+
+// keep is storage that makes a WaitGroup escape analysis.
+var keep *sync.WaitGroup
+
+// stash retains the WaitGroup without calling Done on it.
+func stash(w *sync.WaitGroup) {
+	keep = w
+}
+
+// GoodEscapedWG hands its WaitGroup away — out of scope, no finding.
+func GoodEscapedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stash(&wg)
+	go func() {
+		_ = 1
+	}()
+	wg.Wait()
+}
+`,
+	}
+}
+
+func TestGoroutineLifecycleFixture(t *testing.T) {
+	fix := goroutineLifecycleFixture()
+	diags := runOnly(t, fix, "goroutine-lifecycle")
+	want(t, diags, "goroutine-lifecycle", "ranges over channel lp.work")
+	want(t, diags, "goroutine-lifecycle", "loops forever")
+	want(t, diags, "goroutine-lifecycle", "wg.Wait() can never return")
+	want(t, diags, "goroutine-lifecycle", "wg.Done() is not deferred")
+	funcs := findingFuncs(t, diags, fix, "goroutine-lifecycle", "internal/engine/pool.go")
+	for _, clean := range []string{"NewPool", "GoodBatchLoop", "GoodNamedWorker", "GoodEscapedWG"} {
+		if funcs[clean] != 0 {
+			t.Errorf("clean case %s has %d goroutine-lifecycle findings", clean, funcs[clean])
+		}
+	}
+}
+
+// snapshotAliasingFixture covers the csr package's own discipline.
+func snapshotAliasingFixture() map[string]string {
+	return map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+
+		"internal/graph/csr/csr.go": `package csr
+
+// Snapshot is the frozen CSR stand-in.
+type Snapshot struct {
+	rowptr []int64
+	cols   []int32
+}
+
+// Adjacency returns v's frozen row.
+func (s *Snapshot) Adjacency(v int) []int32 {
+	return s.cols[s.rowptr[v]:s.rowptr[v+1]]
+}
+
+// GoodFreeze builds a snapshot from freshly allocated arrays and fills
+// them in: no finding (the snapshot is under construction).
+func GoodFreeze(rows [][]int32) *Snapshot {
+	n := len(rows)
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	s := &Snapshot{rowptr: make([]int64, n+1), cols: make([]int32, total)}
+	var at int64
+	for v := 0; v < n; v++ {
+		s.rowptr[v] = at
+		at += int64(copy(s.cols[at:], rows[v]))
+	}
+	s.rowptr[n] = at
+	return s
+}
+
+// BadPoison writes through a live snapshot's arrays: finding.
+func (s *Snapshot) BadPoison() {
+	s.cols[0] = 1
+}
+
+// BadAliasingLiteral builds a snapshot around caller-held slices:
+// two freshness findings.
+func BadAliasingLiteral(rowptr []int64, cols []int32) *Snapshot {
+	return &Snapshot{rowptr: rowptr, cols: cols}
+}
+
+// Overlay is the copy-on-touch edit layer stand-in.
+type Overlay struct {
+	base *Snapshot
+	rows map[int32][]int32
+}
+
+// row reads through to the base for untouched nodes.
+func (o *Overlay) row(v int) []int32 {
+	if r, ok := o.rows[int32(v)]; ok {
+		return r
+	}
+	return o.base.Adjacency(v)
+}
+
+// BadBaseWrite mutates the live base directly: finding.
+func (o *Overlay) BadBaseWrite(v int) {
+	r := o.base.Adjacency(v)
+	r[0] = 1
+}
+
+// BadRowWrite mutates the base through the row helper: finding (the
+// summary engine sees row may return a base alias).
+func (o *Overlay) BadRowWrite(v int) {
+	r := o.row(v)
+	r[0] = 1
+}
+
+// GoodCopyOnTouch copies before editing: no finding.
+func (o *Overlay) GoodCopyOnTouch(v int) {
+	r := append([]int32(nil), o.base.Adjacency(v)...)
+	r[0] = 1
+	o.rows[int32(v)] = r
+}
+`,
+	}
+}
+
+func TestSnapshotAliasingFixture(t *testing.T) {
+	fix := snapshotAliasingFixture()
+	diags := runOnly(t, fix, "snapshot-aliasing")
+	want(t, diags, "snapshot-aliasing", "Snapshot.rowptr is initialized from rowptr")
+	want(t, diags, "snapshot-aliasing", "Snapshot.cols is initialized from cols")
+	funcs := findingFuncs(t, diags, fix, "snapshot-aliasing", "internal/graph/csr/csr.go")
+	for _, bad := range []string{"BadPoison", "BadBaseWrite", "BadRowWrite"} {
+		if funcs[bad] == 0 {
+			t.Errorf("bad case %s has no snapshot-aliasing finding\n%s", bad, renderDiags(diags))
+		}
+	}
+	for _, clean := range []string{"GoodFreeze", "GoodCopyOnTouch", "Adjacency", "row"} {
+		if funcs[clean] != 0 {
+			t.Errorf("clean case %s has %d snapshot-aliasing findings\n%s", clean, funcs[clean], renderDiags(diags))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Mutation acceptance tests for the interprocedural analyzers: each
+// copies real files out of the tree, asserts the pristine copy is
+// clean, applies the exact regression the analyzer exists to catch,
+// and asserts a finding appears.
+
+// realKernelFiles is the standalone-typecheckable BFS kernel pair plus
+// its graph/obs dependencies.
+func realKernelFiles(t *testing.T) map[string]string {
+	t.Helper()
+	files := realGraphFiles(t, realObsFiles(t))
+	files["internal/centrality/bfs.go"] = realFile(t, "internal/centrality/bfs.go")
+	files["internal/centrality/bfs_csr.go"] = realFile(t, "internal/centrality/bfs_csr.go")
+	return files
+}
+
+// realCSRFiles is the real CSR backend plus its graph/obs dependencies.
+func realCSRFiles(t *testing.T) map[string]string {
+	t.Helper()
+	files := realGraphFiles(t, realObsFiles(t))
+	files["internal/graph/csr/csr.go"] = realFile(t, "internal/graph/csr/csr.go")
+	files["internal/graph/csr/overlay.go"] = realFile(t, "internal/graph/csr/overlay.go")
+	return files
+}
+
+func wantFindingIn(t *testing.T, diags []Diagnostic, analyzer, fileSuffix, what string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.HasSuffix(d.Pos.Filename, fileSuffix) {
+			return
+		}
+	}
+	t.Errorf("%s produced no %s finding in %s:\n%s", what, analyzer, fileSuffix, renderDiags(diags))
+}
+
+// TestViewImmutabilityCatchesInjectedKernelWrite: injecting a column
+// write into the CSR BFS kernel must produce a view-immutability
+// finding — at the bfs.go call site, through runArcs's ParamMutated
+// summary, because the kernel receives the frozen arrays as plain
+// slice parameters.
+func TestViewImmutabilityCatchesInjectedKernelWrite(t *testing.T) {
+	files := realKernelFiles(t)
+	mustClean(t, runOnly(t, files, "view-immutability"), "kernel")
+
+	csr := files["internal/centrality/bfs_csr.go"]
+	marker := "dist[s] = 0"
+	if strings.Count(csr, marker) != 1 {
+		t.Fatalf("want exactly 1 %q in the real bfs_csr.go, got %d — the fixture premise broke",
+			marker, strings.Count(csr, marker))
+	}
+	files["internal/centrality/bfs_csr.go"] = strings.Replace(csr, marker, marker+"\n\tcols[0] = 0", 1)
+	wantFindingIn(t, runOnly(t, files, "view-immutability"),
+		"view-immutability", "bfs.go", "injecting cols[0] = 0 into runArcs")
+}
+
+// TestViewImmutabilityCatchesLeakedRowptr: a helper that parks the
+// frozen rowptr array in a mutable struct field must produce a
+// view-immutability retention finding.
+func TestViewImmutabilityCatchesLeakedRowptr(t *testing.T) {
+	files := realKernelFiles(t)
+	mustClean(t, runOnly(t, files, "view-immutability"), "kernel")
+
+	files["internal/centrality/leak.go"] = `package centrality
+
+import "fixturemod/internal/graph"
+
+// arcCache pretends to memoize the flat arrays — the leak under test.
+type arcCache struct {
+	rowptr []int64
+}
+
+var arcs arcCache
+
+func cacheArcs(g graph.View) {
+	rowptr, _ := graph.ArcsOf(g)
+	arcs.rowptr = rowptr
+}
+`
+	wantFindingIn(t, runOnly(t, files, "view-immutability"),
+		"view-immutability", "leak.go", "leaking rowptr into a struct field")
+}
+
+// TestGoroutineLifecycleCatchesDeletedDone: deleting the worker's
+// defer wg.Done() from the real BFS fan-out must produce a
+// goroutine-lifecycle finding — the Wait becomes unreachable.
+func TestGoroutineLifecycleCatchesDeletedDone(t *testing.T) {
+	files := realKernelFiles(t)
+	mustClean(t, runOnly(t, files, "goroutine-lifecycle"), "kernel")
+
+	bfs := files["internal/centrality/bfs.go"]
+	re := regexp.MustCompile(`(?m)^\s*defer wg\.Done\(\)\n`)
+	if got := len(re.FindAllStringIndex(bfs, -1)); got != 1 {
+		t.Fatalf("want exactly 1 defer wg.Done() in the real bfs.go, got %d — the fixture premise broke", got)
+	}
+	files["internal/centrality/bfs.go"] = re.ReplaceAllString(bfs, "")
+	wantFindingIn(t, runOnly(t, files, "goroutine-lifecycle"),
+		"goroutine-lifecycle", "bfs.go", "deleting defer wg.Done()")
+}
+
+// TestSnapshotAliasingCatchesMutatedOverlayBase: breaking the overlay's
+// copy-on-touch path into aliasing the live base row must produce
+// snapshot-aliasing findings — the overlay would then edit the frozen
+// snapshot in place, under every version-keyed cache.
+func TestSnapshotAliasingCatchesMutatedOverlayBase(t *testing.T) {
+	files := realCSRFiles(t)
+	mustClean(t, runOnly(t, files, "snapshot-aliasing"), "csr")
+
+	overlay := files["internal/graph/csr/overlay.go"]
+	fresh := "r = append([]int32(nil), o.base.Adjacency(v)...)"
+	if strings.Count(overlay, fresh) != 1 {
+		t.Fatalf("want exactly 1 copy-on-touch append in the real overlay.go — the fixture premise broke")
+	}
+	files["internal/graph/csr/overlay.go"] = strings.Replace(overlay, fresh, "r = o.base.Adjacency(v)", 1)
+	wantFindingIn(t, runOnly(t, files, "snapshot-aliasing"),
+		"snapshot-aliasing", "overlay.go", "aliasing the overlay base in mutableRow")
+}

@@ -27,8 +27,10 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -77,7 +79,8 @@ func (a *Analyzer) severity() Severity {
 // Analyzers returns the full suite in stable order: the five syntactic
 // analyzers from the first generation, then the four CFG/dataflow
 // analyzers built on internal/lint/flow, then the four value-flow
-// analyzers built on its reaching-defs/escape layer.
+// analyzers built on its reaching-defs/escape layer, then the three
+// interprocedural analyzers built on its summary engine.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		mutationSafety,
@@ -93,6 +96,9 @@ func Analyzers() []*Analyzer {
 		hotpathAlloc,
 		atomicConsistency,
 		nilReceiver,
+		viewImmutability,
+		goroutineLifecycle,
+		snapshotAliasing,
 	}
 }
 
@@ -102,6 +108,17 @@ type Config struct {
 	Enable []string
 	// Disable lists analyzer names to skip; applied after Enable.
 	Disable []string
+	// Workers bounds the package-level fan-out; 0 means GOMAXPROCS, 1
+	// runs fully serial. Findings and report bytes are identical at any
+	// worker count — only wall time changes.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -152,15 +169,38 @@ func Run(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, error)
 	return diags, err
 }
 
-// AnalyzerTiming is the accumulated wall-clock cost of one analyzer
-// across every package and both build-tag passes of a run.
+// AnalyzerTiming is the cost of one analyzer across every package and
+// both build-tag passes of a run. WallNanos is latest-finish minus
+// earliest-start (what the user waits for under the parallel driver);
+// CPUNanos is the per-run durations summed across packages, the
+// worker-count-independent cost CI watches for regressions.
 type AnalyzerTiming struct {
-	Analyzer string `json:"analyzer"`
-	Nanos    int64  `json:"nanos"`
+	Analyzer  string `json:"analyzer"`
+	WallNanos int64  `json:"wall_nanos"`
+	CPUNanos  int64  `json:"cpu_nanos"`
+}
+
+// lintUnit is one (build-tag pass, package) cell of a run: the work a
+// single worker claims, and the bucket its results land in until the
+// deterministic merge.
+type lintUnit struct {
+	loader *loader
+	path   string
+	pass   int // 0 = default tags, 1 = promodebug
+
+	diags  []Diagnostic
+	err    error
+	starts []time.Time // per analyzer index; zero if the unit was skipped
+	durs   []time.Duration
 }
 
 // RunTimed is Run plus per-analyzer timings, in suite order — the
 // -json report carries them so CI can watch the suite's cost.
+//
+// Packages fan out over cfg.Workers goroutines (the loader coalesces
+// shared dependencies behind futures), but findings are merged and
+// deduplicated in the fixed (pass, sorted path) unit order and then
+// position-sorted, so the output is byte-identical at any worker count.
 func RunTimed(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, []AnalyzerTiming, error) {
 	for _, name := range append(append([]string{}, cfg.Enable...), cfg.Disable...) {
 		if !hasAnalyzer(name) {
@@ -182,9 +222,10 @@ func RunTimed(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, [
 		}
 	}
 
-	var diags []Diagnostic
-	seen := make(map[string]bool)
-	spent := make(map[string]time.Duration)
+	// Every package is analyzed under two build configurations — the
+	// default one and again with the promodebug tag — so invariants
+	// hold in the debug build too.
+	var units []*lintUnit
 	for pass, tags := range [][]string{nil, {"promodebug"}} {
 		l, err := newLoader(moduleRoot, tags...)
 		if err != nil {
@@ -195,34 +236,57 @@ func RunTimed(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, [
 			return nil, nil, err
 		}
 		for _, path := range paths {
-			pkg, err := l.load(path)
-			if err != nil {
-				// A package that only exists under the other tag set is
-				// not an error on this pass.
-				if pass > 0 && errors.Is(err, errNoGoFiles) {
-					continue
-				}
-				return nil, nil, err
+			units = append(units, &lintUnit{loader: l, path: path, pass: pass})
+		}
+	}
+
+	jobs := make(chan *lintUnit)
+	workers := cfg.workers()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				runUnit(u, analyzers)
 			}
-			supp := buildSuppressionIndex(l.fset, pkg.Files)
-			var pkgDiags []Diagnostic
-			for _, a := range analyzers {
-				began := time.Now()
-				a.Run(&Pass{
-					Fset:     l.fset,
-					Pkg:      pkg,
-					analyzer: a,
-					suppress: supp,
-					out:      &pkgDiags,
-				})
-				spent[a.Name] += time.Since(began)
+		}()
+	}
+	for _, u := range units {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	wallFrom := make(map[string]time.Time)
+	wallTo := make(map[string]time.Time)
+	cpu := make(map[string]time.Duration)
+	for _, u := range units {
+		if u.err != nil {
+			// A package that only exists under the other tag set is not
+			// an error on the promodebug pass.
+			if u.pass > 0 && errors.Is(u.err, errNoGoFiles) {
+				continue
 			}
-			for _, d := range pkgDiags {
-				key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-				if !seen[key] {
-					seen[key] = true
-					diags = append(diags, d)
-				}
+			return nil, nil, u.err
+		}
+		for i, a := range analyzers {
+			from, to := u.starts[i], u.starts[i].Add(u.durs[i])
+			if first, ok := wallFrom[a.Name]; !ok || from.Before(first) {
+				wallFrom[a.Name] = from
+			}
+			if to.After(wallTo[a.Name]) {
+				wallTo[a.Name] = to
+			}
+			cpu[a.Name] += u.durs[i]
+		}
+		for _, d := range u.diags {
+			key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			if !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
 			}
 		}
 	}
@@ -237,13 +301,44 @@ func RunTimed(moduleRoot string, patterns []string, cfg Config) ([]Diagnostic, [
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
-		timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Nanos: spent[a.Name].Nanoseconds()})
+		timings = append(timings, AnalyzerTiming{
+			Analyzer:  a.Name,
+			WallNanos: wallTo[a.Name].Sub(wallFrom[a.Name]).Nanoseconds(),
+			CPUNanos:  cpu[a.Name].Nanoseconds(),
+		})
 	}
 	return diags, timings, nil
+}
+
+// runUnit loads one unit's package and runs the analyzer suite over it,
+// filling the unit's result fields.
+func runUnit(u *lintUnit, analyzers []*Analyzer) {
+	pkg, err := u.loader.load(u.path)
+	if err != nil {
+		u.err = err
+		return
+	}
+	supp := buildSuppressionIndex(u.loader.fset, pkg.Files)
+	u.starts = make([]time.Time, len(analyzers))
+	u.durs = make([]time.Duration, len(analyzers))
+	for i, a := range analyzers {
+		u.starts[i] = time.Now()
+		a.Run(&Pass{
+			Fset:     u.loader.fset,
+			Pkg:      pkg,
+			analyzer: a,
+			suppress: supp,
+			out:      &u.diags,
+		})
+		u.durs[i] = time.Since(u.starts[i])
+	}
 }
 
 func hasAnalyzer(name string) bool {

@@ -18,14 +18,15 @@ var mutatingGraphMethods = map[string]bool{
 }
 
 // mutationSafety enforces the paper's black-box contract: code in the
-// measurement, baseline, backend, and observability packages
-// (internal/centrality, internal/engine, internal/core,
-// internal/greedy, internal/graph/csr, internal/obs) receives the host
-// graph read-only. Any mutating method call on a *graph.Graph or
-// *csr.Overlay parameter is flagged; mutating a local clone or overlay
-// is fine, and graph.View parameters are mutation-free by construction.
-// Strategy-application code — whose whole job is to attach structure —
-// opts out explicitly with //promolint:allow mutation-safety.
+// measurement, baseline, backend, observability, and generator
+// packages (internal/centrality, internal/engine, internal/core,
+// internal/greedy, internal/graph/csr, internal/obs, internal/gen,
+// cmd/gengraph) receives the host graph read-only. Any mutating method
+// call on a *graph.Graph or *csr.Overlay parameter is flagged;
+// mutating a local clone or overlay is fine, and graph.View parameters
+// are mutation-free by construction. Strategy-application code — whose
+// whole job is to attach structure, the generators included — opts out
+// explicitly with //promolint:allow mutation-safety.
 var mutationSafety = &Analyzer{
 	Name: "mutation-safety",
 	Doc:  "flag mutating graph-backend method calls on function parameters in read-only packages",
@@ -33,7 +34,7 @@ var mutationSafety = &Analyzer{
 }
 
 func runMutationSafety(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/graph/csr", "internal/obs") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/graph/csr", "internal/obs", "internal/gen", "cmd/gengraph") {
 		return
 	}
 	info := p.Pkg.Info

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestParallelRunIsDeterministic: the parallel driver must produce
+// byte-identical findings to a serial run — same diagnostics, same
+// order — on a fixture that actually fires analyzers across several
+// packages.
+func TestParallelRunIsDeterministic(t *testing.T) {
+	root := writeFixture(t, fixtureFiles())
+
+	serial, _, err := RunTimed(root, []string{"./..."}, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("fixture produced no findings — the determinism comparison is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		par, timings, err := RunTimed(root, []string{"./..."}, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d run: %v", workers, err)
+		}
+		a, _ := json.Marshal(serial)
+		b, _ := json.Marshal(par)
+		if string(a) != string(b) {
+			t.Errorf("workers=%d findings differ from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, renderDiags(serial), renderDiags(par))
+		}
+		if len(timings) != len(Analyzers()) {
+			t.Fatalf("workers=%d: %d timings, want one per analyzer (%d)", workers, len(timings), len(Analyzers()))
+		}
+		for _, tm := range timings {
+			if tm.CPUNanos <= 0 || tm.WallNanos <= 0 {
+				t.Errorf("workers=%d: analyzer %s has non-positive timing %+v", workers, tm.Analyzer, tm)
+			}
+		}
+	}
+}
+
+// TestParallelLoaderSharedDeps: concurrent units whose packages import
+// the same in-module dependency must coalesce on the loader's futures
+// rather than race or double-check; a mutation finding placed in the
+// shared dependency must still surface exactly once.
+func TestParallelLoaderSharedDeps(t *testing.T) {
+	files := map[string]string{
+		"go.mod":                  "module fixturemod\n\ngo 1.22\n",
+		"internal/graph/graph.go": fixtureGraph,
+	}
+	// Several sibling packages all importing internal/graph, so every
+	// worker needs the shared dependency at roughly the same time.
+	for _, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		files["internal/"+name+"/"+name+".go"] = `package ` + name + `
+
+import "fixturemod/internal/graph"
+
+// Touch promotes nothing but keeps the dependency live.
+func Touch(g *graph.Graph) bool { return g.HasEdge(0, 1) }
+`
+	}
+	for _, workers := range []int{1, 8} {
+		diags, err := Run(writeFixture(t, files), []string{"./..."}, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, d := range diags {
+			t.Errorf("workers=%d: unexpected finding %s", workers, d)
+		}
+	}
+}

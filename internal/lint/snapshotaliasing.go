@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// snapshotAliasing is the CSR backend's own discipline, stricter than
+// view-immutability because internal/graph/csr is the one package that
+// may build the arrays everyone else treats as frozen. Two rules:
+//
+//  1. Mutate-through: once a Snapshot exists, its rowptr/cols arrays —
+//     reached as direct field reads, through Adjacency/Arcs, or through
+//     any package-local helper (Overlay.row reading through to the
+//     base) — are immutable. Writes are allowed only through a snapshot
+//     that is provably under construction in the current function
+//     (assigned from a &Snapshot{...} literal), which is exactly the
+//     Freeze shape. This catches an Overlay whose copy-on-touch path is
+//     broken into aliasing the live base.
+//
+//  2. Freshness: the rowptr/cols fields of a Snapshot literal must be
+//     freshly allocated in the constructing function (make, a
+//     copying append, or a local holding one) — never a parameter or a
+//     view-derived slice. Freeze and Materialize results must not alias
+//     caller-held mutable slices, or a later caller write would rewrite
+//     "immutable" history under every version-keyed cache.
+//
+// Re-freezing a live overlay's base cannot be expressed at all —
+// Freeze takes a *graph.Graph and Snapshot has no mutating methods —
+// so that clause of the contract is carried by the type system and
+// only the two aliasing rules need an analyzer.
+var snapshotAliasing = &Analyzer{
+	Name:     "snapshot-aliasing",
+	Doc:      "flag csr code that mutates a live Snapshot's arrays or builds snapshots aliasing caller-held slices",
+	Severity: SevError,
+	Run:      runSnapshotAliasing,
+}
+
+func runSnapshotAliasing(p *Pass) {
+	if !p.relScope("internal/graph/csr") {
+		return
+	}
+	info := p.Pkg.Info
+	isSource := func(call *ast.CallExpr) bool { return isSnapshotRowCall(info, call) }
+	sums := flow.Summarize(info, p.Pkg.Files, isSource)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshSnapshots(info, fd.Body)
+			rf := &roFlow{
+				pass:         p,
+				info:         info,
+				sums:         sums,
+				isSourceCall: isSource,
+				isSourceExpr: func(e ast.Expr) bool { return isFrozenArrayRead(info, e, fresh) },
+				what:         "frozen Snapshot array",
+				advice:       "the snapshot is live — copy the row into overlay-owned storage (append([]int32(nil), row...)) before editing",
+			}
+			rf.checkFunc(fd)
+			checkSnapshotLiterals(p, info, fd.Body)
+		}
+	}
+}
+
+// isSnapshotRowCall reports whether call reads a frozen row or the flat
+// arrays out of a Snapshot: the Adjacency or Arcs method on a receiver
+// whose (pointer-stripped) named type is csr's Snapshot.
+func isSnapshotRowCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil || (callee.Name() != "Adjacency" && callee.Name() != "Arcs") {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isSnapshotType(sig.Recv().Type())
+}
+
+// isFrozenArrayRead reports whether e reads the rowptr or cols field of
+// a Snapshot that is not under construction in this function.
+func isFrozenArrayRead(info *types.Info, e ast.Expr, fresh map[types.Object]bool) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "rowptr" && sel.Sel.Name != "cols") {
+		return false
+	}
+	t := typeOfExpr(info, sel.X)
+	if t == nil || !isSnapshotType(t) {
+		return false
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && fresh[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSnapshotType reports whether t (possibly behind a pointer) is the
+// named type Snapshot of a package whose path ends in
+// internal/graph/csr.
+func isSnapshotType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Snapshot" && pkgPathEndsIn(named.Obj().Pkg().Path(), "internal/graph/csr")
+}
+
+// freshSnapshots collects the locals of body bound to a Snapshot
+// composite literal — snapshots under construction, whose arrays the
+// constructing function may legitimately fill in.
+func freshSnapshots(info *types.Info, body ast.Node) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if snapshotLiteral(info, rhs) == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// snapshotLiteral unwraps e to a Snapshot composite literal (&Snapshot
+// {...} or Snapshot{...}), or nil.
+func snapshotLiteral(info *types.Info, e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	if t := typeOfExpr(info, lit); t != nil && isSnapshotType(t) {
+		return lit
+	}
+	return nil
+}
+
+// checkSnapshotLiterals enforces the freshness rule on every Snapshot
+// literal in body: rowptr/cols initializers must be freshly allocated.
+func checkSnapshotLiterals(p *Pass, info *types.Info, body ast.Node) {
+	// freshAllocs: locals assigned from a make or a copying append —
+	// values this function owns outright.
+	freshAllocs := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if !isFreshAlloc(info, rhs, freshAllocs) {
+					continue
+				}
+				if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && !freshAllocs[obj] {
+						freshAllocs[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if t := typeOfExpr(info, lit); t == nil || !isSnapshotType(t) {
+			return true
+		}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || (key.Name != "rowptr" && key.Name != "cols") {
+				continue
+			}
+			if !isFreshAlloc(info, kv.Value, freshAllocs) {
+				p.Reportf(kv.Value.Pos(),
+					"Snapshot.%s is initialized from %s, which this function does not freshly allocate — a frozen snapshot must never alias a caller-held mutable slice (allocate with make and copy into it)",
+					key.Name, exprString(kv.Value))
+			}
+		}
+		return true
+	})
+}
+
+// isFreshAlloc reports whether e is a slice value this function owns: a
+// make call, an append with a nil-literal or untyped-nil first argument
+// (the repo's copy idiom), a nil literal, or a local known to hold one.
+func isFreshAlloc(info *types.Info, e ast.Expr, freshAllocs map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && freshAllocs[obj]
+	case *ast.CallExpr:
+		name, ok := builtinCallName(info, e)
+		if !ok {
+			// A conversion like []int32(nil) is fresh exactly when its
+			// operand is (converting an existing slice aliases it).
+			if tv, isConv := info.Types[e.Fun]; isConv && tv.IsType() && len(e.Args) == 1 {
+				return isFreshAlloc(info, e.Args[0], freshAllocs)
+			}
+			return false
+		}
+		switch name {
+		case "make":
+			return true
+		case "append":
+			// append(fresh, ...) reallocates or extends owned storage.
+			return len(e.Args) > 0 && isFreshAlloc(info, e.Args[0], freshAllocs)
+		}
+	case *ast.CompositeLit:
+		// A slice literal is a fresh allocation.
+		return true
+	}
+	return false
+}
+
+// typeOfExpr is info.Types lookup tolerating partial information.
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

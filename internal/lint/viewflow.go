@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// This file is the shared engine behind the two read-only-alias
+// analyzers, view-immutability and snapshot-aliasing. Both enforce the
+// same shape of invariant — certain slices are frozen and must be
+// neither written through nor parked in a mutable location — and differ
+// only in what counts as a protected source and which writes are
+// exempt. The engine tracks, per function, the locals that may alias a
+// protected slice (through rebinds, subslices, and package-local
+// helpers with ParamReturned/ReturnsSource summaries) and reports
+// writes and retentions that reach one.
+//
+// Known blind spots, by design: protected values handed to functions in
+// other packages are not followed (the interprocedural summaries are
+// package-local, like the call graph they ride on), and container
+// round-trips (store a row in a map, read it back) launder the taint.
+// The csr differential suite and the graph invariant checker remain the
+// dynamic backstop for those paths.
+
+// roFlow is one analyzer's configuration of the read-only-alias engine.
+type roFlow struct {
+	pass *Pass
+	info *types.Info
+	sums *flow.SummarySet
+	// isSourceCall classifies calls that produce a protected slice.
+	isSourceCall func(*ast.CallExpr) bool
+	// isSourceExpr classifies non-call protected expressions (direct
+	// frozen-array field reads); nil means calls are the only sources.
+	isSourceExpr func(ast.Expr) bool
+	// what names the protected thing inside diagnostics, e.g.
+	// "View adjacency slice".
+	what string
+	// advice is the trailing remediation clause of every finding.
+	advice string
+
+	reported map[token.Pos]bool
+}
+
+// check runs the engine over every function of the package.
+func (rf *roFlow) check() {
+	rf.reported = make(map[token.Pos]bool)
+	for _, file := range rf.pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				rf.checkFunc(fd)
+			}
+		}
+	}
+}
+
+func (rf *roFlow) reportf(pos token.Pos, format string, args ...interface{}) {
+	if rf.reported[pos] {
+		return
+	}
+	rf.reported[pos] = true
+	rf.pass.Reportf(pos, format, args...)
+}
+
+// checkFunc analyzes one function body: first close the set of locals
+// that may alias a protected slice, then flag every write through and
+// every retention of one. The walk descends into closures — a captured
+// row is still frozen.
+func (rf *roFlow) checkFunc(fd *ast.FuncDecl) {
+	if rf.reported == nil {
+		rf.reported = make(map[token.Pos]bool)
+	}
+	derived := rf.derivedObjs(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			rf.checkAssign(n, derived)
+		case *ast.IncDecStmt:
+			if root, ok := writeRoot(n.X); ok && rf.isDerived(root, derived) {
+				rf.reportf(n.Pos(), "%s modifies a %s — %s", exprString(n.X), rf.what, rf.advice)
+			}
+		case *ast.SendStmt:
+			if rf.isDerived(n.Value, derived) {
+				rf.reportf(n.Value.Pos(), "%s is sent on a channel — a %s escapes to a holder that may outlive the frozen structure; %s", exprString(n.Value), rf.what, rf.advice)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if rf.isDerived(el, derived) {
+					rf.reportf(el.Pos(), "%s is stored in a composite literal — a %s escapes into a mutable value; %s", exprString(el), rf.what, rf.advice)
+				}
+			}
+		case *ast.CallExpr:
+			rf.checkCall(n, derived)
+		}
+		return true
+	})
+}
+
+// checkAssign flags writes through protected slices on the LHS and
+// retentions of protected values stored into non-local locations.
+func (rf *roFlow) checkAssign(assign *ast.AssignStmt, derived map[types.Object]bool) {
+	for _, lhs := range assign.Lhs {
+		if root, ok := writeRoot(lhs); ok && rf.isDerived(root, derived) {
+			rf.reportf(lhs.Pos(), "write through %s — this is a %s; %s", exprString(lhs), rf.what, rf.advice)
+		}
+	}
+	// Retention: a protected value assigned into a dereferenced location
+	// (field, element, pointee) or a package-level variable escapes into
+	// mutable storage.
+	for i, lhs := range assign.Lhs {
+		if !rf.isRetainingTarget(lhs) {
+			continue
+		}
+		if len(assign.Lhs) == len(assign.Rhs) {
+			if rf.isDerived(assign.Rhs[i], derived) {
+				rf.reportf(assign.Rhs[i].Pos(), "%s is stored into %s — a %s escapes into mutable storage; %s", exprString(assign.Rhs[i]), exprString(lhs), rf.what, rf.advice)
+			}
+		} else if len(assign.Rhs) == 1 {
+			if rf.isDerived(assign.Rhs[0], derived) {
+				rf.reportf(assign.Rhs[0].Pos(), "%s is stored into %s — a %s escapes into mutable storage; %s", exprString(assign.Rhs[0]), exprString(lhs), rf.what, rf.advice)
+			}
+		}
+	}
+}
+
+// checkCall flags builtin writes (copy into, append onto) and calls
+// that forward a protected slice to a package-local callee known to
+// mutate or retain the corresponding parameter.
+func (rf *roFlow) checkCall(call *ast.CallExpr, derived map[types.Object]bool) {
+	if name, ok := builtinCallName(rf.info, call); ok {
+		switch name {
+		case "copy":
+			if len(call.Args) == 2 && rf.isDerived(call.Args[0], derived) {
+				rf.reportf(call.Args[0].Pos(), "copy into %s — this is a %s; %s", exprString(call.Args[0]), rf.what, rf.advice)
+			}
+		case "append":
+			if len(call.Args) > 0 && rf.isDerived(call.Args[0], derived) {
+				rf.reportf(call.Args[0].Pos(), "append onto %s may write its backing array — this is a %s; %s", exprString(call.Args[0]), rf.what, rf.advice)
+			}
+		}
+		return
+	}
+	callee := flow.Callee(rf.info, call)
+	if callee == nil {
+		return
+	}
+	if recv := flow.Receiver(call); recv != nil && rf.isDerived(recv, derived) {
+		facts := rf.sums.RecvFacts(callee)
+		if facts&flow.ParamMutated != 0 {
+			rf.reportf(call.Pos(), "%s mutates its receiver %s — this is a %s; %s", callee.Name(), exprString(recv), rf.what, rf.advice)
+		}
+		if facts&flow.ParamRetained != 0 {
+			rf.reportf(call.Pos(), "%s retains its receiver %s — a %s escapes into mutable storage; %s", callee.Name(), exprString(recv), rf.what, rf.advice)
+		}
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if !rf.isDerived(arg, derived) {
+			continue
+		}
+		idx := i
+		if sig != nil && sig.Variadic() && idx >= sig.Params().Len()-1 {
+			// Variadic forwarding (e.g. append-style copies) never mutates
+			// the source elements; skip unless the callee retains them.
+			idx = sig.Params().Len() - 1
+		}
+		facts := rf.sums.FactsAt(callee, idx)
+		if facts&flow.ParamMutated != 0 {
+			rf.reportf(arg.Pos(), "%s is passed to %s, which writes through that parameter — this is a %s; %s", exprString(arg), callee.Name(), rf.what, rf.advice)
+		}
+		if facts&flow.ParamRetained != 0 {
+			rf.reportf(arg.Pos(), "%s is passed to %s, which retains that parameter — a %s escapes into mutable storage; %s", exprString(arg), callee.Name(), rf.what, rf.advice)
+		}
+	}
+}
+
+// isRetainingTarget reports whether storing into lhs parks the value in
+// mutable storage: a field, element, or pointee lvalue, or a
+// package-level variable.
+func (rf *roFlow) isRetainingTarget(lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := rf.info.Uses[l].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+	}
+	return false
+}
+
+// derivedObjs closes, by fixpoint, the set of local objects that may
+// alias a protected slice: bound to a source call (including the tuple
+// form `rowptr, cols := graph.ArcsOf(g)`), or assigned an
+// alias-preserving expression of an already-derived value.
+func (rf *roFlow) derivedObjs(body ast.Node) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	record := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := rf.info.Defs[id]
+		if obj == nil {
+			obj = rf.info.Uses[id]
+		}
+		if obj == nil || derived[obj] {
+			return false
+		}
+		derived[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+				// Tuple binding from one source call protects every result
+				// (ArcsOf returns both frozen arrays).
+				if rf.isDerived(assign.Rhs[0], derived) {
+					for _, lhs := range assign.Lhs {
+						if record(lhs) {
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			if len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if rf.isDerived(rhs, derived) && record(assign.Lhs[i]) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// isDerived reports whether e may evaluate to a protected slice: a
+// source call, a source expression, a derived local, an
+// alias-preserving wrapper of one, or a call into a package-local
+// helper that returns a protected value or an alias of a derived
+// argument.
+func (rf *roFlow) isDerived(e ast.Expr, derived map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if derived[rf.info.Uses[e]] || derived[rf.info.Defs[e]] {
+			return true
+		}
+	case *ast.SliceExpr:
+		return rf.isDerived(e.X, derived)
+	case *ast.IndexExpr:
+		return rf.isDerived(e.X, derived)
+	case *ast.SelectorExpr:
+		return rf.isSourceExpr != nil && rf.isSourceExpr(e)
+	case *ast.CallExpr:
+		if rf.isSourceCall(e) {
+			return true
+		}
+		callee := flow.Callee(rf.info, e)
+		if callee == nil {
+			return false
+		}
+		sum := rf.sums.Of(callee)
+		if sum == nil {
+			return false
+		}
+		if sum.ReturnsSource {
+			return true
+		}
+		// The callee returns an alias of an argument: the result is
+		// protected exactly when that argument is.
+		if sum.Recv&flow.ParamReturned != 0 {
+			if recv := flow.Receiver(e); recv != nil && rf.isDerived(recv, derived) {
+				return true
+			}
+		}
+		for i, arg := range e.Args {
+			if i < len(sum.Params) && sum.Params[i]&flow.ParamReturned != 0 && rf.isDerived(arg, derived) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeRoot unwraps an assignment target that stores through a
+// dereference to the expression being stored through: for row[i] the
+// row, for s.cols[a:b] the s.cols. The second result is false for plain
+// variable rebinds, which are not writes.
+func writeRoot(lhs ast.Expr) (ast.Expr, bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		return l.X, true
+	case *ast.SliceExpr:
+		return l.X, true
+	case *ast.StarExpr:
+		return l.X, true
+	}
+	return nil, false
+}
+
+// builtinCallName resolves a call to a language builtin, if it is one.
+func builtinCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// pkgPathEndsIn reports whether path is rel or ends in "/"+rel — the
+// path-suffix matching that makes fixtures with a different module name
+// behave like the real tree.
+func pkgPathEndsIn(path, rel string) bool {
+	if path == rel {
+		return true
+	}
+	suffix := "/" + rel
+	return len(path) > len(suffix) && path[len(path)-len(suffix):] == suffix
+}

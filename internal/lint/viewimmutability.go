@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"promonet/internal/lint/flow"
+)
+
+// viewImmutability enforces the read-only half of the graph.View
+// contract everywhere a View is consumed: a slice obtained from
+// Adjacency, Arcs, or graph.ArcsOf — or any alias of one, through
+// rebinds, subslices, and package-local helpers — must never be written
+// through (element store, copy destination, append base) and must never
+// be parked in mutable storage (struct field, map, package variable,
+// channel, composite literal) where it would outlive the backend's next
+// mutation. The engine memo, the delta-scoring bitwise guarantees, and
+// the snapshot-swap design are only sound because frozen rows never
+// change under a reader; this analyzer turns that convention into a
+// compile-time finding.
+//
+// internal/graph/csr is exempt here: the CSR backend legitimately
+// builds and edits the arrays everyone else must treat as frozen, and
+// its own discipline is enforced by the stricter snapshot-aliasing
+// analyzer instead.
+var viewImmutability = &Analyzer{
+	Name:     "view-immutability",
+	Doc:      "flag writes through or mutable retention of graph.View adjacency/arc slices, interprocedurally",
+	Severity: SevError,
+	Run:      runViewImmutability,
+}
+
+func runViewImmutability(p *Pass) {
+	if p.relScope("internal/graph/csr") {
+		return
+	}
+	info := p.Pkg.Info
+	isSource := func(call *ast.CallExpr) bool { return isViewSourceCall(info, call) }
+	rf := &roFlow{
+		pass:         p,
+		info:         info,
+		sums:         flow.Summarize(info, p.Pkg.Files, isSource),
+		isSourceCall: isSource,
+		what:         "read-only View adjacency/arc slice",
+		advice:       "Views are frozen by contract — copy the row (append([]int32(nil), row...)) or mutate an Overlay instead",
+	}
+	rf.check()
+}
+
+// isViewSourceCall reports whether call returns a frozen view slice: a
+// method named Adjacency or Arcs on any graph backend or view interface
+// (a named or interface type declared in a package whose import path
+// ends in internal/graph or internal/graph/csr), or the graph.ArcsOf
+// helper. Matching by path suffix keeps fixtures with a different
+// module name behaving like the real tree.
+func isViewSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	if !pkgPathEndsIn(callee.Pkg().Path(), "internal/graph") &&
+		!pkgPathEndsIn(callee.Pkg().Path(), "internal/graph/csr") {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() != nil {
+		return callee.Name() == "Adjacency" || callee.Name() == "Arcs"
+	}
+	return callee.Name() == "ArcsOf"
+}

@@ -26,22 +26,40 @@ step "go build ./... (default and promodebug)"
 go build ./...
 go build -tags promodebug ./...
 
-step "promolint ./... (13-analyzer suite, findings saved to lint-findings.json)"
+step "promolint ./... (16-analyzer suite, findings saved to lint-findings.json)"
 # One promolint invocation analyzes both build-tag sets (default and
-# promodebug) and dedupes shared files. The JSON report is written even
-# on failure so CI can upload it as an artifact; a stale
-# lint-baseline.json entry is itself a failure.
+# promodebug) and dedupes shared files. lint-findings.json is a per-run
+# artifact (gitignored), regenerated from scratch every time so stale
+# findings can never leak between runs; it is written even on failure
+# so CI can upload it, and a stale lint-baseline.json entry is itself a
+# failure.
+rm -f lint-findings.json
 if ! go run ./cmd/promolint -json -baseline lint-baseline.json ./... > lint-findings.json; then
     cat lint-findings.json >&2
     exit 1
 fi
 
-step "lint report sanity (13 analyzers timed)"
-timed=$(grep -c '"nanos"' lint-findings.json || true)
-if [[ "$timed" -ne 13 ]]; then
-    echo "lint-findings.json carries $timed per-analyzer timings, want 13" >&2
+step "lint report sanity (16 analyzers timed, wall and cpu)"
+for field in wall_nanos cpu_nanos; do
+    timed=$(grep -c "\"$field\"" lint-findings.json || true)
+    if [[ "$timed" -ne 16 ]]; then
+        echo "lint-findings.json carries $timed per-analyzer $field timings, want 16" >&2
+        exit 1
+    fi
+done
+
+step "lint-parallel-determinism (workers 1 vs $(nproc), findings must be byte-identical)"
+# The parallel driver merges per-package findings in a fixed order, so
+# any worker count must reproduce the serial findings exactly. Compare
+# the plain-text reports (the JSON report embeds run-dependent
+# timings).
+go run ./cmd/promolint -workers 1 -baseline lint-baseline.json ./... > lint-serial.txt || true
+go run ./cmd/promolint -workers "$(nproc)" -baseline lint-baseline.json ./... > lint-parallel.txt || true
+if ! diff -u lint-serial.txt lint-parallel.txt; then
+    echo "parallel promolint findings differ from the serial reference" >&2
     exit 1
 fi
+rm -f lint-serial.txt lint-parallel.txt
 
 step "hotpath-alloc runtime cross-check (BenchmarkSpanDisabled, 0 allocs/op)"
 # The static hotpath-alloc analyzer cannot see allocations hidden behind
