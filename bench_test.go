@@ -24,6 +24,7 @@ import (
 	"promonet/internal/graph"
 	"promonet/internal/graph/csr"
 	"promonet/internal/greedy"
+	"promonet/internal/obs"
 )
 
 // benchConfig is the scale used by the per-table benchmarks: large
@@ -549,6 +550,31 @@ func BenchmarkEnginePooled(b *testing.B) {
 	g, target, cands := engineBenchSetup()
 	e := engine.New(0, engine.WithCacheSize(0))
 	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engineBenchLoop(g, target, cands, func(h *graph.Graph) {
+			_ = e.Scores(h, engine.Betweenness(centrality.PairsUnordered))
+			_ = e.Scores(h, engine.Farness())
+		})
+	}
+}
+
+// BenchmarkEnginePooledFlight is BenchmarkEnginePooled with the full
+// trace pipeline live — recorder, flight recorder, phase deltas — the
+// BENCH_9 overhead probe. The acceptance bar (ISSUE 9, checked by
+// scripts/bench_report.sh) is < 5% regression against the plain Pooled
+// number.
+func BenchmarkEnginePooledFlight(b *testing.B) {
+	g, target, cands := engineBenchSetup()
+	e := engine.New(0, engine.WithCacheSize(0))
+	defer e.Close()
+	rec := obs.NewRecorder(4096)
+	rec.AttachFlight(obs.NewFlightRecorder(obs.FlightConfig{}))
+	rec.EnablePhaseDeltas(true)
+	prev := obs.CurrentRecorder()
+	obs.SetRecorder(rec)
+	defer obs.SetRecorder(prev)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

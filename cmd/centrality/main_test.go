@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"promonet/internal/core"
+	"promonet/internal/graph"
+	"promonet/internal/graph/csr"
+	"promonet/internal/obs"
+)
+
+// TestFlagSurface pins the centrality flag names; scripts and docs
+// depend on them, and the shared observability flags must match the
+// other cmds.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("centrality", flag.ContinueOnError)
+	registerFlags(fs)
+	want := []string{
+		"graph", "measure", "backend", "top", "stats", "lcc", "enginestats",
+		"debug-addr", "debug-linger", "trace", "trace-topk", "trace-threshold",
+		"manifest",
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// TestManifestBackendParity is the differential test for the
+// manifest/digest parity contract: a manifest written from a CSR
+// snapshot of a graph must carry the same dataset digest and n/m as
+// one written from the adjacency-map graph itself.
+func TestManifestBackendParity(t *testing.T) {
+	g := graph.NewWithNodes(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	m, err := core.MeasureByName("closeness")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	write := func(name string, scored graph.View) *obs.DatasetInfo {
+		t.Helper()
+		fs := flag.NewFlagSet("centrality", flag.ContinueOnError)
+		opt := registerFlags(fs)
+		if err := fs.Parse([]string{"-graph", "host.txt"}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		man := obs.NewManifest("centrality", 0)
+		man.Dataset = &obs.DatasetInfo{
+			Name:   filepath.Base(*opt.graphPath),
+			N:      scored.N(),
+			M:      scored.M(),
+			Digest: graph.Digest(scored),
+		}
+		man.Measure = m.Name()
+		if err := man.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateManifest(data); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var parsed obs.Manifest
+		if err := json.Unmarshal(data, &parsed); err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Dataset == nil {
+			t.Fatalf("%s: no dataset section", name)
+		}
+		return parsed.Dataset
+	}
+
+	mapDS := write("map.json", g)
+	csrDS := write("csr.json", csr.Freeze(g))
+
+	if mapDS.Digest != csrDS.Digest {
+		t.Errorf("digest parity broken: map %s, csr %s", mapDS.Digest, csrDS.Digest)
+	}
+	if mapDS.N != csrDS.N || mapDS.M != csrDS.M {
+		t.Errorf("size parity broken: map n=%d m=%d, csr n=%d m=%d",
+			mapDS.N, mapDS.M, csrDS.N, csrDS.M)
+	}
+	if mapDS.N != g.N() || mapDS.M != g.M() {
+		t.Errorf("dataset n/m = %d/%d, want %d/%d", mapDS.N, mapDS.M, g.N(), g.M())
+	}
+}

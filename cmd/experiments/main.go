@@ -51,7 +51,7 @@ type options struct {
 	greedyBudget     *int
 	greedyCandidates *int
 	greedyPivots     *int
-	debugAddr        *string
+	obs              *obs.ObsFlags
 	manifestDir      *string
 }
 
@@ -68,12 +68,12 @@ func registerFlags(fs *flag.FlagSet, cfg exp.Config) *options {
 		greedyBudget:     fs.Int("greedy-budget", cfg.GreedyBudget, "max promotion size for the Greedy comparison"),
 		greedyCandidates: fs.Int("greedy-candidates", cfg.GreedyCandidateSample, "candidate edges evaluated per Greedy round (0 = exhaustive, as in [18])"),
 		greedyPivots:     fs.Int("greedy-pivots", cfg.GreedyPivotSources, "BFS pivots for Greedy's betweenness estimates (0 = exact)"),
-		debugAddr:        fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this host:port while the run is live"),
+		obs:              obs.RegisterObsFlags(fs),
 		manifestDir:      fs.String("manifest", "", "write one run manifest per dataset×measure cell into this directory"),
 	}
 }
 
-func run() error {
+func run() (err error) {
 	cfg := exp.DefaultConfig()
 	opt := registerFlags(flag.CommandLine, cfg)
 	flag.Parse()
@@ -85,7 +85,6 @@ func run() error {
 	cfg.GreedyCandidateSample = *opt.greedyCandidates
 	cfg.GreedyPivotSources = *opt.greedyPivots
 	cfg.ManifestDir = *opt.manifestDir
-	var err error
 	if cfg.Sizes, err = parseInts(*opt.sizesFlag); err != nil {
 		return fmt.Errorf("bad -sizes: %w", err)
 	}
@@ -93,19 +92,18 @@ func run() error {
 		cfg.Datasets = strings.Split(*opt.datasetsFlag, ",")
 	}
 
-	// Spans are consumed by per-cell manifests and /debug/vars; without
-	// either sink, tracing stays on the zero-allocation disabled path.
-	if cfg.ManifestDir != "" || *opt.debugAddr != "" {
-		obs.SetRecorder(obs.NewRecorder(8192))
+	// Spans are consumed by per-cell manifests, trace dumps, and
+	// /debug/vars; without a sink, tracing stays on the zero-allocation
+	// disabled path (Activate installs nothing).
+	session, err := opt.obs.Activate("experiments", 8192, cfg.ManifestDir != "")
+	if err != nil {
+		return err
 	}
-	if *opt.debugAddr != "" {
-		srv, err := obs.StartDebugServer(*opt.debugAddr)
-		if err != nil {
-			return err
+	defer func() {
+		if cerr := session.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
-		fmt.Fprintf(os.Stderr, "experiments: debug endpoints at http://%s/debug/\n", srv.Addr())
-		defer func() { _ = srv.Close() }()
-	}
+	}()
 
 	want := map[string]bool{}
 	if *opt.only != "" {

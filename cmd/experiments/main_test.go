@@ -15,7 +15,8 @@ func TestFlagSurface(t *testing.T) {
 	want := []string{
 		"seed", "scale", "targets", "sizes", "datasets", "only", "format",
 		"greedy-budget", "greedy-candidates", "greedy-pivots",
-		"debug-addr", "manifest",
+		"debug-addr", "debug-linger", "trace", "trace-topk", "trace-threshold",
+		"manifest",
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) {

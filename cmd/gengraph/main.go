@@ -19,6 +19,7 @@ import (
 	"promonet/internal/datasets"
 	"promonet/internal/gen"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 func main() {
@@ -28,63 +29,102 @@ func main() {
 	}
 }
 
-func run() error {
-	profileName := flag.String("profile", "", "dataset profile: WIKI|HEPP|EPIN|SLAS")
-	scale := flag.Float64("scale", 0.05, "profile scale (fraction of original node count)")
-	model := flag.String("model", "", "raw generator: ba|er|ws|clique-cover|powerlaw")
-	n := flag.Int("n", 1000, "node count for raw generators")
-	m := flag.Int("m", 4000, "edge count (er)")
-	k := flag.Int("k", 4, "attachment/lattice degree (ba, ws)")
-	beta := flag.Float64("beta", 0.1, "rewiring probability (ws)")
-	gamma := flag.Float64("gamma", 2.0, "power-law exponent (powerlaw)")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "", "output edge-list file (required)")
-	lcc := flag.Bool("lcc", true, "keep only the largest connected component")
-	stats := flag.Bool("stats", true, "print Table VI-style statistics of the result")
+// options is the gengraph flag surface, registered on a caller-owned
+// FlagSet so tests can assert it without global flag state.
+type options struct {
+	profileName *string
+	scale       *float64
+	model       *string
+	n           *int
+	m           *int
+	k           *int
+	beta        *float64
+	gamma       *float64
+	seed        *int64
+	out         *string
+	lcc         *bool
+	stats       *bool
+	obs         *obs.ObsFlags
+}
+
+// registerFlags defines every gengraph flag on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		profileName: fs.String("profile", "", "dataset profile: WIKI|HEPP|EPIN|SLAS"),
+		scale:       fs.Float64("scale", 0.05, "profile scale (fraction of original node count)"),
+		model:       fs.String("model", "", "raw generator: ba|er|ws|clique-cover|powerlaw"),
+		n:           fs.Int("n", 1000, "node count for raw generators"),
+		m:           fs.Int("m", 4000, "edge count (er)"),
+		k:           fs.Int("k", 4, "attachment/lattice degree (ba, ws)"),
+		beta:        fs.Float64("beta", 0.1, "rewiring probability (ws)"),
+		gamma:       fs.Float64("gamma", 2.0, "power-law exponent (powerlaw)"),
+		seed:        fs.Int64("seed", 1, "random seed"),
+		out:         fs.String("out", "", "output edge-list file (required)"),
+		lcc:         fs.Bool("lcc", true, "keep only the largest connected component"),
+		stats:       fs.Bool("stats", true, "print Table VI-style statistics of the result"),
+		obs:         obs.RegisterObsFlags(fs),
+	}
+}
+
+func run() (err error) {
+	opt := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *out == "" {
+	// Tracing is demand-driven: generation is instrumentation-light, but
+	// the shared obs flags give gengraph runs the same /debug and -trace
+	// surface as the rest of the pipeline.
+	session, err := opt.obs.Activate("gengraph", 2048, false)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	if *opt.out == "" {
 		return fmt.Errorf("-out is required")
 	}
-	if (*profileName == "") == (*model == "") {
+	if (*opt.profileName == "") == (*opt.model == "") {
 		return fmt.Errorf("exactly one of -profile or -model is required")
 	}
 
 	var g *graph.Graph
 	switch {
-	case *profileName != "":
-		p, err := datasets.ByName(*profileName)
+	case *opt.profileName != "":
+		p, err := datasets.ByName(*opt.profileName)
 		if err != nil {
 			return err
 		}
-		g = p.Build(*seed, *scale) // already LCC
+		g = p.Build(*opt.seed, *opt.scale) // already LCC
 	default:
-		rng := rand.New(rand.NewSource(*seed))
-		switch *model {
+		rng := rand.New(rand.NewSource(*opt.seed))
+		switch *opt.model {
 		case "ba":
-			g = gen.BarabasiAlbert(rng, *n, *k)
+			g = gen.BarabasiAlbert(rng, *opt.n, *opt.k)
 		case "er":
-			g = gen.ErdosRenyi(rng, *n, *m)
+			g = gen.ErdosRenyi(rng, *opt.n, *opt.m)
 		case "ws":
-			g = gen.WattsStrogatz(rng, *n, *k, *beta)
+			g = gen.WattsStrogatz(rng, *opt.n, *opt.k, *opt.beta)
 		case "clique-cover":
-			g = gen.CliqueCover(rng, *n, 2, 8, 0.5)
+			g = gen.CliqueCover(rng, *opt.n, 2, 8, 0.5)
 		case "powerlaw":
-			degs := gen.PowerLawDegrees(rng, *n, *gamma, 1, *n/10)
+			degs := gen.PowerLawDegrees(rng, *opt.n, *opt.gamma, 1, *opt.n/10)
 			g = gen.ConfigurationModel(rng, degs)
 		default:
-			return fmt.Errorf("unknown model %q", *model)
+			return fmt.Errorf("unknown model %q", *opt.model)
 		}
-		if *lcc {
+		if *opt.lcc {
 			g, _ = g.LargestComponent()
 		}
 	}
 
-	if err := graph.SaveEdgeListFile(*out, g); err != nil {
+	if err := graph.SaveEdgeListFile(*opt.out, g); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %v\n", *out, g)
-	if *stats {
+	fmt.Printf("wrote %s: %v\n", *opt.out, g)
+	if *opt.stats {
 		fmt.Printf("diameter=%d degeneracy=%d avg-clustering=%.4f\n",
 			centrality.Diameter(g), centrality.Degeneracy(g), centrality.AverageClustering(g))
 	}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestFlagSurface pins the gengraph flag names; scripts and docs depend
+// on them, and the shared observability flags must match the other
+// cmds.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	registerFlags(fs)
+	want := []string{
+		"profile", "scale", "model", "n", "m", "k", "beta", "gamma",
+		"seed", "out", "lcc", "stats",
+		"debug-addr", "debug-linger", "trace", "trace-topk", "trace-threshold",
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}

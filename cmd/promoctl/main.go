@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"promonet/internal/core"
 	"promonet/internal/engine"
@@ -48,8 +47,7 @@ type options struct {
 	dotPath      *string
 	jsonOut      *bool
 	engineStats  *bool
-	debugAddr    *string
-	debugLinger  *time.Duration
+	obs          *obs.ObsFlags
 	manifestPath *string
 }
 
@@ -66,8 +64,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		dotPath:      fs.String("dot", "", "write the updated graph in Graphviz DOT format (target red, inserted gray)"),
 		jsonOut:      fs.Bool("json", false, "print the outcome as JSON instead of text"),
 		engineStats:  fs.Bool("enginestats", false, "print execution-engine cache/traversal counters to stderr on exit (and embed them in -json output)"),
-		debugAddr:    fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this host:port (e.g. 127.0.0.1:6060)"),
-		debugLinger:  fs.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the run finishes, for scraping"),
+		obs:          obs.RegisterObsFlags(fs),
 		manifestPath: fs.String("manifest", "", "write a reproducible run manifest (JSON) to this file"),
 	}
 }
@@ -84,27 +81,20 @@ func run() (err error) {
 		defer func() { fmt.Fprintln(os.Stderr, engine.Default().Stats()) }()
 	}
 
-	// Tracing is demand-driven: a recorder is installed only when
-	// something will consume the spans (a manifest or the debug
-	// endpoints); otherwise every obs.Start in the libraries stays on the
+	// Tracing is demand-driven: Activate installs a recorder (plus
+	// flight recorder and runtime poller) only when something will
+	// consume the spans — a manifest, a trace file, or the debug
+	// endpoints; otherwise every obs.Start in the libraries stays on the
 	// zero-allocation disabled path.
-	if *opt.manifestPath != "" || *opt.debugAddr != "" {
-		obs.SetRecorder(obs.NewRecorder(4096))
+	session, err := opt.obs.Activate("promoctl", 4096, *opt.manifestPath != "")
+	if err != nil {
+		return err
 	}
-	if *opt.debugAddr != "" {
-		srv, err := obs.StartDebugServer(*opt.debugAddr)
-		if err != nil {
-			return err
+	defer func() {
+		if cerr := session.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
-		fmt.Fprintf(os.Stderr, "promoctl: debug endpoints at http://%s/debug/\n", srv.Addr())
-		defer func() {
-			if *opt.debugLinger > 0 {
-				fmt.Fprintf(os.Stderr, "promoctl: holding debug server for %v\n", *opt.debugLinger)
-				time.Sleep(*opt.debugLinger)
-			}
-			_ = srv.Close()
-		}()
-	}
+	}()
 
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")

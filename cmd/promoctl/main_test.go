@@ -16,7 +16,8 @@ func TestFlagSurface(t *testing.T) {
 	want := []string{
 		"graph", "target", "measure", "p", "strategy", "guaranteed",
 		"out", "dot", "json", "enginestats",
-		"debug-addr", "debug-linger", "manifest",
+		"debug-addr", "debug-linger", "trace", "trace-topk", "trace-threshold",
+		"manifest",
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) {

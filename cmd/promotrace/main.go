@@ -1,0 +1,283 @@
+// Command promotrace reads a trace exported by the promotion pipeline
+// (promoctl -trace, /debug/trace, obs.ExportTrace) and renders a
+// deterministic text summary: a per-phase self/total time table, the
+// critical path of the slowest operation, and the top-N slowest spans.
+// With -check it only validates the file against the trace_event schema
+// the obs package exports.
+//
+// Usage:
+//
+//	promotrace out.json
+//	promotrace -top 5 out.json
+//	promotrace -check out.json
+//
+// The summary is byte-deterministic for a fixed trace file (all
+// orderings have explicit tie-breakers), so its output can be diffed
+// across runs and asserted in scripts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"promonet/internal/obs"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promotrace:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the promotrace flag surface, registered on a caller-owned
+// FlagSet so tests can assert it without global flag state.
+type options struct {
+	top   *int
+	check *bool
+}
+
+// registerFlags defines every promotrace flag on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		top:   fs.Int("top", 10, "slowest spans to list in the summary"),
+		check: fs.Bool("check", false, "only validate the trace against the exported schema and report the event count"),
+	}
+}
+
+// run parses args, loads the trace file, and writes either the -check
+// verdict or the full summary to w.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("promotrace", flag.ContinueOnError)
+	opt := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: promotrace [-top N] [-check] trace.json")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := obs.ValidateTrace(data)
+	if err != nil {
+		return err
+	}
+	if *opt.check {
+		_, err := fmt.Fprintf(w, "trace OK: %d span events\n", n)
+		return err
+	}
+	spans, err := loadSpans(data)
+	if err != nil {
+		return err
+	}
+	return summarize(w, spans, *opt.top)
+}
+
+// span is one trace event reduced to the exact-nanosecond fields the
+// summary computes with.
+type span struct {
+	name             string
+	id, parent, root uint64
+	startNs, durNs   int64
+	goroutine        uint64
+	childDurNs       int64 // summed durations of direct children
+	attrs            map[string]string
+}
+
+// loadSpans converts the (already schema-validated) trace's X events
+// to spans and accumulates each span's direct-child time (for
+// self-time).
+func loadSpans(data []byte) ([]*span, error) {
+	var tf obs.TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, err
+	}
+	byID := map[uint64]*span{}
+	var spans []*span
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := &span{
+			name:      ev.Name,
+			id:        ev.Args.SpanID,
+			parent:    ev.Args.ParentID,
+			root:      ev.Args.RootID,
+			startNs:   ev.Args.StartNs,
+			durNs:     ev.Args.DurNs,
+			goroutine: ev.Args.Goroutine,
+			attrs:     ev.Args.Attrs,
+		}
+		spans = append(spans, s)
+		byID[s.id] = s
+	}
+	for _, s := range spans {
+		if p, ok := byID[s.parent]; ok {
+			p.childDurNs += s.durNs
+		}
+	}
+	return spans, nil
+}
+
+// phase aggregates every span of one name.
+type phase struct {
+	name            string
+	count           int
+	totalNs, selfNs int64
+	minNs, maxNs    int64
+}
+
+// summarize renders the three summary sections. Every ordering has an
+// explicit tie-breaker, making the output byte-deterministic for a
+// fixed input.
+func summarize(w io.Writer, spans []*span, topN int) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "empty trace: no span events")
+		return err
+	}
+
+	phases := map[string]*phase{}
+	for _, s := range spans {
+		p := phases[s.name]
+		if p == nil {
+			p = &phase{name: s.name, minNs: s.durNs, maxNs: s.durNs}
+			phases[s.name] = p
+		}
+		p.count++
+		p.totalNs += s.durNs
+		self := s.durNs - s.childDurNs
+		if self < 0 {
+			// Children on other goroutines can outlast the parent's
+			// interval; clamp rather than report negative self-time.
+			self = 0
+		}
+		p.selfNs += self
+		if s.durNs < p.minNs {
+			p.minNs = s.durNs
+		}
+		if s.durNs > p.maxNs {
+			p.maxNs = s.durNs
+		}
+	}
+	ordered := make([]*phase, 0, len(phases))
+	for _, p := range phases {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].totalNs != ordered[j].totalNs {
+			return ordered[i].totalNs > ordered[j].totalNs
+		}
+		return ordered[i].name < ordered[j].name
+	})
+
+	if _, err := fmt.Fprintf(w, "%d spans, %d phases\n\n", len(spans), len(ordered)); err != nil {
+		return err
+	}
+	// Writes into a tabwriter are buffered; Flush reports their error.
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "PHASE\tCOUNT\tTOTAL\tSELF\tMIN\tMAX")
+	for _, p := range ordered {
+		_, _ = fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+			p.name, p.count, fmtNs(p.totalNs), fmtNs(p.selfNs), fmtNs(p.minNs), fmtNs(p.maxNs))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if root := slowestRoot(spans); root != nil {
+		if _, err := fmt.Fprintf(w, "\ncritical path of slowest operation (%s, %s):\n", root.name, fmtNs(root.durNs)); err != nil {
+			return err
+		}
+		for i, s := range criticalPath(spans, root) {
+			indent := ""
+			for j := 0; j < i; j++ {
+				indent += "  "
+			}
+			if _, err := fmt.Fprintf(w, "%s%s  %s\n", indent, s.name, fmtNs(s.durNs)); err != nil {
+				return err
+			}
+		}
+	}
+
+	slowest := make([]*span, len(spans))
+	copy(slowest, spans)
+	sort.Slice(slowest, func(i, j int) bool {
+		if slowest[i].durNs != slowest[j].durNs {
+			return slowest[i].durNs > slowest[j].durNs
+		}
+		if slowest[i].startNs != slowest[j].startNs {
+			return slowest[i].startNs < slowest[j].startNs
+		}
+		return slowest[i].id < slowest[j].id
+	})
+	if topN > len(slowest) {
+		topN = len(slowest)
+	}
+	if _, err := fmt.Fprintf(w, "\ntop %d slowest spans:\n", topN); err != nil {
+		return err
+	}
+	tw = tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "SPAN\tDUR\tGOROUTINE\tID")
+	for _, s := range slowest[:topN] {
+		_, _ = fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", s.name, fmtNs(s.durNs), s.goroutine, s.id)
+	}
+	return tw.Flush()
+}
+
+// slowestRoot returns the root span (parent 0) with the largest
+// duration, ties broken by smallest span ID; nil if the trace has no
+// roots.
+func slowestRoot(spans []*span) *span {
+	var best *span
+	for _, s := range spans {
+		if s.parent != 0 {
+			continue
+		}
+		if best == nil || s.durNs > best.durNs ||
+			(s.durNs == best.durNs && s.id < best.id) {
+			best = s
+		}
+	}
+	return best
+}
+
+// criticalPath walks from root downward, at each level following the
+// direct child with the largest duration (ties by smallest span ID),
+// yielding the chain of spans that bounds the operation's wall clock.
+func criticalPath(spans []*span, root *span) []*span {
+	children := map[uint64][]*span{}
+	for _, s := range spans {
+		if s.parent != 0 {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	path := []*span{root}
+	cur := root
+	for {
+		kids := children[cur.id]
+		if len(kids) == 0 {
+			return path
+		}
+		next := kids[0]
+		for _, k := range kids[1:] {
+			if k.durNs > next.durNs || (k.durNs == next.durNs && k.id < next.id) {
+				next = k
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// fmtNs renders a nanosecond quantity as a Go duration string, which is
+// deterministic and unit-scaled (e.g. "1.5ms").
+func fmtNs(ns int64) string { return time.Duration(ns).String() }

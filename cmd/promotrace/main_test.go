@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"promonet/internal/obs"
+)
+
+// TestFlagSurface pins the promotrace flag names.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("promotrace", flag.ContinueOnError)
+	registerFlags(fs)
+	want := []string{"top", "check"}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// writeFixtureTrace records a small span tree through the real obs
+// pipeline and exports it, returning the trace file path.
+func writeFixtureTrace(t *testing.T) string {
+	t.Helper()
+	prev := obs.CurrentRecorder()
+	rec := obs.NewRecorder(64)
+	obs.SetRecorder(rec)
+	defer obs.SetRecorder(prev)
+
+	ctx, root := obs.Start(context.Background(), "promote")
+	root.Int("n", 100)
+	cctx, child := obs.Start(ctx, "promote/score-before")
+	_, grand := obs.Start(cctx, "engine/compute/closeness")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	_, child2 := obs.Start(ctx, "promote/strategy-apply")
+	child2.End()
+	root.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := obs.WriteTraceFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckMode validates the exported fixture and reports the span
+// count.
+func TestCheckMode(t *testing.T) {
+	path := writeFixtureTrace(t)
+	var out bytes.Buffer
+	if err := run(&out, []string{"-check", path}); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "trace OK: 4 span events\n" {
+		t.Errorf("check output = %q", got)
+	}
+}
+
+// TestSummaryDeterministic renders the same trace twice and requires
+// byte-identical output — the acceptance criterion for the summary.
+func TestSummaryDeterministic(t *testing.T) {
+	path := writeFixtureTrace(t)
+	render := func() string {
+		var out bytes.Buffer
+		if err := run(&out, []string{"-top", "3", path}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("summary is not deterministic:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	// The tabwriter renders columns space-padded; assert on words.
+	for _, want := range []string{
+		"4 spans, 4 phases",
+		"PHASE", "COUNT", "TOTAL", "SELF", "MIN", "MAX",
+		"critical path of slowest operation (promote",
+		"top 3 slowest spans:",
+		"engine/compute/closeness",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("summary missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestCheckRejectsCorruptTrace: a truncated file must fail validation.
+func TestCheckRejectsCorruptTrace(t *testing.T) {
+	path := writeFixtureTrace(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, []string{"-check", bad}); err == nil {
+		t.Error("corrupt trace passed -check")
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // This file implements budgeted promotion, the second future-work topic
@@ -50,6 +52,11 @@ func PromoteBudgeted(g *graph.Graph, m Measure, t, budget int) (*graph.Graph, *O
 // This is an empirical search; only the principle-guided choice carries
 // the paper's guarantee.
 func BestStrategyWithinBudget(g *graph.Graph, m Measure, t, budget int) (*graph.Graph, *Outcome, error) {
+	_, sp := obs.Start(context.Background(), "promote/budget-search")
+	sp.Str("measure", m.Name())
+	sp.Int("target", t)
+	sp.Int("budget", budget)
+	defer sp.End()
 	var bestG *graph.Graph
 	var best *Outcome
 	guided := m.Strategy()

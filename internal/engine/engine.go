@@ -272,6 +272,7 @@ func (e *Engine) resolve(g graph.View, key string, fam family, compute func() an
 		_, sp := obs.Start(context.Background(), familySpanNames[fam])
 		sp.Int("n", g.N())
 		sp.Int("m", g.M())
+		sp.Str("key", key)
 		t0 := time.Now()
 		mm.val = compute()
 		e.counters.noteCompute(fam, time.Since(t0))

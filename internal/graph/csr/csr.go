@@ -20,11 +20,13 @@
 package csr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // Snapshot is an immutable CSR graph: node v's sorted neighbor row is
@@ -53,6 +55,10 @@ type Snapshot struct {
 // backends, and engine caches warmed by either representation serve the
 // other.
 func Freeze(g *graph.Graph) *Snapshot {
+	_, sp := obs.Start(context.Background(), "csr/freeze")
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	defer sp.End()
 	n := g.N()
 	s := &Snapshot{
 		rowptr:  make([]int64, n+1),

@@ -1,10 +1,12 @@
 package csr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // Overlay is a small mutable edit layer over an immutable Snapshot: it
@@ -192,6 +194,11 @@ func (o *Overlay) removeArc(u, v int) {
 // valid for the compacted base — the snapshot-swap primitive for
 // promotion services that periodically re-freeze accumulated edits.
 func (o *Overlay) Freeze() *Snapshot {
+	_, sp := obs.Start(context.Background(), "csr/overlay-freeze")
+	sp.Int("n", o.n)
+	sp.Int("m", o.m)
+	sp.Int("touched", len(o.rows))
+	defer sp.End()
 	s := &Snapshot{
 		rowptr:  make([]int64, o.n+1),
 		cols:    make([]int32, 2*o.m),

@@ -1,12 +1,14 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"promonet/internal/engine"
 	"promonet/internal/graph"
 	"promonet/internal/graph/csr"
+	"promonet/internal/obs"
 )
 
 // ImproveCloseness implements the greedy algorithm of Crescenzi et al.
@@ -32,6 +34,11 @@ func ImproveCloseness(g *graph.Graph, target, budget int, opts ClosenessOptions)
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
+	_, sp := obs.Start(context.Background(), "greedy/improve-closeness")
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	sp.Int("budget", budget)
+	defer sp.End()
 	work := csr.NewOverlay(csr.Freeze(g))
 	res := &ClosenessResult{BeforeFarness: engine.Default().FarnessInt64(g)}
 

@@ -1,10 +1,12 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 
 	"promonet/internal/engine"
 	"promonet/internal/graph"
+	"promonet/internal/obs"
 )
 
 // ImproveCoreness is the structure-aware counterpart for coreness, in
@@ -24,6 +26,11 @@ func ImproveCoreness(g *graph.Graph, target, budget int, opts ClosenessOptions) 
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
+	_, sp := obs.Start(context.Background(), "greedy/improve-coreness")
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	sp.Int("budget", budget)
+	defer sp.End()
 	// Scoring goes through the shared engine: the mutate-evaluate-revert
 	// loop below re-scores near-identical graphs, and every revert
 	// restores a content-addressed snapshot the memo table already holds.

@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"promonet/internal/engine"
 	"promonet/internal/graph"
 	"promonet/internal/graph/csr"
+	"promonet/internal/obs"
 )
 
 // ImproveEccentricity is the structure-aware counterpart for
@@ -31,6 +33,11 @@ func ImproveEccentricity(g *graph.Graph, target, budget int, opts ClosenessOptio
 	if opts.CandidateSample > 0 && opts.Rand == nil {
 		return nil, nil, fmt.Errorf("greedy: candidate sampling requires Options.Rand")
 	}
+	_, sp := obs.Start(context.Background(), "greedy/improve-eccentricity")
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	sp.Int("budget", budget)
+	defer sp.End()
 	work := csr.NewOverlay(csr.Freeze(g))
 	res := &EccentricityResult{Before: reciprocalEccInt32(g)}
 

@@ -30,15 +30,21 @@ func realFile(t *testing.T, rel string) string {
 }
 
 // realObsFiles is the standalone-typecheckable core of the real obs
-// package (the debug server and manifest files pull in net/http and are
-// irrelevant to the span/metrics invariants under test).
+// package (the debug server, trace export, and manifest files pull in
+// net/http / encoding/json and are irrelevant to the span/metrics
+// invariants under test). flight.go and the runtime-telemetry files
+// ride along because obs.go and recorder.go reference their types.
 func realObsFiles(t *testing.T) map[string]string {
 	t.Helper()
 	return map[string]string{
-		"go.mod":                   "module fixturemod\n\ngo 1.22\n",
-		"internal/obs/obs.go":      realFile(t, "internal/obs/obs.go"),
-		"internal/obs/metrics.go":  realFile(t, "internal/obs/metrics.go"),
-		"internal/obs/recorder.go": realFile(t, "internal/obs/recorder.go"),
+		"go.mod":                         "module fixturemod\n\ngo 1.22\n",
+		"internal/obs/obs.go":            realFile(t, "internal/obs/obs.go"),
+		"internal/obs/metrics.go":        realFile(t, "internal/obs/metrics.go"),
+		"internal/obs/recorder.go":       realFile(t, "internal/obs/recorder.go"),
+		"internal/obs/flight.go":         realFile(t, "internal/obs/flight.go"),
+		"internal/obs/runtimemetrics.go": realFile(t, "internal/obs/runtimemetrics.go"),
+		"internal/obs/cpu_unix.go":       realFile(t, "internal/obs/cpu_unix.go"),
+		"internal/obs/cpu_other.go":      realFile(t, "internal/obs/cpu_other.go"),
 	}
 }
 

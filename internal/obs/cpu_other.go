@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+// processCPUNanos is the non-unix fallback: no getrusage, so per-phase
+// cpu_ns deltas read as 0 on these platforms. Alloc and GC deltas still
+// work (they come from runtime/metrics).
+func processCPUNanos() int64 { return 0 }

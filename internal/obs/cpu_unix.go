@@ -1,0 +1,22 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUNanos returns the process's cumulative user+system CPU time
+// in nanoseconds, via getrusage. Used by phase-delta snapshots; a
+// failing syscall degrades to 0 (deltas then read as 0, not garbage,
+// because both endpoints fail the same way).
+func processCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+// tvNanos converts a syscall timeval to nanoseconds.
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

@@ -17,17 +17,36 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// DebugMux returns a fresh mux wired with /debug/vars and the
-// /debug/pprof handler family.
+// DebugMux returns a fresh mux wired with /debug/vars, /debug/trace
+// (the span-trace export), and the /debug/pprof handler family.
 func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleTrace serves the current span trace as trace_event JSON: the
+// flight recorder's retained trees when one is attached and non-empty,
+// otherwise the ring buffer's recent spans (see TraceRecords). 503 when
+// tracing is disabled. The response loads directly in Perfetto and in
+// cmd/promotrace.
+func handleTrace(w http.ResponseWriter, _ *http.Request) {
+	rec := CurrentRecorder()
+	if rec == nil {
+		http.Error(w, "tracing disabled: no recorder installed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := ExportTrace(w, TraceRecords(rec)); err != nil {
+		// Headers are gone; all we can do is log-free best effort.
+		return
+	}
 }
 
 // StartDebugServer listens on addr (host:port; an empty port picks a

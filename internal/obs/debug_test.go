@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -55,5 +56,57 @@ func TestDebugServerEndpoints(t *testing.T) {
 	index := get("/debug/pprof/")
 	if !strings.Contains(string(index), "goroutine") {
 		t.Fatalf("pprof index looks wrong: %.120s", index)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	url := "http://" + srv.Addr() + "/debug/trace"
+
+	// No recorder installed: the endpoint reports unavailability rather
+	// than an empty trace.
+	SetRecorder(nil)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("without recorder: status %d, want 503", resp.StatusCode)
+	}
+
+	rec := withRecorder(t, 16)
+	rec.AttachFlight(NewFlightRecorder(FlightConfig{TopK: 2}))
+	ctx, root := Start(context.Background(), "live")
+	_, child := Start(ctx, "live/child")
+	child.End()
+	root.End()
+
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("with recorder: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateTrace(body)
+	if err != nil {
+		t.Fatalf("/debug/trace body fails validator: %v\n%.300s", err, body)
+	}
+	if spans != 2 {
+		t.Errorf("scraped %d spans, want 2 (the flight-retained tree)", spans)
 	}
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Shared observability flag surface. Every cmd registers the same five
+// flags through RegisterObsFlags and brackets its run with Activate /
+// Close, so `-debug-addr`, `-debug-linger`, `-trace`, `-trace-topk`,
+// and `-trace-threshold` mean the same thing everywhere (the satellite
+// parity requirement of ISSUE 9). Flag registration happens on a
+// caller-owned FlagSet, keeping the cmds' flag-surface tests able to
+// assert the full surface without global state.
+
+// ObsFlags holds the parsed observability flags of one command.
+type ObsFlags struct {
+	// DebugAddr, when non-empty, serves the private debug mux
+	// (/debug/vars, /debug/trace, /debug/pprof) on that host:port;
+	// DebugLinger keeps it up after the run for scraping.
+	DebugAddr   *string
+	DebugLinger *time.Duration
+	// TracePath, when non-empty, writes the trace_event JSON export
+	// there when the session closes.
+	TracePath *string
+	// TraceTopK and TraceThreshold configure the flight recorder's
+	// tail-sampling policy.
+	TraceTopK      *int
+	TraceThreshold *time.Duration
+}
+
+// RegisterObsFlags defines the shared observability flags on fs.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		DebugAddr:      fs.String("debug-addr", "", "serve /debug/vars, /debug/trace and /debug/pprof on this host:port (e.g. 127.0.0.1:6060)"),
+		DebugLinger:    fs.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the run finishes, for scraping"),
+		TracePath:      fs.String("trace", "", "write a Chrome trace_event / Perfetto JSON trace to this file on exit"),
+		TraceTopK:      fs.Int("trace-topk", 0, "flight recorder: keep the K slowest span trees per root name (0 = default 4)"),
+		TraceThreshold: fs.Duration("trace-threshold", 0, "flight recorder: additionally keep every span tree slower than this (0 = off)"),
+	}
+}
+
+// ObsSession is the running observability state Activate sets up:
+// recorder + flight recorder, runtime poller, and (optionally) the
+// debug server. Close tears it down in order and writes the trace
+// file. A session from an Activate that decided tracing was not wanted
+// is inert — Close is a cheap no-op — so callers can defer Close
+// unconditionally.
+type ObsSession struct {
+	cmd    string
+	flags  *ObsFlags
+	rec    *Recorder
+	poller *RuntimePoller
+	srv    *DebugServer
+}
+
+// Activate installs observability according to the parsed flags: when
+// any consumer exists (a debug server, a trace file, or force — set it
+// when e.g. a -manifest flag needs span rollups), it installs a
+// Recorder with ring capacity ringCap, attaches a flight recorder with
+// the flagged tail-sampling policy, enables per-phase root-span deltas,
+// starts the runtime/metrics poller, and serves the debug endpoints if
+// requested (announced on stderr under the cmd name). With no consumer
+// it does nothing and returns an inert session, preserving the
+// zero-alloc disabled path.
+func (of *ObsFlags) Activate(cmd string, ringCap int, force bool) (*ObsSession, error) {
+	s := &ObsSession{cmd: cmd, flags: of}
+	if !force && *of.DebugAddr == "" && *of.TracePath == "" {
+		return s, nil
+	}
+	s.rec = NewRecorder(ringCap)
+	s.rec.AttachFlight(NewFlightRecorder(FlightConfig{
+		TopK:      *of.TraceTopK,
+		Threshold: *of.TraceThreshold,
+	}))
+	s.rec.EnablePhaseDeltas(true)
+	SetRecorder(s.rec)
+	s.poller = StartRuntimePoller(Default(), time.Second)
+	if *of.DebugAddr != "" {
+		srv, err := StartDebugServer(*of.DebugAddr)
+		if err != nil {
+			s.poller.Stop()
+			return nil, err
+		}
+		s.srv = srv
+		fmt.Fprintf(os.Stderr, "%s: debug endpoints at http://%s/debug/\n", cmd, srv.Addr())
+	}
+	return s, nil
+}
+
+// Recorder returns the session's recorder, nil when tracing was not
+// activated.
+func (s *ObsSession) Recorder() *Recorder { return s.rec }
+
+// Close finishes the session: linger the debug server if asked (so
+// scrapers can pull /debug/trace from a finished run), shut it down,
+// stop the runtime poller, and write the trace file. Safe on an inert
+// session.
+func (s *ObsSession) Close() error {
+	if s.rec == nil {
+		return nil
+	}
+	if s.srv != nil {
+		if *s.flags.DebugLinger > 0 {
+			fmt.Fprintf(os.Stderr, "%s: holding debug server for %v\n", s.cmd, *s.flags.DebugLinger)
+			time.Sleep(*s.flags.DebugLinger)
+		}
+		_ = s.srv.Close()
+	}
+	s.poller.Stop()
+	if *s.flags.TracePath != "" {
+		if err := WriteTraceFile(*s.flags.TracePath, s.rec); err != nil {
+			return fmt.Errorf("%s: writing trace: %w", s.cmd, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: trace written to %s\n", s.cmd, *s.flags.TracePath)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the tail-sampling layer of the trace pipeline:
+// where the ring buffer keeps the most recent spans regardless of
+// interest, the flight recorder keeps *complete span trees* for exactly
+// the operations worth a post-mortem — the top-K slowest roots per root
+// span name, plus anything slower than a configured threshold. Trees
+// are assembled as spans End (children land in a lock-free pending list
+// keyed by root ID; the root's own End seals and scores the tree), so
+// the per-span cost on the recording path is one CAS push and no locks.
+// Retention decisions — the only locked step — run on the root-End path
+// only. DESIGN.md §14 specifies the policy.
+
+// Flight recorder defaults; see FlightConfig.
+const (
+	defaultTopK              = 4
+	defaultMaxSpansPerTree   = 512
+	defaultMaxThresholdTrees = 64
+	defaultMaxPending        = 256
+
+	// orphanAge is how long an unsealed pending tree may linger before
+	// the cold-path sweep discards it. Orphans arise when a child span
+	// Ends after its root (a span handed to another goroutine that
+	// outlives the request) — its records recreate a pending entry that
+	// no root will ever seal.
+	orphanAge = time.Minute
+)
+
+// FlightConfig bounds a FlightRecorder. The zero value is usable: every
+// field has a default, and a zero Threshold disables threshold-based
+// retention (top-K retention is always on).
+type FlightConfig struct {
+	// TopK is how many slowest trees to keep per root span name
+	// (default 4).
+	TopK int
+	// Threshold, when positive, retains every tree whose root duration
+	// meets or exceeds it, regardless of top-K standing.
+	Threshold time.Duration
+	// MaxSpansPerTree caps the spans retained per tree; further spans
+	// are counted in DroppedSpans and discarded (default 512).
+	MaxSpansPerTree int
+	// MaxThresholdTrees caps the threshold-retention ring; the oldest
+	// entries are overwritten (default 64).
+	MaxThresholdTrees int
+	// MaxPending caps concurrently-open trees; records for new roots
+	// beyond it are dropped (default 256).
+	MaxPending int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.TopK <= 0 {
+		c.TopK = defaultTopK
+	}
+	if c.MaxSpansPerTree <= 0 {
+		c.MaxSpansPerTree = defaultMaxSpansPerTree
+	}
+	if c.MaxThresholdTrees <= 0 {
+		c.MaxThresholdTrees = defaultMaxThresholdTrees
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = defaultMaxPending
+	}
+	return c
+}
+
+// SpanTree is one retained span tree: a finished root span and every
+// span recorded under it. Trees are immutable once retained.
+type SpanTree struct {
+	// Root is the tree's outermost span.
+	Root *SpanRecord
+	// Spans holds every span of the tree, root included, sorted by
+	// start time (ties by span ID).
+	Spans []*SpanRecord
+}
+
+// FlightStats counts a flight recorder's traffic and retention
+// decisions.
+type FlightStats struct {
+	// RootsSeen is the number of sealed root spans scored for
+	// retention; Retained is how many of their trees were kept.
+	RootsSeen, Retained uint64
+	// DroppedSpans counts spans discarded by the per-tree span cap or
+	// the pending-tree cap.
+	DroppedSpans uint64
+	// SweptOrphans counts pending trees discarded by the orphan sweep.
+	SweptOrphans uint64
+}
+
+// treeNode is one link of a pending tree's lock-free span list.
+type treeNode struct {
+	rec  *SpanRecord
+	next *treeNode
+}
+
+// pendingTree accumulates the spans of one still-open tree. Pushes are
+// lock-free (CAS onto head); the sealing root End drains the list.
+type pendingTree struct {
+	head    atomic.Pointer[treeNode]
+	n       atomic.Int64
+	created time.Time
+}
+
+// topTrees holds the K slowest retained trees of one root span name,
+// slowest first. Mutated only on the root-End path, under its mutex.
+type topTrees struct {
+	mu    sync.Mutex
+	trees []*SpanTree
+}
+
+// FlightRecorder tail-samples span trees. Create one with
+// NewFlightRecorder and attach it to a Recorder with AttachFlight; all
+// methods are safe for concurrent use.
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	pending      sync.Map // uint64 root ID -> *pendingTree
+	pendingCount atomic.Int64
+
+	top sync.Map // string root name -> *topTrees
+
+	threshold       []atomic.Pointer[SpanTree]
+	thresholdCursor atomic.Uint64
+
+	rootsSeen    atomic.Uint64
+	retained     atomic.Uint64
+	droppedSpans atomic.Uint64
+	sweptOrphans atomic.Uint64
+}
+
+// NewFlightRecorder returns a flight recorder bounded by cfg (zero
+// fields take the package defaults).
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	return &FlightRecorder{
+		cfg:       cfg,
+		threshold: make([]atomic.Pointer[SpanTree], cfg.MaxThresholdTrees),
+	}
+}
+
+// Config returns the recorder's effective (default-filled) bounds.
+func (f *FlightRecorder) Config() FlightConfig { return f.cfg }
+
+// record routes one finished span: child spans are pushed onto their
+// tree's pending list; a root span seals its tree and decides
+// retention. Called by Recorder.record for every span.
+func (f *FlightRecorder) record(sr *SpanRecord) {
+	if sr.ID == sr.RootID {
+		f.seal(sr)
+		return
+	}
+	f.push(sr)
+}
+
+// push appends a child span to its pending tree, creating the tree on
+// first sight (bounded by MaxPending) and dropping the span once the
+// tree hits MaxSpansPerTree.
+func (f *FlightRecorder) push(sr *SpanRecord) {
+	pt := f.tree(sr.RootID)
+	if pt == nil {
+		f.droppedSpans.Add(1)
+		return
+	}
+	if pt.n.Add(1) > int64(f.cfg.MaxSpansPerTree) {
+		pt.n.Add(-1)
+		f.droppedSpans.Add(1)
+		return
+	}
+	node := &treeNode{rec: sr}
+	for {
+		head := pt.head.Load()
+		node.next = head
+		if pt.head.CompareAndSwap(head, node) {
+			return
+		}
+	}
+}
+
+// tree returns the pending tree for rootID, creating it if the pending
+// cap allows; nil when the cap is hit.
+func (f *FlightRecorder) tree(rootID uint64) *pendingTree {
+	if v, ok := f.pending.Load(rootID); ok {
+		return v.(*pendingTree)
+	}
+	if f.pendingCount.Load() >= int64(f.cfg.MaxPending) {
+		return nil
+	}
+	fresh := &pendingTree{created: time.Now()}
+	v, loaded := f.pending.LoadOrStore(rootID, fresh)
+	if !loaded {
+		f.pendingCount.Add(1)
+	}
+	return v.(*pendingTree)
+}
+
+// seal finishes the tree rooted at root: drain its pending spans, score
+// it against the retention policy, and (on the way out) sweep orphaned
+// pending trees if the pending set is crowded. Runs only on root-End —
+// the cold path — so it may take the per-name retention lock.
+func (f *FlightRecorder) seal(root *SpanRecord) {
+	f.rootsSeen.Add(1)
+	spans := []*SpanRecord{root}
+	if v, ok := f.pending.LoadAndDelete(root.ID); ok {
+		f.pendingCount.Add(-1)
+		for node := v.(*pendingTree).head.Load(); node != nil; node = node.next {
+			spans = append(spans, node.rec)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	tree := &SpanTree{Root: root, Spans: spans}
+
+	kept := f.keepTop(tree)
+	if f.cfg.Threshold > 0 && root.Duration >= f.cfg.Threshold {
+		slot := (f.thresholdCursor.Add(1) - 1) % uint64(len(f.threshold))
+		f.threshold[slot].Store(tree)
+		kept = true
+	}
+	if kept {
+		f.retained.Add(1)
+	}
+
+	if f.pendingCount.Load() > int64(f.cfg.MaxPending/2) {
+		f.sweep()
+	}
+}
+
+// keepTop offers the tree to its root name's top-K set, reporting
+// whether it was admitted (set not full, or slower than the current
+// fastest member, which it evicts).
+func (f *FlightRecorder) keepTop(tree *SpanTree) bool {
+	v, ok := f.top.Load(tree.Root.Name)
+	if !ok {
+		v, _ = f.top.LoadOrStore(tree.Root.Name, &topTrees{})
+	}
+	tt := v.(*topTrees)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if len(tt.trees) < f.cfg.TopK {
+		tt.trees = append(tt.trees, tree)
+		sortTop(tt.trees)
+		return true
+	}
+	last := tt.trees[len(tt.trees)-1]
+	if tree.Root.Duration <= last.Root.Duration {
+		return false
+	}
+	tt.trees[len(tt.trees)-1] = tree
+	sortTop(tt.trees)
+	return true
+}
+
+// sortTop orders a top-K set slowest first, ties by root span ID so the
+// order is deterministic.
+func sortTop(trees []*SpanTree) {
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].Root.Duration != trees[j].Root.Duration {
+			return trees[i].Root.Duration > trees[j].Root.Duration
+		}
+		return trees[i].Root.ID < trees[j].Root.ID
+	})
+}
+
+// sweep discards pending trees older than orphanAge. Only seal calls
+// it, so it never contends with the push fast path beyond the
+// LoadAndDelete itself.
+func (f *FlightRecorder) sweep() {
+	f.pending.Range(func(k, v any) bool {
+		pt := v.(*pendingTree)
+		if time.Since(pt.created) < orphanAge {
+			return true
+		}
+		if _, ok := f.pending.LoadAndDelete(k); ok {
+			f.pendingCount.Add(-1)
+			f.sweptOrphans.Add(1)
+			f.droppedSpans.Add(uint64(pt.n.Load()))
+		}
+		return true
+	})
+}
+
+// Trees returns every currently retained tree — the union of all
+// per-name top-K sets and the threshold ring, deduplicated by root span
+// ID — sorted by root start time (ties by root ID). The returned trees
+// are shared; treat them as read-only.
+func (f *FlightRecorder) Trees() []*SpanTree {
+	seen := map[uint64]*SpanTree{}
+	f.top.Range(func(_, v any) bool {
+		tt := v.(*topTrees)
+		tt.mu.Lock()
+		for _, t := range tt.trees {
+			seen[t.Root.ID] = t
+		}
+		tt.mu.Unlock()
+		return true
+	})
+	for i := range f.threshold {
+		if t := f.threshold[i].Load(); t != nil {
+			seen[t.Root.ID] = t
+		}
+	}
+	out := make([]*SpanTree, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Root.Start.Equal(out[j].Root.Start) {
+			return out[i].Root.Start.Before(out[j].Root.Start)
+		}
+		return out[i].Root.ID < out[j].Root.ID
+	})
+	return out
+}
+
+// Spans returns the spans of every retained tree, flattened in Trees
+// order — the record set trace export serializes.
+func (f *FlightRecorder) Spans() []*SpanRecord {
+	var out []*SpanRecord
+	for _, t := range f.Trees() {
+		out = append(out, t.Spans...)
+	}
+	return out
+}
+
+// Stats returns the recorder's traffic and retention counters.
+func (f *FlightRecorder) Stats() FlightStats {
+	return FlightStats{
+		RootsSeen:    f.rootsSeen.Load(),
+		Retained:     f.retained.Load(),
+		DroppedSpans: f.droppedSpans.Load(),
+		SweptOrphans: f.sweptOrphans.Load(),
+	}
+}

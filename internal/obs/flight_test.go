@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syntheticRoot builds a root-span record (ID == RootID) with a known
+// duration, so retention tests control exactly what the policy sees.
+func syntheticRoot(name string, id uint64, base time.Time, d time.Duration) *SpanRecord {
+	return &SpanRecord{
+		Name:      name,
+		ID:        id,
+		RootID:    id,
+		Goroutine: 1,
+		Start:     base.Add(time.Duration(id) * time.Second),
+		Duration:  d,
+	}
+}
+
+func TestFlightTopKRetention(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{TopK: 2})
+	base := time.Unix(1700000000, 0)
+	// Descending durations: the first two fill the set, the rest are
+	// faster than the current fastest member and must be rejected.
+	for i, d := range []time.Duration{
+		5 * time.Millisecond, 4 * time.Millisecond,
+		3 * time.Millisecond, 2 * time.Millisecond, time.Millisecond,
+	} {
+		f.record(syntheticRoot("op", uint64(i+1), base, d))
+	}
+	trees := f.Trees()
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	// Trees() sorts by start time, so IDs 1 (5ms) then 2 (4ms).
+	if trees[0].Root.ID != 1 || trees[1].Root.ID != 2 {
+		t.Errorf("retained roots %d, %d, want 1, 2", trees[0].Root.ID, trees[1].Root.ID)
+	}
+	st := f.Stats()
+	if st.RootsSeen != 5 || st.Retained != 2 {
+		t.Errorf("stats = %+v, want RootsSeen 5, Retained 2", st)
+	}
+
+	// A slower root evicts the current fastest member (ID 2, 4ms).
+	f.record(syntheticRoot("op", 6, base, 10*time.Millisecond))
+	trees = f.Trees()
+	if len(trees) != 2 || trees[0].Root.ID != 1 || trees[1].Root.ID != 6 {
+		ids := []uint64{}
+		for _, tr := range trees {
+			ids = append(ids, tr.Root.ID)
+		}
+		t.Errorf("after eviction retained roots %v, want [1 6]", ids)
+	}
+
+	// Separate root names keep separate top-K sets.
+	f.record(syntheticRoot("other", 7, base, time.Microsecond))
+	if got := len(f.Trees()); got != 3 {
+		t.Errorf("after second name: %d trees, want 3", got)
+	}
+}
+
+func TestFlightThresholdRetention(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{
+		TopK:              1,
+		Threshold:         time.Millisecond,
+		MaxThresholdTrees: 2,
+	})
+	base := time.Unix(1700000000, 0)
+	// All three cross the threshold; the ring holds two, so the oldest
+	// (ID 1) survives only if it also holds the top-K slot — it does not,
+	// ID 3 is slowest.
+	f.record(syntheticRoot("x", 1, base, 10*time.Millisecond))
+	f.record(syntheticRoot("x", 2, base, 20*time.Millisecond))
+	f.record(syntheticRoot("x", 3, base, 30*time.Millisecond))
+	trees := f.Trees()
+	if len(trees) != 2 || trees[0].Root.ID != 2 || trees[1].Root.ID != 3 {
+		ids := []uint64{}
+		for _, tr := range trees {
+			ids = append(ids, tr.Root.ID)
+		}
+		t.Fatalf("retained roots %v, want [2 3] (ring wrapped past 1)", ids)
+	}
+	// Below threshold and not slowest: dropped entirely.
+	f.record(syntheticRoot("x", 4, base, time.Microsecond))
+	if got := len(f.Trees()); got != 2 {
+		t.Errorf("after sub-threshold root: %d trees, want 2", got)
+	}
+}
+
+func TestFlightTreeAssembly(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{TopK: 1})
+	base := time.Unix(1700000000, 0)
+	// Children End (and are recorded) before their root, in scrambled
+	// start order; the sealed tree must come out start-sorted.
+	f.record(&SpanRecord{Name: "c2", ID: 3, ParentID: 1, RootID: 1,
+		Start: base.Add(2 * time.Second), Duration: time.Millisecond})
+	f.record(&SpanRecord{Name: "c1", ID: 2, ParentID: 1, RootID: 1,
+		Start: base.Add(time.Second), Duration: time.Millisecond})
+	f.record(&SpanRecord{Name: "root", ID: 1, RootID: 1,
+		Start: base, Duration: 5 * time.Second})
+
+	trees := f.Trees()
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.Root.Name != "root" {
+		t.Errorf("tree root = %q", tr.Root.Name)
+	}
+	var names []string
+	for _, s := range tr.Spans {
+		names = append(names, s.Name)
+	}
+	want := []string{"root", "c1", "c2"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("tree spans = %v, want %v", names, want)
+	}
+	if f.Spans()[0].Name != "root" {
+		t.Errorf("Spans() first = %q, want root", f.Spans()[0].Name)
+	}
+}
+
+func TestFlightSpanCapDrops(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{TopK: 1, MaxSpansPerTree: 2})
+	base := time.Unix(1700000000, 0)
+	for i := uint64(2); i <= 5; i++ { // four children; cap keeps two
+		f.record(&SpanRecord{Name: "c", ID: i, ParentID: 1, RootID: 1,
+			Start: base.Add(time.Duration(i) * time.Second), Duration: time.Millisecond})
+	}
+	f.record(&SpanRecord{Name: "root", ID: 1, RootID: 1, Start: base, Duration: time.Second})
+
+	trees := f.Trees()
+	if len(trees) != 1 || len(trees[0].Spans) != 3 {
+		t.Fatalf("tree spans = %d, want 3 (root + 2 capped children)", len(trees[0].Spans))
+	}
+	if st := f.Stats(); st.DroppedSpans != 2 {
+		t.Errorf("DroppedSpans = %d, want 2", st.DroppedSpans)
+	}
+}
+
+func TestFlightPendingCapDrops(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{TopK: 1, MaxPending: 1})
+	base := time.Unix(1700000000, 0)
+	f.record(&SpanRecord{Name: "c", ID: 2, ParentID: 1, RootID: 1, Start: base, Duration: time.Millisecond})
+	// Second tree cannot open while the first is pending.
+	f.record(&SpanRecord{Name: "c", ID: 4, ParentID: 3, RootID: 3, Start: base, Duration: time.Millisecond})
+	if st := f.Stats(); st.DroppedSpans != 1 {
+		t.Errorf("DroppedSpans = %d, want 1", st.DroppedSpans)
+	}
+	// Sealing the first frees the slot.
+	f.record(&SpanRecord{Name: "root", ID: 1, RootID: 1, Start: base, Duration: time.Second})
+	f.record(&SpanRecord{Name: "c", ID: 6, ParentID: 5, RootID: 5, Start: base, Duration: time.Millisecond})
+	if st := f.Stats(); st.DroppedSpans != 1 {
+		t.Errorf("after seal DroppedSpans = %d, want still 1", st.DroppedSpans)
+	}
+}
+
+// TestRollupsSurviveWraparoundAndFlight is the eviction-correctness
+// contract: rollup count, min/max, and histogram bucket totals reflect
+// every span ever finished — not just ring survivors or flight-retained
+// trees — even with concurrent writers, a wrapping ring, and a flight
+// recorder making retention decisions. Run under -race in CI.
+func TestRollupsSurviveWraparoundAndFlight(t *testing.T) {
+	const workers, perWorker = 4, 250
+	const total = workers * perWorker
+
+	rec := NewRecorder(8) // ring far smaller than total: guaranteed wraparound
+	rec.AttachFlight(NewFlightRecorder(FlightConfig{TopK: 3}))
+	base := time.Unix(1700000000, 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Durations 1..total µs, each exactly once across workers.
+				k := uint64(w*perWorker + i + 1)
+				rec.record(syntheticRoot("op", k, base, time.Duration(k)*time.Microsecond))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := len(rec.Records()); got > 8 {
+		t.Errorf("ring holds %d records, cap 8", got)
+	}
+
+	rollups := rec.Rollups()
+	if len(rollups) != 1 {
+		t.Fatalf("got %d rollups, want 1", len(rollups))
+	}
+	ru := rollups[0]
+	if ru.Count != total {
+		t.Errorf("Count = %d, want %d", ru.Count, total)
+	}
+	if ru.MinNanos != int64(time.Microsecond) {
+		t.Errorf("MinNanos = %d, want %d", ru.MinNanos, int64(time.Microsecond))
+	}
+	if ru.MaxNanos != int64(total*int(time.Microsecond)) {
+		t.Errorf("MaxNanos = %d, want %d", ru.MaxNanos, total*int(time.Microsecond))
+	}
+	wantWall := int64(total*(total+1)/2) * int64(time.Microsecond)
+	if ru.WallNanos != wantWall {
+		t.Errorf("WallNanos = %d, want %d", ru.WallNanos, wantWall)
+	}
+	if ru.Hist.Count != total || ru.Hist.SumNanos != wantWall {
+		t.Errorf("hist count/sum = %d/%d, want %d/%d", ru.Hist.Count, ru.Hist.SumNanos, total, wantWall)
+	}
+	var bucketSum uint64
+	for _, b := range ru.Hist.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != total {
+		t.Errorf("hist buckets sum to %d, want %d", bucketSum, total)
+	}
+
+	// Retention kept exactly the slowest three, independent of arrival
+	// interleaving.
+	fl := rec.Flight()
+	if st := fl.Stats(); st.RootsSeen != total {
+		t.Errorf("flight RootsSeen = %d, want %d", st.RootsSeen, total)
+	}
+	trees := fl.Trees()
+	if len(trees) != 3 {
+		t.Fatalf("flight retained %d trees, want 3", len(trees))
+	}
+	want := map[uint64]bool{total - 2: true, total - 1: true, total: true}
+	for _, tr := range trees {
+		if !want[tr.Root.ID] {
+			t.Errorf("retained root %d (dur %v), want only the 3 slowest", tr.Root.ID, tr.Root.Duration)
+		}
+	}
+}
+
+// TestConcurrentSpansWithFlight drives the real Start/End path from many
+// goroutines with a flight recorder attached — the -race exercise for
+// the CAS push / seal handoff.
+func TestConcurrentSpansWithFlight(t *testing.T) {
+	const workers, perWorker = 8, 50
+	rec := withRecorder(t, 64)
+	rec.AttachFlight(NewFlightRecorder(FlightConfig{TopK: 2}))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, root := Start(context.Background(), "load/root")
+				_, child := Start(ctx, "load/child")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, ru := range rec.Rollups() {
+		if ru.Count != workers*perWorker {
+			t.Errorf("%s count = %d, want %d", ru.Name, ru.Count, workers*perWorker)
+		}
+	}
+	fl := rec.Flight()
+	if st := fl.Stats(); st.RootsSeen != workers*perWorker {
+		t.Errorf("RootsSeen = %d, want %d", st.RootsSeen, workers*perWorker)
+	}
+	for _, tr := range fl.Trees() {
+		if tr.Root.ID != tr.Root.RootID {
+			t.Errorf("tree root %d has RootID %d", tr.Root.ID, tr.Root.RootID)
+		}
+		for _, s := range tr.Spans {
+			if s.RootID != tr.Root.ID {
+				t.Errorf("span %d in tree %d has RootID %d", s.ID, tr.Root.ID, s.RootID)
+			}
+		}
+	}
+}
+
+// BenchmarkSpanEnabledRecorder prices the full enabled pipeline: span
+// Start/End through a recorder with a flight recorder attached (the
+// BENCH_9 counterpart of BenchmarkSpanEnabled).
+func BenchmarkSpanEnabledRecorder(b *testing.B) {
+	rec := NewRecorder(1024)
+	rec.AttachFlight(NewFlightRecorder(FlightConfig{}))
+	prev := CurrentRecorder()
+	SetRecorder(rec)
+	defer SetRecorder(prev)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench/enabled-flight")
+		sp.Int("i", i)
+		sp.End()
+	}
+}
+
+// BenchmarkFlightRecorder prices the flight recorder alone: one
+// child-push plus one root-seal per iteration, durations varied so both
+// the admit and reject retention paths run.
+func BenchmarkFlightRecorder(b *testing.B) {
+	f := NewFlightRecorder(FlightConfig{})
+	base := time.Unix(1700000000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rootID := uint64(2*i + 1)
+		f.record(&SpanRecord{Name: "bench/child", ID: rootID + 1, ParentID: rootID,
+			RootID: rootID, Start: base, Duration: time.Microsecond})
+		f.record(&SpanRecord{Name: "bench/root", ID: rootID, RootID: rootID,
+			Start: base, Duration: time.Duration(i%1000) * time.Microsecond})
+	}
+}

@@ -21,6 +21,7 @@ package obs
 
 import (
 	"context"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -70,7 +71,11 @@ type Span struct {
 	start    time.Time
 	id       uint64
 	parentID uint64
+	rootID   uint64
+	goro     uint64
 	rec      *Recorder
+	deltas   bool      // root span with phase deltas enabled
+	snap     phaseSnap // alloc/gc/cpu baseline captured at Start
 	nattrs   int
 	attrs    [maxSpanAttrs]Attr
 }
@@ -106,12 +111,43 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	s.start = time.Now()
 	s.id = spanIDs.Add(1)
 	s.parentID = 0
+	s.rootID = s.id
+	s.goro = goroutineID()
 	s.rec = rec
+	s.deltas = false
 	s.nattrs = 0
 	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
 		s.parentID = parent.id
+		s.rootID = parent.rootID
+	} else if rec.phaseDeltas.Load() {
+		// Root spans optionally carry process-level allocation, GC, and
+		// CPU deltas (attached as attributes at End). The baseline reads
+		// are cheap — runtime/metrics.Read on a pooled two-sample slice
+		// plus one getrusage call — and only roots pay them.
+		s.deltas = true
+		s.snap = takePhaseSnap()
 	}
 	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// goroutineID returns the runtime's numeric id of the calling
+// goroutine, parsed from its stack header ("goroutine N [...]"). The
+// id keys trace-export tracks so concurrent spans render on separate
+// timelines. Cost is one runtime.Stack call into a stack buffer —
+// enabled-path only; the disabled path never reaches it.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const skip = len("goroutine ")
+	var id uint64
+	for i := skip; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }
 
 // Int annotates the span with an integer attribute. No-op when s is nil.
@@ -163,14 +199,25 @@ func (s *Span) End() {
 		return
 	}
 	d := time.Since(s.start)
+	if s.deltas {
+		// Phase deltas: process-level cost accrued while this root span
+		// was open. Attached as ordinary attributes so they flow through
+		// rollups, trace export, and promotrace without special cases.
+		now := takePhaseSnap()
+		s.attr("alloc_bytes", strconv.FormatUint(now.allocBytes-s.snap.allocBytes, 10))
+		s.attr("gc_cycles", strconv.FormatUint(now.gcCycles-s.snap.gcCycles, 10))
+		s.attr("cpu_ns", strconv.FormatInt(now.cpuNanos-s.snap.cpuNanos, 10))
+	}
 	rec := s.rec
 	r := &SpanRecord{
-		Name:     s.name,
-		ID:       s.id,
-		ParentID: s.parentID,
-		Start:    s.start,
-		Duration: d,
-		Attrs:    append([]Attr(nil), s.attrs[:s.nattrs]...),
+		Name:      s.name,
+		ID:        s.id,
+		ParentID:  s.parentID,
+		RootID:    s.rootID,
+		Goroutine: s.goro,
+		Start:     s.start,
+		Duration:  d,
+		Attrs:     append([]Attr(nil), s.attrs[:s.nattrs]...),
 	}
 	s.rec = nil
 	spanPool.Put(s)

@@ -15,6 +15,13 @@ type SpanRecord struct {
 	// ID is the process-unique span identifier; ParentID is the ID of
 	// the enclosing span, or 0 for a root.
 	ID, ParentID uint64
+	// RootID is the ID of the outermost span of this span's tree (a
+	// root span's RootID equals its ID); it groups records into trees
+	// for the flight recorder and trace export.
+	RootID uint64
+	// Goroutine is the runtime id of the goroutine the span started on;
+	// trace export uses it as the track (tid).
+	Goroutine uint64
 	// Start and Duration delimit the span's wall-clock extent.
 	Start    time.Time
 	Duration time.Duration
@@ -74,6 +81,12 @@ type Recorder struct {
 	cursor atomic.Uint64
 
 	rollups sync.Map // string -> *rollup
+
+	// flight, when non-nil, receives every record for tail-sampled
+	// span-tree retention; phaseDeltas makes root spans carry
+	// alloc/gc/cpu delta attributes.
+	flight      atomic.Pointer[FlightRecorder]
+	phaseDeltas atomic.Bool
 }
 
 // NewRecorder returns a recorder whose ring buffer keeps the most
@@ -105,7 +118,30 @@ func (r *Recorder) record(sr *SpanRecord) {
 		v, _ = r.rollups.LoadOrStore(sr.Name, fresh)
 	}
 	v.(*rollup).observe(sr.Duration)
+
+	if f := r.flight.Load(); f != nil {
+		f.record(sr)
+	}
 }
+
+// AttachFlight wires a flight recorder to receive every finished span
+// for tail-sampled tree retention. Passing nil detaches it.
+func (r *Recorder) AttachFlight(f *FlightRecorder) {
+	if f == nil {
+		r.flight.Store(nil)
+		return
+	}
+	r.flight.Store(f)
+}
+
+// Flight returns the attached flight recorder, or nil.
+func (r *Recorder) Flight() *FlightRecorder { return r.flight.Load() }
+
+// EnablePhaseDeltas toggles per-phase cost attribution: while on, every
+// root span captures process alloc/GC/CPU baselines at Start and
+// attaches the deltas as attributes at End. Child spans are unaffected,
+// and the disabled-tracing fast path is untouched either way.
+func (r *Recorder) EnablePhaseDeltas(on bool) { r.phaseDeltas.Store(on) }
 
 // Records returns the spans currently held by the ring buffer, oldest
 // first (among those still present). The returned records are shared —

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime telemetry: a background poller samples runtime/metrics into a
+// Registry so /debug/vars (and run manifests scraped from it) carry
+// GC-pause and scheduler-latency quantiles, heap occupancy, and
+// goroutine counts alongside the pipeline's own metrics; and phaseSnap
+// gives root spans cheap per-phase alloc/GC/CPU deltas. DESIGN.md §14
+// lists the published metric names.
+
+// Metric names sampled by the poller. Each is availability-checked at
+// poller construction (runtime/metrics grows and shrinks across Go
+// releases), so a missing name degrades to an absent gauge rather than
+// a panic.
+const (
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricHeapLive   = "/memory/classes/heap/objects:bytes"
+	metricAllocBytes = "/gc/heap/allocs:bytes"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+	metricSchedLat   = "/sched/latencies:seconds"
+)
+
+// phaseSnap is a baseline of process-level cost counters, captured at a
+// root span's Start and differenced at its End.
+type phaseSnap struct {
+	allocBytes uint64
+	gcCycles   uint64
+	cpuNanos   int64
+}
+
+// phaseSamplePool recycles the two-element sample slice takePhaseSnap
+// hands to metrics.Read, keeping root-span Start allocation-free after
+// warmup.
+var phaseSamplePool = sync.Pool{New: func() any {
+	s := make([]metrics.Sample, 2)
+	s[0].Name = metricAllocBytes
+	s[1].Name = metricGCCycles
+	return &s
+}}
+
+// takePhaseSnap reads the current cumulative alloc bytes, GC cycle
+// count, and process CPU time. Used in pairs: once at root-span Start,
+// once at End; the difference is the phase's cost.
+func takePhaseSnap() phaseSnap {
+	sp := phaseSamplePool.Get().(*[]metrics.Sample)
+	s := *sp
+	metrics.Read(s)
+	var out phaseSnap
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		out.allocBytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		out.gcCycles = s[1].Value.Uint64()
+	}
+	phaseSamplePool.Put(sp)
+	out.cpuNanos = processCPUNanos()
+	return out
+}
+
+// RuntimePoller periodically samples runtime/metrics into a Registry.
+// Create one with StartRuntimePoller and stop it with Stop; both are
+// safe to call from any goroutine, Stop at most once.
+type RuntimePoller struct {
+	reg      *Registry
+	interval time.Duration
+	samples  []metrics.Sample
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartRuntimePoller begins sampling runtime/metrics into reg every
+// interval (minimum 100ms; values below are clamped). It publishes:
+//
+//	runtime.goroutines                  gauge   live goroutine count
+//	runtime.heap_live_bytes             gauge   bytes in live heap objects
+//	runtime.alloc_bytes_total           counter cumulative allocated bytes
+//	runtime.gc_cycles                   counter completed GC cycles
+//	runtime.gc_pause_{p50,p90,p99,max}_ns   gauges, GC stop-the-world pauses
+//	runtime.sched_latency_{p50,p99,max}_ns  gauges, runnable-goroutine wait
+//
+// Metrics absent from the running Go release are skipped. The caller
+// must Stop the poller to release its goroutine.
+func StartRuntimePoller(reg *Registry, interval time.Duration) *RuntimePoller {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	wanted := []string{
+		metricGoroutines, metricHeapLive, metricAllocBytes,
+		metricGCCycles, metricGCPauses, metricSchedLat,
+	}
+	available := map[string]bool{}
+	for _, d := range metrics.All() {
+		available[d.Name] = true
+	}
+	var samples []metrics.Sample
+	for _, name := range wanted {
+		if available[name] {
+			samples = append(samples, metrics.Sample{Name: name})
+		}
+	}
+	p := &RuntimePoller{
+		reg:      reg,
+		interval: interval,
+		samples:  samples,
+		done:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Stop halts the poller and waits for its goroutine to exit. One final
+// sample is taken first so short-lived processes still publish values.
+func (p *RuntimePoller) Stop() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// loop is the poller goroutine: sample, sleep, repeat until Stop.
+func (p *RuntimePoller) loop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	p.sample()
+	for {
+		select {
+		case <-p.done:
+			p.sample()
+			return
+		case <-ticker.C:
+			p.sample()
+		}
+	}
+}
+
+// sample reads every available metric once and publishes it.
+func (p *RuntimePoller) sample() {
+	metrics.Read(p.samples)
+	for i := range p.samples {
+		s := &p.samples[i]
+		switch s.Name {
+		case metricGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Gauge("runtime.goroutines").Set(int64(s.Value.Uint64()))
+			}
+		case metricHeapLive:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Gauge("runtime.heap_live_bytes").Set(int64(s.Value.Uint64()))
+			}
+		case metricAllocBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Counter("runtime.alloc_bytes_total").Set(s.Value.Uint64())
+			}
+		case metricGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Counter("runtime.gc_cycles").Set(s.Value.Uint64())
+			}
+		case metricGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				p.reg.Gauge("runtime.gc_pause_p50_ns").Set(histQuantileNanos(h, 0.50))
+				p.reg.Gauge("runtime.gc_pause_p90_ns").Set(histQuantileNanos(h, 0.90))
+				p.reg.Gauge("runtime.gc_pause_p99_ns").Set(histQuantileNanos(h, 0.99))
+				p.reg.Gauge("runtime.gc_pause_max_ns").Set(histQuantileNanos(h, 1.0))
+			}
+		case metricSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				p.reg.Gauge("runtime.sched_latency_p50_ns").Set(histQuantileNanos(h, 0.50))
+				p.reg.Gauge("runtime.sched_latency_p99_ns").Set(histQuantileNanos(h, 0.99))
+				p.reg.Gauge("runtime.sched_latency_max_ns").Set(histQuantileNanos(h, 1.0))
+			}
+		}
+	}
+}
+
+// histQuantileNanos extracts quantile q from a runtime/metrics
+// seconds-histogram, returned in nanoseconds. The value is the upper
+// bound of the bucket containing the q-th observation (an infinite top
+// bucket falls back to its lower bound), 0 for an empty histogram.
+func histQuantileNanos(h *metrics.Float64Histogram, q float64) int64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Buckets[i], Buckets[i+1] bound bucket i; either edge may
+			// be infinite.
+			hi := h.Buckets[i+1]
+			if !isInf(hi) {
+				return int64(hi * 1e9)
+			}
+			lo := h.Buckets[i]
+			if !isInf(lo) {
+				return int64(lo * 1e9)
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// isInf reports whether f is ±Inf without importing math for one call.
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseDeltaAttrsOnRootSpansOnly(t *testing.T) {
+	rec := withRecorder(t, 16)
+	rec.EnablePhaseDeltas(true)
+
+	ctx, root := Start(context.Background(), "promote")
+	_, child := Start(ctx, "promote/child")
+	sink := make([]byte, 1<<16) // some allocation for the deltas to see
+	_ = sink
+	child.End()
+	root.End()
+
+	records := rec.Records()
+	if len(records) != 2 {
+		t.Fatalf("got %d records", len(records))
+	}
+	attrKeys := func(sr *SpanRecord) map[string]string {
+		out := map[string]string{}
+		for _, a := range sr.Attrs {
+			out[a.Key] = a.Value
+		}
+		return out
+	}
+	childAttrs, rootAttrs := attrKeys(records[0]), attrKeys(records[1])
+	for _, key := range []string{"alloc_bytes", "gc_cycles", "cpu_ns"} {
+		if _, ok := rootAttrs[key]; !ok {
+			t.Errorf("root span missing delta attr %q: %v", key, rootAttrs)
+		}
+		if _, ok := childAttrs[key]; ok {
+			t.Errorf("child span carries delta attr %q, want roots only", key)
+		}
+	}
+
+	// Deltas off: next root is clean again.
+	rec.EnablePhaseDeltas(false)
+	_, sp := Start(context.Background(), "quiet")
+	sp.End()
+	records = rec.Records()
+	if got := len(records[2].Attrs); got != 0 {
+		t.Errorf("root with deltas off has %d attrs, want 0", got)
+	}
+}
+
+func TestRuntimePollerPublishes(t *testing.T) {
+	reg := NewRegistry()
+	p := StartRuntimePoller(reg, time.Hour) // interval irrelevant: Stop forces a final sample
+	p.Stop()
+
+	if g := reg.Gauge("runtime.goroutines").Value(); g < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", g)
+	}
+	if g := reg.Gauge("runtime.heap_live_bytes").Value(); g <= 0 {
+		t.Errorf("runtime.heap_live_bytes = %d, want > 0", g)
+	}
+	if c := reg.Counter("runtime.alloc_bytes_total").Value(); c == 0 {
+		t.Error("runtime.alloc_bytes_total = 0, want > 0")
+	}
+	var published int
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, "runtime.") {
+			published++
+		}
+	}
+	// 4 scalar metrics + 4 GC-pause quantiles + 3 sched-latency
+	// quantiles, minus any runtime/metrics names absent in this Go
+	// release (availability-gated, so >= the scalar floor).
+	if published < 4 {
+		t.Errorf("only %d runtime.* metrics published: %v", published, reg.Names())
+	}
+}
+
+func TestTakePhaseSnapMonotonic(t *testing.T) {
+	before := takePhaseSnap()
+	buf := make([]byte, 1<<20)
+	_ = buf
+	after := takePhaseSnap()
+	if after.allocBytes < before.allocBytes {
+		t.Errorf("allocBytes went backwards: %d -> %d", before.allocBytes, after.allocBytes)
+	}
+	if after.cpuNanos < before.cpuNanos {
+		t.Errorf("cpuNanos went backwards: %d -> %d", before.cpuNanos, after.cpuNanos)
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Trace export serializes recorded spans to the Chrome trace_event JSON
+// format (the "JSON Array Format" with a top-level object), which
+// Perfetto and chrome://tracing load directly. Every span becomes one
+// "X" (complete) event: ts/dur are microseconds as the format requires,
+// the goroutine id is the tid so concurrent spans land on separate
+// tracks, and the span's identity (exact nanosecond interval, span /
+// parent / root IDs, pre-rendered attributes) rides in args, which the
+// viewers display on click and cmd/promotrace consumes for exact
+// arithmetic. DESIGN.md §14 documents the mapping.
+
+// tracePid is the constant pid of every exported event — one process,
+// one trace.
+const tracePid = 1
+
+// TraceFile is the top-level trace_event JSON object.
+type TraceFile struct {
+	// DisplayTimeUnit is the viewer's display granularity ("ns").
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	// TraceEvents holds the events, one "M" process-name record
+	// followed by one "X" event per span in (start, id) order.
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// TraceEvent is one trace_event record.
+type TraceEvent struct {
+	// Name is the span name ("process_name" for the metadata event).
+	Name string `json:"name"`
+	// Cat is the event category ("span" for exported spans).
+	Cat string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" (complete) or "M" (metadata).
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds since the Unix epoch;
+	// Dur the duration in microseconds. Microseconds are the format's
+	// unit — exact nanoseconds are in Args.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	// Pid and Tid place the event on a track: pid is always tracePid,
+	// tid is the goroutine id the span started on.
+	Pid int64 `json:"pid"`
+	Tid int64 `json:"tid"`
+	// Args carries the span's exact identity and attributes.
+	Args *TraceArgs `json:"args,omitempty"`
+}
+
+// TraceArgs is the args payload of an exported event. For "X" events
+// the nanosecond fields are exact (the float ts/dur are lossy above
+// ~2^53 ns); "M" events carry only Label.
+type TraceArgs struct {
+	// SpanID, ParentID, and RootID reproduce the span's tree position;
+	// ParentID is 0 for roots.
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	RootID   uint64 `json:"root_id,omitempty"`
+	// StartNs is the exact start in nanoseconds since the Unix epoch;
+	// DurNs the exact duration in nanoseconds.
+	StartNs int64 `json:"start_ns,omitempty"`
+	DurNs   int64 `json:"dur_ns,omitempty"`
+	// Goroutine is the goroutine id (also the event's tid).
+	Goroutine uint64 `json:"goroutine,omitempty"`
+	// Attrs are the span's attributes. Insertion order is lost and a
+	// repeated key keeps its last value (JSON object semantics).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Label is the value of an "M" metadata event (the process name).
+	Label string `json:"name,omitempty"`
+}
+
+// BuildTrace assembles the trace_event file for a set of span records,
+// sorted by (start, span ID) for deterministic output.
+func BuildTrace(records []*SpanRecord) *TraceFile {
+	events := make([]TraceEvent, 0, len(records)+1)
+	events = append(events, TraceEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  tracePid,
+		Args: &TraceArgs{Label: "promonet"},
+	})
+	sorted := make([]*SpanRecord, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, sr := range sorted {
+		startNs := sr.Start.UnixNano()
+		args := &TraceArgs{
+			SpanID:    sr.ID,
+			ParentID:  sr.ParentID,
+			RootID:    sr.RootID,
+			StartNs:   startNs,
+			DurNs:     int64(sr.Duration),
+			Goroutine: sr.Goroutine,
+		}
+		if len(sr.Attrs) > 0 {
+			args.Attrs = make(map[string]string, len(sr.Attrs))
+			for _, a := range sr.Attrs {
+				args.Attrs[a.Key] = a.Value
+			}
+		}
+		events = append(events, TraceEvent{
+			Name: sr.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(startNs) / 1e3,
+			Dur:  float64(sr.Duration) / 1e3,
+			Pid:  tracePid,
+			Tid:  int64(sr.Goroutine),
+			Args: args,
+		})
+	}
+	return &TraceFile{DisplayTimeUnit: "ns", TraceEvents: events}
+}
+
+// ExportTrace writes the trace_event JSON for records to w. Output is
+// deterministic for a fixed record set.
+func ExportTrace(w io.Writer, records []*SpanRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildTrace(records))
+}
+
+// TraceRecords selects the record set a trace dump should contain: the
+// flight recorder's retained trees when one is attached and has
+// retained anything, otherwise the ring buffer's recent spans.
+func TraceRecords(rec *Recorder) []*SpanRecord {
+	if f := rec.Flight(); f != nil {
+		if spans := f.Spans(); len(spans) > 0 {
+			return spans
+		}
+	}
+	return rec.Records()
+}
+
+// WriteTraceFile exports rec's trace (per TraceRecords) to path.
+func WriteTraceFile(path string, rec *Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ExportTrace(f, TraceRecords(rec)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateTrace parses data as a trace_event file and checks the schema
+// this package exports: "ns" display unit, only "X" and "M" phases,
+// named events with non-negative times, exact nanosecond args on every
+// span, and unique span IDs. It returns the number of span ("X")
+// events. cmd/promotrace -check and the smoke script gate on it.
+func ValidateTrace(data []byte) (int, error) {
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		return 0, fmt.Errorf("trace: displayTimeUnit = %q, want \"ns\"", tf.DisplayTimeUnit)
+	}
+	seen := make(map[uint64]bool, len(tf.TraceEvents))
+	spans := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return 0, fmt.Errorf("trace: event %d (%s) has phase %q, want X or M", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return 0, fmt.Errorf("trace: event %d (%s) has negative ts or dur", i, ev.Name)
+		}
+		if ev.Args == nil {
+			return 0, fmt.Errorf("trace: span event %d (%s) has no args", i, ev.Name)
+		}
+		if ev.Args.SpanID == 0 {
+			return 0, fmt.Errorf("trace: span event %d (%s) has no span_id", i, ev.Name)
+		}
+		if ev.Args.StartNs < 0 || ev.Args.DurNs < 0 {
+			return 0, fmt.Errorf("trace: span event %d (%s) has negative start_ns or dur_ns", i, ev.Name)
+		}
+		if seen[ev.Args.SpanID] {
+			return 0, fmt.Errorf("trace: duplicate span_id %d (event %d, %s)", ev.Args.SpanID, i, ev.Name)
+		}
+		seen[ev.Args.SpanID] = true
+		spans++
+	}
+	return spans, nil
+}

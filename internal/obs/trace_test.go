@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceExportRoundTrip(t *testing.T) {
+	rec := withRecorder(t, 16)
+	ctx, root := Start(context.Background(), "promote")
+	root.Int("n", 9)
+	_, child := Start(ctx, "promote/score-before")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := ExportTrace(&buf, rec.Records()); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails own validator: %v", err)
+	}
+	if spans != 2 {
+		t.Fatalf("validator counted %d spans, want 2", spans)
+	}
+
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (1 M + 2 X)", len(tf.TraceEvents))
+	}
+	meta := tf.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" || meta.Args.Label != "promonet" {
+		t.Errorf("metadata event = %+v", meta)
+	}
+
+	// Records land child-first in the ring; events are sorted by start,
+	// so the root comes first.
+	records := rec.Records()
+	byID := map[uint64]*SpanRecord{}
+	for _, r := range records {
+		byID[r.ID] = r
+	}
+	var rootEv, childEv *TraceEvent
+	for i := range tf.TraceEvents[1:] {
+		ev := &tf.TraceEvents[1+i]
+		switch ev.Name {
+		case "promote":
+			rootEv = ev
+		case "promote/score-before":
+			childEv = ev
+		}
+	}
+	if rootEv == nil || childEv == nil {
+		t.Fatalf("missing span events: %+v", tf.TraceEvents)
+	}
+	if rootEv.Ph != "X" || childEv.Ph != "X" {
+		t.Errorf("span phases = %q, %q, want X", rootEv.Ph, childEv.Ph)
+	}
+	r := byID[rootEv.Args.SpanID]
+	if r == nil {
+		t.Fatalf("root event span_id %d matches no record", rootEv.Args.SpanID)
+	}
+	if rootEv.Args.StartNs != r.Start.UnixNano() || rootEv.Args.DurNs != int64(r.Duration) {
+		t.Errorf("root ns fields = %d/%d, want %d/%d",
+			rootEv.Args.StartNs, rootEv.Args.DurNs, r.Start.UnixNano(), int64(r.Duration))
+	}
+	if rootEv.Tid != int64(r.Goroutine) || rootEv.Args.Goroutine != r.Goroutine {
+		t.Errorf("root tid = %d, goroutine arg = %d, record %d", rootEv.Tid, rootEv.Args.Goroutine, r.Goroutine)
+	}
+	if childEv.Args.ParentID != rootEv.Args.SpanID {
+		t.Errorf("child parent_id = %d, want %d", childEv.Args.ParentID, rootEv.Args.SpanID)
+	}
+	if childEv.Args.RootID != rootEv.Args.SpanID || rootEv.Args.RootID != rootEv.Args.SpanID {
+		t.Errorf("root ids: child %d root %d, want both %d",
+			childEv.Args.RootID, rootEv.Args.RootID, rootEv.Args.SpanID)
+	}
+	if rootEv.Args.Attrs["n"] != "9" {
+		t.Errorf("root attrs = %v", rootEv.Args.Attrs)
+	}
+}
+
+func TestTraceExportDeterministic(t *testing.T) {
+	rec := withRecorder(t, 16)
+	ctx, root := Start(context.Background(), "a")
+	_, c := Start(ctx, "b")
+	c.End()
+	root.End()
+
+	var one, two bytes.Buffer
+	if err := ExportTrace(&one, rec.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTrace(&two, rec.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("two exports of the same records differ")
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	mk := func(mutate func(*TraceFile)) []byte {
+		tf := BuildTrace([]*SpanRecord{
+			{Name: "s", ID: 1, RootID: 1, Goroutine: 7, Start: base, Duration: time.Millisecond},
+		})
+		mutate(tf)
+		data, err := json.Marshal(tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name   string
+		mutate func(*TraceFile)
+		substr string
+	}{
+		{"clean", func(*TraceFile) {}, ""},
+		{"unit", func(tf *TraceFile) { tf.DisplayTimeUnit = "ms" }, "displayTimeUnit"},
+		{"phase", func(tf *TraceFile) { tf.TraceEvents[1].Ph = "B" }, "phase"},
+		{"noname", func(tf *TraceFile) { tf.TraceEvents[1].Name = "" }, "no name"},
+		{"noargs", func(tf *TraceFile) { tf.TraceEvents[1].Args = nil }, "no args"},
+		{"nospanid", func(tf *TraceFile) { tf.TraceEvents[1].Args.SpanID = 0 }, "span_id"},
+		{"dup", func(tf *TraceFile) {
+			tf.TraceEvents = append(tf.TraceEvents, tf.TraceEvents[1])
+		}, "duplicate span_id"},
+		{"negdur", func(tf *TraceFile) { tf.TraceEvents[1].Args.DurNs = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateTrace(mk(tc.mutate))
+		if tc.substr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+// TestTraceRecordsPrefersFlight: with a flight recorder holding a
+// retained tree, trace dumps use it; without one (or empty), they fall
+// back to the ring.
+func TestTraceRecordsPrefersFlight(t *testing.T) {
+	rec := withRecorder(t, 16)
+	_, sp := Start(context.Background(), "ring-only")
+	sp.End()
+	if got := TraceRecords(rec); len(got) != 1 || got[0].Name != "ring-only" {
+		t.Fatalf("without flight: %d records", len(got))
+	}
+
+	rec.AttachFlight(NewFlightRecorder(FlightConfig{TopK: 2}))
+	if got := TraceRecords(rec); len(got) != 1 {
+		t.Fatalf("with empty flight: %d records, want ring fallback", len(got))
+	}
+	_, sp2 := Start(context.Background(), "flown")
+	sp2.End()
+	got := TraceRecords(rec)
+	if len(got) != 1 || got[0].Name != "flown" {
+		t.Fatalf("with retained tree: %v", got)
+	}
+}
+
+// BenchmarkTraceExport prices serializing a full ring (the BENCH_9
+// trace-export number).
+func BenchmarkTraceExport(b *testing.B) {
+	rec := NewRecorder(4096)
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 4096; i++ {
+		rec.record(&SpanRecord{
+			Name:      "bench/span",
+			ID:        uint64(i + 1),
+			RootID:    uint64(i + 1),
+			Goroutine: 1,
+			Start:     base.Add(time.Duration(i) * time.Microsecond),
+			Duration:  time.Microsecond,
+			Attrs:     []Attr{{Key: "n", Value: "42"}},
+		})
+	}
+	records := rec.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := ExportTrace(&buf, records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,14 @@
 #                 byte-identical first. The acceptance bar is >= 2x on
 #                 4+ cores; on smaller machines the speedup is recorded
 #                 but not meaningful.
+#   BENCH_9.json  the trace pipeline (DESIGN.md §14): BenchmarkSpanDisabled
+#                 re-run with the flight/runtime code in the tree (its
+#                 allocs_per_op must stay 0), the enabled span path with a
+#                 flight recorder attached, flight-recorder retention,
+#                 trace export, and the engine with the full pipeline live
+#                 (BenchmarkEnginePooledFlight). The acceptance bar —
+#                 checked by bench_report.sh — is EnginePooledFlight
+#                 within 5% of EnginePooled.
 #
 # Non-gating: CI uploads the files as artifacts but never fails on their
 # contents.
@@ -84,6 +92,16 @@ go test -run '^$' -bench 'BenchmarkCSR(Freeze|BFS|Brandes|GreedyRound)' -benchme
 go test -run '^$' -bench 'BenchmarkCSRMillionSweep' -benchmem -benchtime 1x -count 1 -timeout 1800s . | tee -a "$RAW"
 parse_bench < "$RAW" > BENCH_7.json
 echo "wrote BENCH_7.json"
+
+# BENCH_9: the trace pipeline. The obs-side benches price each layer in
+# isolation (disabled fast path, enabled path with flight attached,
+# flight retention, trace export); the engine pair prices the whole
+# pipeline against the untraced baseline within one file so
+# bench_report.sh can compute the overhead ratio from a single run.
+go test -run '^$' -bench 'BenchmarkSpanDisabled$|BenchmarkSpanEnabledRecorder$|BenchmarkTraceExport$|BenchmarkFlightRecorder$' -benchmem -benchtime 2s -count "$COUNT" ./internal/obs | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkEnginePooled$|BenchmarkEnginePooledFlight$' -benchmem -benchtime 2s -count "$COUNT" . | tee -a "$RAW"
+parse_bench < "$RAW" > BENCH_9.json
+echo "wrote BENCH_9.json"
 
 # BENCH_8: the parallel lint driver. A correctness precondition comes
 # first — the parallel findings must be byte-identical to the serial

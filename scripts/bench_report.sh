@@ -13,6 +13,10 @@
 #   3. EnginePooled regression check: ns/op of BenchmarkEnginePooled in
 #      the fresh BENCH_4.json against the committed baseline
 #      (git show HEAD:BENCH_4.json). Flags a >15% slowdown.
+#   4. Trace-pipeline overhead, from BENCH_9.json: the enabled/flight
+#      span path and trace export ns/op for the record, plus the ISSUE 9
+#      acceptance checks — BenchmarkSpanDisabled at 0 allocs/op and
+#      BenchmarkEnginePooledFlight within 5% of BenchmarkEnginePooled.
 #
 # The report never fails the build — it prints findings for reviewers;
 # shared-runner noise makes a hard gate on wall clock counterproductive.
@@ -106,4 +110,44 @@ if git show HEAD:BENCH_4.json > "$BASE" 2>/dev/null; then
     fi
 else
     echo "  no committed BENCH_4.json at HEAD — skipping"
+fi
+
+echo
+if [ -f BENCH_9.json ]; then
+    echo "== trace-pipeline overhead (BENCH_9.json) =="
+    # get_allocs <file> <benchmark-name>: allocs_per_op of one entry.
+    get_allocs() {
+        awk -v key="\"$2\":" '
+index($0, key) {
+    sub(/.*"allocs_per_op": /, ""); sub(/[^0-9].*/, "")
+    print
+    exit
+}' "$1"
+    }
+    disabled_ns="$(get_ns BENCH_9.json BenchmarkSpanDisabled)"
+    disabled_allocs="$(get_allocs BENCH_9.json BenchmarkSpanDisabled)"
+    if [ -n "$disabled_ns" ]; then
+        flag=""
+        [ "${disabled_allocs:-0}" != "0" ] && flag="  ** zero-alloc contract broken **"
+        printf '  %-24s %12.0f ns/op   %s allocs/op%s\n' \
+            "SpanDisabled" "$disabled_ns" "${disabled_allocs:-?}" "$flag"
+    fi
+    for b in BenchmarkSpanEnabledRecorder BenchmarkFlightRecorder BenchmarkTraceExport; do
+        ns="$(get_ns BENCH_9.json "$b")"
+        [ -n "$ns" ] && printf '  %-24s %12.0f ns/op\n' "${b#Benchmark}" "$ns"
+    done
+    pooled="$(get_ns BENCH_9.json BenchmarkEnginePooled)"
+    flight="$(get_ns BENCH_9.json BenchmarkEnginePooledFlight)"
+    if [ -n "$pooled" ] && [ -n "$flight" ]; then
+        awk -v p="$pooled" -v f="$flight" 'BEGIN {
+            ratio = f / p
+            flag = (ratio > 1.05) ? "  ** flight overhead above 5% bar **" : ""
+            printf "  EnginePooled %12.0f ns/op   with flight %12.0f ns/op   ratio %5.3fx%s\n",
+                p, f, ratio, flag
+        }'
+    else
+        echo "  EnginePooled/EnginePooledFlight missing — skipping overhead check"
+    fi
+else
+    echo "BENCH_9.json missing — run scripts/bench.sh first"
 fi

@@ -4,11 +4,15 @@
 #
 #   1. runs promoctl with -debug-addr and a manifest, scrapes
 #      /debug/vars (checking the engine counters and span rollups are
-#      present) and /debug/pprof/heap while the server lingers;
+#      present), /debug/pprof/heap, and /debug/trace (validated with
+#      promotrace -check) while the server lingers;
 #   2. runs a small experiments subset with per-cell manifests;
 #   3. validates every emitted manifest against the schema (and the
 #      byte-identical round-trip property) via the obs glob test;
-#   4. copies the manifests into ./smoke-manifests for artifact upload.
+#   4. runs promoctl again with -trace, validates the written trace
+#      file, and checks the promotrace summary is byte-deterministic;
+#   5. copies the manifests into ./smoke-manifests and the traces into
+#      ./smoke-traces for artifact upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +26,11 @@ trap cleanup EXIT
 
 step() { echo "== $*"; }
 
-step "build gengraph, promoctl, experiments"
+step "build gengraph, promoctl, experiments, promotrace"
 go build -o "$WORK/gengraph" ./cmd/gengraph
 go build -o "$WORK/promoctl" ./cmd/promoctl
 go build -o "$WORK/experiments" ./cmd/experiments
+go build -o "$WORK/promotrace" ./cmd/promotrace
 
 step "generate host graph"
 "$WORK/gengraph" -model ba -n 400 -k 4 -out "$WORK/g.txt"
@@ -76,6 +81,10 @@ grep -q '"promonet"' "$WORK/vars.json"
 step "scrape /debug/pprof/heap"
 curl -fsS "http://$ADDR/debug/pprof/heap?debug=1" | head -1 | grep -q "heap profile"
 
+step "scrape /debug/trace and validate with promotrace -check"
+curl -fsS "http://$ADDR/debug/trace" > "$WORK/trace-live.json"
+"$WORK/promotrace" -check "$WORK/trace-live.json"
+
 kill "$PROMOCTL_PID" 2>/dev/null || true
 wait "$PROMOCTL_PID" 2>/dev/null || true
 PROMOCTL_PID=""
@@ -98,9 +107,24 @@ step "validate manifests against the schema"
 MANIFEST_GLOB="$WORK/manifest-promoctl.json $WORK/manifests/*.json" \
     go test ./internal/obs -run TestValidateManifestGlobFromEnv -count=1
 
-step "collect smoke-manifests/"
-rm -rf smoke-manifests
-mkdir -p smoke-manifests
+step "promoctl with -trace: exported file validates and summarizes deterministically"
+"$WORK/promoctl" -graph "$WORK/g.txt" -target 100 -measure closeness -p 4 \
+    -trace "$WORK/trace-file.json" > /dev/null 2> "$WORK/promoctl-trace.err"
+grep -q "trace written to" "$WORK/promoctl-trace.err"
+"$WORK/promotrace" -check "$WORK/trace-file.json"
+"$WORK/promotrace" -top 5 "$WORK/trace-file.json" > "$WORK/summary-1.txt"
+"$WORK/promotrace" -top 5 "$WORK/trace-file.json" > "$WORK/summary-2.txt"
+if ! cmp -s "$WORK/summary-1.txt" "$WORK/summary-2.txt"; then
+    echo "promotrace summary is not byte-deterministic:" >&2
+    diff -u "$WORK/summary-1.txt" "$WORK/summary-2.txt" >&2 || true
+    exit 1
+fi
+grep -q "critical path" "$WORK/summary-1.txt"
+
+step "collect smoke-manifests/ and smoke-traces/"
+rm -rf smoke-manifests smoke-traces
+mkdir -p smoke-manifests smoke-traces
 cp "$WORK/manifest-promoctl.json" "$WORK/manifests"/manifest-*.json smoke-manifests/
+cp "$WORK/trace-live.json" "$WORK/trace-file.json" "$WORK/summary-1.txt" smoke-traces/
 
 echo "OK"
