@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestFlagSurface pins promod's flag names: scripts (CI smoke, bench)
+// and documentation depend on them, so removing or renaming one must be
+// a deliberate act that updates this list.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("promod", flag.ContinueOnError)
+	registerFlags(fs)
+	want := []string{
+		"listen", "graph", "gen-ba", "backend",
+		"max-inflight", "queue", "queue-wait", "tenant-rate", "tenant-burst",
+		"exact-max-n", "cache", "drain",
+		"debug-addr", "debug-linger", "trace", "trace-topk", "trace-threshold",
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestParseGenBA(t *testing.T) {
+	cases := []struct {
+		in   string
+		n, k int
+		seed int64
+		ok   bool
+	}{
+		{"1000,10,7", 1000, 10, 7, true},
+		{"1000,10", 1000, 10, 42, true},
+		{" 50 , 3 , 1 ", 50, 3, 1, true},
+		{"1000", 0, 0, 0, false},
+		{"a,b", 0, 0, 0, false},
+		{"1000,10,7,9", 0, 0, 0, false},
+		{"1,10", 0, 0, 0, false},
+	}
+	for _, tc := range cases {
+		n, k, seed, err := parseGenBA(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseGenBA(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && (n != tc.n || k != tc.k || seed != tc.seed) {
+			t.Errorf("parseGenBA(%q) = %d,%d,%d, want %d,%d,%d", tc.in, n, k, seed, tc.n, tc.k, tc.seed)
+		}
+	}
+}
+
+func TestSourceFromFlagsValidation(t *testing.T) {
+	fs := flag.NewFlagSet("promod", flag.ContinueOnError)
+	opt := registerFlags(fs)
+	if _, err := sourceFromFlags(opt); err == nil {
+		t.Error("no source flags accepted")
+	}
+	*opt.graphPath = "g.txt"
+	*opt.genBA = "100,2"
+	if _, err := sourceFromFlags(opt); err == nil {
+		t.Error("-graph together with -gen-ba accepted")
+	}
+	*opt.graphPath = ""
+	src, err := sourceFromFlags(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name != "ba-n100-k2-seed42" {
+		t.Errorf("BA source name = %q", src.Name)
+	}
+}

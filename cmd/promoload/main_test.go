@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestFlagSurface pins promoload's flag names: bench.sh drives the
+// saturation sweep through them.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("promoload", flag.ContinueOnError)
+	registerFlags(fs)
+	want := []string{
+		"addr", "rps", "duration", "warmup", "measure", "p",
+		"targets", "workers", "tenant", "out", "json",
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage string", f.Name)
+		}
+	})
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("flag surface has %d flags, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := parseRates("500, 1000,2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 || rates[0] != 500 || rates[2] != 2000 {
+		t.Errorf("parseRates = %v", rates)
+	}
+	for _, bad := range []string{"", "0", "a", "100,-5"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 50); p != 6 {
+		t.Errorf("p50 = %v, want 6", p)
+	}
+	if p := percentile(sorted, 99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+}

@@ -90,6 +90,21 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("[%d, %d, %s]", s.Target, s.Size, s.Type)
 }
 
+// Mutable is the structural mutation surface strategy application
+// drives: the mutable adjacency-map graph (*graph.Graph) and the CSR
+// edit layer (*csr.Overlay) both satisfy it, so one implementation of
+// every strategy serves both backends. Promotion only ever appends
+// nodes and attaches edges — RemoveEdge is deliberately absent.
+type Mutable interface {
+	// N returns the number of nodes; identifiers are [0, N()).
+	N() int
+	// AddNodes appends k isolated nodes, returning the first new ID.
+	AddNodes(k int) int
+	// AddEdge inserts the undirected edge (u, v), reporting whether it
+	// was new.
+	AddEdge(u, v int) bool
+}
+
 // Apply returns the updated graph G′ = (V ∪ Δ_V, E ∪ Δ_E) as a clone of
 // g, plus the IDs of the inserted nodes Δ_V. The original graph is not
 // modified — the defining constraint of black-box promotion.
@@ -115,13 +130,33 @@ func (s Strategy) ApplyInPlace(g *graph.Graph) ([]int, error) {
 	return ins, nil
 }
 
+// ApplyTo inserts Δ_V and Δ_E into any mutable backend — in particular
+// a csr.Overlay layered over a frozen million-node snapshot, where the
+// promotion structure costs a few touched rows instead of a host
+// clone (the serving path internal/promod takes per exact-mode query).
+// It returns the inserted node IDs.
+func (s Strategy) ApplyTo(g Mutable) ([]int, error) {
+	if s.Target < 0 || s.Target >= g.N() {
+		return nil, fmt.Errorf("core: strategy target %d outside [0, %d)", s.Target, g.N())
+	}
+	if s.Size < 1 {
+		return nil, fmt.Errorf("core: strategy size %d, want >= 1", s.Size)
+	}
+	switch s.Type {
+	case MultiPoint, DoubleLine, SingleClique:
+	default:
+		return nil, fmt.Errorf("core: unknown strategy type %d", int(s.Type))
+	}
+	return s.applyInPlace(g), nil
+}
+
 // applyInPlace inserts Δ_V and Δ_E into g. This is the one place in the
 // promotion machinery that is *supposed* to attach structure, so it
 // carries the package's only mutation-safety exemption; everything it
 // adds touches the target only, never edges among original nodes.
 //
 //promolint:allow mutation-safety -- strategy application is the sanctioned mutation point
-func (s Strategy) applyInPlace(g *graph.Graph) []int {
+func (s Strategy) applyInPlace(g Mutable) []int {
 	first := g.AddNodes(s.Size)
 	ins := make([]int, s.Size)
 	for i := range ins {

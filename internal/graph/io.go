@@ -84,23 +84,75 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// WriteEdgeListLabeled writes g as a SNAP-style edge list using the
+// caller's original node labels: each undirected edge (u, v) with u < v
+// appears once as "labels[u]<TAB>labels[v]". labels must have length
+// g.N() (the mapping ReadEdgeList returns). This is the inverse that
+// makes labeled graphs round-trip: WriteEdgeList emits compact IDs, so
+// a SaveEdgeListFile→LoadEdgeListFile cycle silently rewrote the
+// original SNAP labels — a labeled graph no longer round-tripped.
+func WriteEdgeListLabeled(w io.Writer, g *Graph, labels []int64) error {
+	if len(labels) != g.N() {
+		return fmt.Errorf("graph: %d labels for %d nodes", len(labels), g.N())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected simple graph: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) bool {
+		_, werr = fmt.Fprintf(bw, "%d\t%d\n", labels[u], labels[v])
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeListLabeledFile writes g to the named file under the caller's
+// original node labels (see WriteEdgeListLabeled), creating or
+// truncating it.
+func SaveEdgeListLabeledFile(path string, g *Graph, labels []int64) error {
+	_, sp := obs.Start(context.Background(), "graph/save")
+	sp.Str("path", path)
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	defer sp.End()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeListLabeled(f, g, labels); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
 // LoadEdgeListFile reads an edge list from the named file.
 func LoadEdgeListFile(path string) (*Graph, []int64, error) {
 	_, sp := obs.Start(context.Background(), "graph/load")
 	sp.Str("path", path)
+	defer sp.End()
 	f, err := os.Open(path)
 	if err != nil {
-		sp.End()
 		return nil, nil, err
 	}
-	defer f.Close()
 	g, labels, err := ReadEdgeList(f)
-	if g != nil {
-		sp.Int("n", g.N())
-		sp.Int("m", g.M())
+	if err != nil {
+		_ = f.Close() // the parse error is the one worth reporting
+		return nil, nil, err
 	}
-	sp.End()
-	return g, labels, err
+	sp.Int("n", g.N())
+	sp.Int("m", g.M())
+	// A close error on a file we only read is rare but real (NFS,
+	// FUSE): surfacing it keeps a short read from masquerading as a
+	// clean load. The old deferred f.Close() silently discarded it.
+	if err := f.Close(); err != nil {
+		return nil, nil, err
+	}
+	return g, labels, nil
 }
 
 // SaveEdgeListFile writes g to the named file, creating or truncating it.

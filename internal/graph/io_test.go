@@ -107,6 +107,106 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLabeledRoundTrip pins the regression where a labeled graph did
+// not survive a save/load cycle: WriteEdgeList emits compact IDs, so
+// saving a graph loaded from a SNAP file with sparse labels (100, 200,
+// 4e9, ...) silently renamed every node. WriteEdgeListLabeled restores
+// the original labels, so load → save-labeled → load is the identity
+// on both structure and labels.
+func TestLabeledRoundTrip(t *testing.T) {
+	in := "100 200\n200 4000000000\n4000000000 7\n7 100\n"
+	g, labels, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEdgeListLabeled(&buf, g, labels); err != nil {
+		t.Fatal(err)
+	}
+	h, labels2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("labeled round trip changed size: %v -> %v", g, h)
+	}
+	// Compare edge sets under original labels: every reloaded edge must
+	// exist in the source file's label space and vice versa.
+	byLabel := func(g *Graph, labels []int64) map[[2]int64]bool {
+		set := make(map[[2]int64]bool)
+		g.Edges(func(u, v int) bool {
+			a, b := labels[u], labels[v]
+			if a > b {
+				a, b = b, a
+			}
+			set[[2]int64{a, b}] = true
+			return true
+		})
+		return set
+	}
+	want, got := byLabel(g, labels), byLabel(h, labels2)
+	for e := range want {
+		if !got[e] {
+			t.Errorf("labeled round trip lost edge %v", e)
+		}
+	}
+	for e := range got {
+		if !want[e] {
+			t.Errorf("labeled round trip invented edge %v", e)
+		}
+	}
+
+	// The unlabeled writer, by contrast, must NOT round-trip the labels
+	// (that is the documented compaction) — this guards against someone
+	// "fixing" WriteEdgeList itself and breaking its compact-ID contract.
+	buf.Reset()
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	_, compact, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOriginal := false
+	for _, l := range compact {
+		if l == 4000000000 {
+			sawOriginal = true
+		}
+	}
+	if sawOriginal {
+		t.Error("WriteEdgeList preserved sparse labels; expected compact IDs")
+	}
+}
+
+// TestSaveEdgeListLabeledFile covers the file-level labeled round trip.
+func TestSaveEdgeListLabeledFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	g, labels, err := ReadEdgeList(strings.NewReader("10 20\n20 30\n30 10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEdgeListLabeledFile(path, g, labels); err != nil {
+		t.Fatal(err)
+	}
+	h, labels2, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Error("labeled file round trip changed structure")
+	}
+	for i := range labels {
+		if labels[i] != labels2[i] {
+			t.Fatalf("labels changed across round trip: %v -> %v", labels, labels2)
+		}
+	}
+	// Wrong label-vector length is an error, not silent truncation.
+	if err := WriteEdgeListLabeled(&bytes.Buffer{}, g, labels[:1]); err == nil {
+		t.Error("short label vector accepted")
+	}
+}
+
 func TestLoadMissingFile(t *testing.T) {
 	if _, _, err := LoadEdgeListFile("/nonexistent/path/graph.txt"); err == nil {
 		t.Error("loading missing file succeeded")

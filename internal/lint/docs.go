@@ -14,13 +14,13 @@ import (
 // once on the interface.
 var exportedDocs = &Analyzer{
 	Name:     "exported-docs",
-	Doc:      "flag undocumented exported identifiers in internal/centrality, internal/engine, internal/core, internal/graph/csr, internal/obs, internal/gen, cmd/gengraph, and cmd/promotrace",
+	Doc:      "flag undocumented exported identifiers in internal/centrality, internal/engine, internal/core, internal/graph/csr, internal/obs, internal/gen, internal/promod, cmd/gengraph, cmd/promotrace, cmd/promod, and cmd/promoload",
 	Severity: SevWarn,
 	Run:      runExportedDocs,
 }
 
 func runExportedDocs(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/graph/csr", "internal/obs", "internal/gen", "cmd/gengraph", "cmd/promotrace") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/graph/csr", "internal/obs", "internal/gen", "internal/promod", "cmd/gengraph", "cmd/promotrace", "cmd/promod", "cmd/promoload") {
 		return
 	}
 	for _, file := range p.Pkg.Files {

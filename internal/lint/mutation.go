@@ -34,7 +34,7 @@ var mutationSafety = &Analyzer{
 }
 
 func runMutationSafety(p *Pass) {
-	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/graph/csr", "internal/obs", "internal/gen", "cmd/gengraph") {
+	if !p.relScope("internal/centrality", "internal/engine", "internal/core", "internal/greedy", "internal/graph/csr", "internal/obs", "internal/gen", "internal/promod", "cmd/gengraph", "cmd/promod") {
 		return
 	}
 	info := p.Pkg.Info

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -31,22 +33,34 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
+// exportTraceFn builds the trace_event JSON for handleTrace. It is a
+// seam (not a contract): tests swap in a failing exporter to pin the
+// handler's buffered error path, which streaming straight to the
+// ResponseWriter made untestable — and, worse, made mid-stream failures
+// ship as truncated 200 bodies that promotrace -check then rejected.
+var exportTraceFn = ExportTrace
+
 // handleTrace serves the current span trace as trace_event JSON: the
 // flight recorder's retained trees when one is attached and non-empty,
 // otherwise the ring buffer's recent spans (see TraceRecords). 503 when
-// tracing is disabled. The response loads directly in Perfetto and in
-// cmd/promotrace.
+// tracing is disabled, 500 when the export fails. The export is staged
+// through a buffer so the 200 status is only ever sent with a complete
+// body: scrapers either get valid JSON (it loads directly in Perfetto
+// and in cmd/promotrace) or an unambiguous error status, never a
+// truncated-but-200 response.
 func handleTrace(w http.ResponseWriter, _ *http.Request) {
 	rec := CurrentRecorder()
 	if rec == nil {
 		http.Error(w, "tracing disabled: no recorder installed", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := ExportTrace(w, TraceRecords(rec)); err != nil {
-		// Headers are gone; all we can do is log-free best effort.
+	var buf bytes.Buffer
+	if err := exportTraceFn(&buf, TraceRecords(rec)); err != nil {
+		http.Error(w, "trace export failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // StartDebugServer listens on addr (host:port; an empty port picks a
@@ -68,5 +82,23 @@ func StartDebugServer(addr string) (*DebugServer, error) {
 // requested :0 port).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// debugShutdownTimeout bounds how long Close waits for in-flight
+// scrapes (a /debug/pprof/profile run, a /debug/trace export) before
+// cutting connections. Long enough for any realistic scrape of the
+// endpoints, short enough that a hung client cannot wedge shutdown.
+const debugShutdownTimeout = 5 * time.Second
+
+// Close stops the server gracefully: it stops accepting connections and
+// waits up to debugShutdownTimeout for in-flight requests — a live
+// profile scrape, a trace export — to complete, then falls back to
+// hard-closing whatever remains. The previous abrupt srv.Close raced
+// smoke.sh's scrapes, truncating responses mid-body.
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), debugShutdownTimeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		// Drain timed out (or the context died): cut the stragglers.
+		return d.srv.Close()
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
@@ -108,5 +109,101 @@ func TestDebugTraceEndpoint(t *testing.T) {
 	}
 	if spans != 2 {
 		t.Errorf("scraped %d spans, want 2 (the flight-retained tree)", spans)
+	}
+}
+
+// TestDebugTraceExportErrorIs500 pins the regression where a mid-stream
+// export failure produced a truncated body under a 200 status (the
+// header was committed before ExportTrace ran, so promotrace -check
+// rejected the scrape with a confusing validation error). With the
+// buffered handler, a failing export must yield a clean 500 and none of
+// the partial bytes the exporter managed to write.
+func TestDebugTraceExportErrorIs500(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	rec := withRecorder(t, 16)
+	_, sp := Start(context.Background(), "doomed")
+	sp.End()
+	_ = rec
+
+	orig := exportTraceFn
+	exportTraceFn = func(w io.Writer, records []*SpanRecord) error {
+		// Mimic a mid-stream failure: some JSON escapes, then an error —
+		// exactly what a write fault used to leave in the response body.
+		_, _ = w.Write([]byte(`{"traceEvents":[{"truncated`))
+		return io.ErrShortWrite
+	}
+	defer func() { exportTraceFn = orig }()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing export: status %d, want 500", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "traceEvents") {
+		t.Fatalf("500 body leaks partial trace bytes: %q", body)
+	}
+	if !strings.Contains(string(body), "trace export failed") {
+		t.Fatalf("500 body should explain the failure, got %q", body)
+	}
+}
+
+// TestDebugServerCloseDrainsInflight pins the graceful-shutdown fix:
+// Close must let an in-flight scrape finish (the old srv.Close cut the
+// connection mid-response, which smoke.sh raced in practice). A CPU
+// profile with seconds=1 holds the handler long enough for Close to
+// arrive while the request is live.
+func TestDebugServerCloseDrainsInflight(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		status int
+		n      int
+		err    error
+	}
+	started := make(chan struct{})
+	done := make(chan result, 1)
+	go func() {
+		// Signal just before the request goes out; the profile handler
+		// then blocks for a full second, guaranteeing overlap with Close.
+		close(started)
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, n: len(body), err: err}
+	}()
+
+	<-started
+	time.Sleep(200 * time.Millisecond) // let the profile request reach the handler
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across Close: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight scrape: status %d, want 200", r.status)
+	}
+	if r.n == 0 {
+		t.Fatal("in-flight scrape returned an empty profile body")
 	}
 }

@@ -1,0 +1,296 @@
+package promod
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+	"promonet/internal/obs"
+)
+
+// staticSource serves a fixed graph on every load.
+func staticSource(g *graph.Graph) Source {
+	return Source{Name: "test", Load: func() (*graph.Graph, []int64, error) { return g, nil, nil }}
+}
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testHost(seed int64, n int) *graph.Graph {
+	return gen.BarabasiAlbert(rand.New(rand.NewSource(seed)), n, 2)
+}
+
+func postPromote(t *testing.T, h http.Handler, req PromoteRequest) (*PromoteResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/promote", bytes.NewReader(body)))
+	resp := rec.Result()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	var out PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding promote response: %v", err)
+	}
+	return &out, resp
+}
+
+func TestPromoteEndpointBasics(t *testing.T) {
+	g := testHost(1, 120)
+	s := testServer(t, Config{Source: staticSource(g)})
+	h := s.Handler()
+
+	resp, raw := postPromote(t, h, PromoteRequest{Target: 60, Measure: "betweenness", Budget: 12})
+	if resp == nil {
+		body, _ := io.ReadAll(raw.Body)
+		t.Fatalf("promote: status %d: %s", raw.StatusCode, body)
+	}
+	if resp.Measure != "betweenness" || resp.Strategy != "multi-point" {
+		t.Errorf("measure/strategy = %q/%q, want betweenness/multi-point (Table I)", resp.Measure, resp.Strategy)
+	}
+	if resp.Size != 12 || resp.EdgeCost != 12 {
+		t.Errorf("size/edge_cost = %d/%d, want 12/12 (multi-point spends one edge per node)", resp.Size, resp.EdgeCost)
+	}
+	if resp.Mode != ModeGuaranteed {
+		t.Errorf("mode = %q, want %q", resp.Mode, ModeGuaranteed)
+	}
+	if resp.RankBefore < 1 || resp.PredictedRank > resp.RankBefore {
+		t.Errorf("ranks went backwards: before %d predicted %d", resp.RankBefore, resp.PredictedRank)
+	}
+	if resp.Snapshot.Backend != "csr" || resp.Snapshot.Seq != 1 {
+		t.Errorf("snapshot = %+v, want csr backend seq 1", resp.Snapshot)
+	}
+	if resp.Manifest == nil || resp.Manifest.Dataset == nil {
+		t.Fatal("response carries no manifest")
+	}
+	if resp.Manifest.Dataset.Digest != resp.Snapshot.Digest || resp.Manifest.Dataset.Digest != graph.Digest(g) {
+		t.Error("manifest digest does not identify the served host")
+	}
+	enc, err := json.Marshal(resp.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifest(enc); err != nil {
+		t.Errorf("embedded manifest fails the validator: %v", err)
+	}
+
+	// Strategy override away from Table I voids the lemma.
+	or, raw2 := postPromote(t, h, PromoteRequest{Target: 60, Measure: "betweenness", Size: 4, Strategy: "single-clique"})
+	if or == nil {
+		t.Fatalf("override: status %d", raw2.StatusCode)
+	}
+	if or.Mode != ModeNone || or.Strategy != "single-clique" {
+		t.Errorf("override mode/strategy = %q/%q, want none/single-clique", or.Mode, or.Strategy)
+	}
+}
+
+func TestPromoteValidation(t *testing.T) {
+	s := testServer(t, Config{Source: staticSource(testHost(2, 40))})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		req  PromoteRequest
+		want int
+	}{
+		{"unknown measure", PromoteRequest{Target: 1, Measure: "pagerank", Size: 2}, http.StatusBadRequest},
+		{"no size or budget", PromoteRequest{Target: 1, Measure: "degree"}, http.StatusBadRequest},
+		{"both size and budget", PromoteRequest{Target: 1, Measure: "degree", Size: 2, Budget: 2}, http.StatusBadRequest},
+		{"unknown target", PromoteRequest{Target: 4000, Measure: "degree", Size: 2}, http.StatusNotFound},
+		{"bad strategy", PromoteRequest{Target: 1, Measure: "degree", Size: 2, Strategy: "mega-clique"}, http.StatusBadRequest},
+		{"no kernel", PromoteRequest{Target: 1, Measure: "current-flow", Size: 2}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp, raw := postPromote(t, h, tc.req); resp != nil || raw.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", raw.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactModeSizeGate(t *testing.T) {
+	s := testServer(t, Config{Source: staticSource(testHost(3, 50)), ExactMaxN: 30})
+	if resp, raw := postPromote(t, s.Handler(), PromoteRequest{Target: 1, Measure: "degree", Size: 2, Exact: true}); resp != nil {
+		t.Error("exact rescoring accepted above ExactMaxN")
+	} else if raw.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", raw.StatusCode)
+	}
+}
+
+func TestDegreeClosedFormMatchesExact(t *testing.T) {
+	g := testHost(4, 200)
+	s := testServer(t, Config{Source: staticSource(g)})
+	h := s.Handler()
+	for _, target := range []int64{0, 17, 150} {
+		pred, raw := postPromote(t, h, PromoteRequest{Target: target, Measure: "degree", Size: 5})
+		if pred == nil {
+			t.Fatalf("predict: status %d", raw.StatusCode)
+		}
+		if pred.Mode != ModeClosedForm || pred.PredictedScore == nil {
+			t.Fatalf("degree mode = %q (score %v), want closed-form", pred.Mode, pred.PredictedScore)
+		}
+		exact, raw := postPromote(t, h, PromoteRequest{Target: target, Measure: "degree", Size: 5, Exact: true})
+		if exact == nil {
+			t.Fatalf("exact: status %d", raw.StatusCode)
+		}
+		if exact.Exact.ScoreAfter != *pred.PredictedScore {
+			t.Errorf("target %d: closed-form score %v, exact %v", target, *pred.PredictedScore, exact.Exact.ScoreAfter)
+		}
+		if exact.Exact.RankAfter != pred.PredictedRank {
+			t.Errorf("target %d: closed-form rank %d, exact %d", target, pred.PredictedRank, exact.Exact.RankAfter)
+		}
+	}
+}
+
+// TestGuaranteedBoundsAgainstExact is the scientific core of the serving
+// path: for every measure with a proved p′ lemma, the predicted rank
+// delta must be a sound lower bound on the measured one, and promoting
+// with the reported guaranteed size must strictly improve the ranking.
+func TestGuaranteedBoundsAgainstExact(t *testing.T) {
+	g := testHost(5, 90)
+	s := testServer(t, Config{Source: staticSource(g)})
+	h := s.Handler()
+	for _, m := range []string{"betweenness", "coreness", "closeness", "eccentricity"} {
+		for _, target := range []int64{4, 33, 78} {
+			base, raw := postPromote(t, h, PromoteRequest{Target: target, Measure: m, Size: 2})
+			if base == nil {
+				t.Fatalf("%s/%d: status %d", m, target, raw.StatusCode)
+			}
+			sizes := []int{2, 6}
+			if base.GuaranteedSize > 0 {
+				sizes = append(sizes, base.GuaranteedSize)
+			}
+			for _, p := range sizes {
+				pred, _ := postPromote(t, h, PromoteRequest{Target: target, Measure: m, Size: p})
+				exact, _ := postPromote(t, h, PromoteRequest{Target: target, Measure: m, Size: p, Exact: true})
+				if pred == nil || exact == nil {
+					t.Fatalf("%s/%d/p=%d: query failed", m, target, p)
+				}
+				if pred.Mode != ModeGuaranteed {
+					t.Fatalf("%s: mode %q, want guaranteed", m, pred.Mode)
+				}
+				if exact.Exact.DeltaRank < pred.PredictedDelta {
+					t.Errorf("%s target %d p=%d: lemma bound unsound: predicted delta %d > measured %d",
+						m, target, p, pred.PredictedDelta, exact.Exact.DeltaRank)
+				}
+				if p == base.GuaranteedSize && base.RankBefore > 1 && !exact.Exact.Effective {
+					t.Errorf("%s target %d: guaranteed size %d did not improve the ranking (rank %d -> %d)",
+						m, target, p, base.RankBefore, exact.Exact.RankAfter)
+				}
+			}
+		}
+	}
+}
+
+func TestScoresEndpoint(t *testing.T) {
+	g := testHost(6, 80)
+	s := testServer(t, Config{Source: staticSource(g)})
+	h := s.Handler()
+
+	get := func(url string) (*ScoresResponse, int) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			return nil, rec.Code
+		}
+		var out ScoresResponse
+		if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out, rec.Code
+	}
+
+	resp, code := get("/v1/scores?measure=degree&labels=0,5,9&top=3")
+	if resp == nil {
+		t.Fatalf("scores: status %d", code)
+	}
+	if len(resp.Nodes) != 3 || len(resp.Top) != 3 {
+		t.Fatalf("got %d nodes, %d top; want 3, 3", len(resp.Nodes), len(resp.Top))
+	}
+	for i, ns := range resp.Nodes {
+		if want := g.Degree(int(ns.Label)); ns.Score != float64(want) {
+			t.Errorf("node %d: score %v, want degree %d", i, ns.Score, want)
+		}
+	}
+	if resp.Top[0].Rank != 1 {
+		t.Errorf("top entry rank %d, want 1", resp.Top[0].Rank)
+	}
+	for i := 1; i < len(resp.Top); i++ {
+		if resp.Top[i].Score > resp.Top[i-1].Score {
+			t.Error("top list not score-descending")
+		}
+	}
+
+	if _, code := get("/v1/scores?measure=degree&labels=999"); code != http.StatusNotFound {
+		t.Errorf("unknown label: status %d, want 404", code)
+	}
+	if _, code := get("/v1/scores?measure=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown measure: status %d, want 400", code)
+	}
+}
+
+func TestManifestAndHealthEndpoints(t *testing.T) {
+	s := testServer(t, Config{Source: staticSource(testHost(7, 60))})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/manifest", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("manifest: status %d", rec.Code)
+	}
+	if err := obs.ValidateManifest(rec.Body.Bytes()); err != nil {
+		t.Errorf("/v1/manifest fails validation: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	g := testHost(8, 70)
+	req := PromoteRequest{Target: 11, Measure: "closeness", Size: 4, Exact: true}
+	var got [2]*PromoteResponse
+	for i, backend := range []string{"csr", "map"} {
+		s := testServer(t, Config{Source: staticSource(g), Backend: backend})
+		resp, raw := postPromote(t, s.Handler(), req)
+		if resp == nil {
+			t.Fatalf("%s: status %d", backend, raw.StatusCode)
+		}
+		got[i] = resp
+	}
+	if got[0].Snapshot.Digest != got[1].Snapshot.Digest {
+		t.Error("backends disagree on host digest")
+	}
+	if got[0].RankBefore != got[1].RankBefore || got[0].Exact.RankAfter != got[1].Exact.RankAfter ||
+		got[0].Exact.ScoreAfter != got[1].Exact.ScoreAfter || got[0].GuaranteedSize != got[1].GuaranteedSize {
+		t.Errorf("backends disagree:\ncsr: %+v\nmap: %+v", got[0], got[1])
+	}
+}
+
+func TestShutdownWithoutStart(t *testing.T) {
+	s := testServer(t, Config{Source: staticSource(testHost(9, 30))})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown before Start: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package promod
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// TestPromoteTenantRateConformance drives the full HTTP path — handler,
+// tenantOf, admission, token bucket — as fast as one client can and
+// checks the end-to-end invariant the load generator's saturation sweep
+// depends on: a tenant configured at rate r with burst b is granted at
+// most r·elapsed + b successful answers, everything beyond that is a
+// 429. This is the live-path companion to the unit tests in
+// admission_test.go; it would have caught a measurement bug where the
+// client drained a deep pacing backlog past its deadline and the
+// server appeared to over-admit by 1.6×.
+func TestPromoteTenantRateConformance(t *testing.T) {
+	g := gen.BarabasiAlbert(rand.New(rand.NewSource(1)), 400, 4)
+	src := Source{Name: "conf", Load: func() (*graph.Graph, []int64, error) { return g, nil, nil }}
+	s, err := New(Config{Source: src, Backend: "csr",
+		Admission: AdmissionConfig{TenantRate: 500, TenantBurst: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := []byte(`{"target":1,"measure":"degree","size":4}`)
+	okN, shedN := 0, 0
+	start := time.Now()
+	deadline := start.Add(time.Second)
+	for time.Now().Before(deadline) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/promote", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Promod-Tenant", "bench")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okN++
+		case http.StatusTooManyRequests:
+			shedN++
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// The invariant: admitted ≤ rate·elapsed + burst (+1 token of float
+	// slack). The lower bound is loose — a slow host may not attempt
+	// enough requests to drain the bucket — but the upper bound is the
+	// contract and must hold on any host.
+	bound := int(500*elapsed.Seconds()) + 50 + 1
+	if okN > bound {
+		t.Errorf("tenant over-admitted: %d OK in %v, bound %d (shed %d)", okN, elapsed, bound, shedN)
+	}
+	if okN == 0 {
+		t.Error("no request admitted at all")
+	}
+}

@@ -1,0 +1,150 @@
+package promod
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promonet/internal/gen"
+	"promonet/internal/graph"
+)
+
+// TestConcurrentSnapshotSwap is the swap-protocol race suite: query
+// goroutines hammer /v1/promote over real HTTP while reloader
+// goroutines rotate the installed snapshot through distinct hosts. The
+// invariant under -race: every response's manifest digest identifies
+// exactly the host its snapshot sequence number says it was admitted
+// under — no torn views, no answer computed half on one host and half
+// on another, and zero requests dropped across swaps.
+func TestConcurrentSnapshotSwap(t *testing.T) {
+	const hosts = 3
+	graphs := make([]*graph.Graph, hosts)
+	digests := make([]string, hosts)
+	for i := range graphs {
+		// Distinct sizes so a torn view would also show up as an n/m
+		// mismatch, not just a digest one.
+		graphs[i] = gen.BarabasiAlbert(rand.New(rand.NewSource(int64(100+i))), 120+i*31, 2)
+		digests[i] = graph.Digest(graphs[i])
+	}
+	var loads atomic.Uint64
+	s := testServer(t, Config{Source: Source{
+		Name: "rotating",
+		// Reload serializes loads, so load i becomes snapshot seq i+1:
+		// the expected digest for seq is digests[(seq-1)%hosts].
+		Load: func() (*graph.Graph, []int64, error) {
+			i := loads.Add(1) - 1
+			return graphs[i%hosts], nil, nil
+		},
+	}})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	base := "http://" + s.Addr()
+
+	const (
+		queriers  = 6
+		perQuery  = 30
+		reloaders = 2
+		perReload = 8
+	)
+	measures := []string{"degree", "coreness", "closeness"}
+	errc := make(chan error, queriers*perQuery+reloaders*perReload)
+	var wg sync.WaitGroup
+
+	wg.Add(queriers)
+	for q := 0; q < queriers; q++ {
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < perQuery; i++ {
+				req := PromoteRequest{
+					// Targets stay within the smallest host so every
+					// snapshot can answer them.
+					Target:  int64((q*perQuery + i) % 100),
+					Measure: measures[(q+i)%len(measures)],
+					Size:    2 + i%3,
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(base+"/v1/promote", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- fmt.Errorf("query dropped across swap: %w", err)
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil {
+					errc <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query shed during swap: status %d: %s", resp.StatusCode, raw)
+					continue
+				}
+				var pr PromoteResponse
+				if err := json.Unmarshal(raw, &pr); err != nil {
+					errc <- err
+					continue
+				}
+				host := graphs[(pr.Snapshot.Seq-1)%hosts]
+				want := digests[(pr.Snapshot.Seq-1)%hosts]
+				if pr.Manifest == nil || pr.Manifest.Dataset == nil {
+					errc <- fmt.Errorf("seq %d: response without manifest", pr.Snapshot.Seq)
+					continue
+				}
+				if pr.Manifest.Dataset.Digest != want || pr.Snapshot.Digest != want {
+					errc <- fmt.Errorf("torn view: seq %d reports digest %s/%s, want %s",
+						pr.Snapshot.Seq, pr.Manifest.Dataset.Digest, pr.Snapshot.Digest, want)
+				}
+				if pr.Manifest.Dataset.N != host.N() || pr.Snapshot.M != host.M() {
+					errc <- fmt.Errorf("torn view: seq %d reports n=%d m=%d, want n=%d m=%d",
+						pr.Snapshot.Seq, pr.Manifest.Dataset.N, pr.Snapshot.M, host.N(), host.M())
+				}
+			}
+		}(q)
+	}
+
+	wg.Add(reloaders)
+	for r := 0; r < reloaders; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perReload; i++ {
+				resp, err := http.Post(base+"/admin/reload", "application/json", nil)
+				if err != nil {
+					errc <- err
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("reload: status %d", resp.StatusCode)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := s.Snapshot().Seq; got != uint64(1+reloaders*perReload) {
+		t.Errorf("snapshot seq = %d, want %d (initial load + every reload)", got, 1+reloaders*perReload)
+	}
+}

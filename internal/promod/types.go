@@ -1,0 +1,171 @@
+package promod
+
+import "promonet/internal/obs"
+
+// Prediction modes of a PromoteResponse: how much the reported rank
+// delta is worth.
+const (
+	// ModeClosedForm marks an exactly computed outcome from a closed
+	// form (degree: the new score is the old score plus the attached
+	// edges, no recomputation needed).
+	ModeClosedForm = "closed-form"
+	// ModeGuaranteed marks a provable lower bound from the paper's p′
+	// lemmas: the true rank delta is at least the reported one.
+	ModeGuaranteed = "guaranteed"
+	// ModeExact marks a full engine recomputation on a copy of the host
+	// with the strategy applied ("exact": true).
+	ModeExact = "exact"
+	// ModeNone means no prediction is available for the measure/strategy
+	// combination (e.g. harmonic and Katz have no proved lemma; a
+	// strategy overridden away from Table I voids the bound).
+	ModeNone = "none"
+)
+
+// SnapshotInfo describes an installed host snapshot. Seq increases by
+// one per swap, so two loads of identical content (same Digest) are
+// still distinguishable.
+type SnapshotInfo struct {
+	// Seq is the swap sequence number, starting at 1 for the initial
+	// load.
+	Seq uint64 `json:"seq"`
+	// Name is the configured source name (file path or generator tag).
+	Name string `json:"name"`
+	// Backend is the serving representation, "csr" or "map".
+	Backend string `json:"backend"`
+	// N and M are node and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Digest is the host's content digest (graph.Digest).
+	Digest string `json:"digest"`
+	// LoadedAt is the RFC 3339 UTC time the snapshot was installed.
+	LoadedAt string `json:"loaded_at"`
+}
+
+// PromoteRequest is the body of POST /v1/promote. Exactly one of Budget
+// and Size must be positive: Budget asks the daemon to pick the largest
+// promotion size affordable within that many inserted edges, Size fixes
+// p directly.
+type PromoteRequest struct {
+	// Target is the external label of the node to promote.
+	Target int64 `json:"target"`
+	// Measure is the centrality measure, long or short name
+	// ("betweenness"/"BC", "coreness"/"RC", ...).
+	Measure string `json:"measure"`
+	// Budget is the edge budget |Δ_E| to spend (mutually exclusive with
+	// Size).
+	Budget int `json:"budget,omitempty"`
+	// Size is the promotion size p = |Δ_V| (mutually exclusive with
+	// Budget).
+	Size int `json:"size,omitempty"`
+	// Strategy optionally overrides the principle-guided strategy type:
+	// "multi-point", "double-line", or "single-clique". Overriding away
+	// from Table I voids the lemma guarantee (Mode degrades to "none").
+	Strategy string `json:"strategy,omitempty"`
+	// Exact requests a full rescoring of the host with the strategy
+	// applied; refused with 422 on hosts larger than the server's
+	// ExactMaxN.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// ExactOutcome is the measured (not predicted) result of applying the
+// strategy, present when the request set Exact.
+type ExactOutcome struct {
+	// ScoreAfter is the target's score in G′.
+	ScoreAfter float64 `json:"score_after"`
+	// RankAfter is the target's competition rank in G′.
+	RankAfter int `json:"rank_after"`
+	// DeltaRank is rank_before − rank_after (positive = promoted).
+	DeltaRank int `json:"delta_rank"`
+	// Ratio is the paper's promotion ratio R = ΔRank / (n − 1).
+	Ratio float64 `json:"ratio"`
+	// Effective reports whether the ranking strictly improved.
+	Effective bool `json:"effective"`
+	// Inserted is |Δ_V|, the number of nodes actually added.
+	Inserted int `json:"inserted"`
+}
+
+// PromoteResponse is the body of a successful POST /v1/promote.
+type PromoteResponse struct {
+	// Target echoes the requested label.
+	Target int64 `json:"target"`
+	// Measure is the resolved long measure name.
+	Measure string `json:"measure"`
+	// Principle is the paper principle guiding the strategy
+	// ("maximum-gain" or "minimum-loss").
+	Principle string `json:"principle"`
+	// Strategy is the strategy type used.
+	Strategy string `json:"strategy"`
+	// Size is the promotion size p.
+	Size int `json:"size"`
+	// EdgeCost is |Δ_E| for that size and strategy.
+	EdgeCost int `json:"edge_cost"`
+	// GuaranteedSize is the smallest p provably improving the ranking
+	// (the lemma's p′ rounded up past strictness); 0 when the target is
+	// already rank 1 or no bound applies.
+	GuaranteedSize int `json:"guaranteed_size,omitempty"`
+	// ScoreBefore and RankBefore are the target's standing on the
+	// pinned snapshot.
+	ScoreBefore float64 `json:"score_before"`
+	RankBefore  int     `json:"rank_before"`
+	// PredictedScore is the target's post-promotion score when a closed
+	// form exists (degree only); omitted otherwise.
+	PredictedScore *float64 `json:"predicted_score,omitempty"`
+	// PredictedRank and PredictedDelta are the predicted standing; under
+	// ModeGuaranteed they are bounds (true rank ≤ predicted rank).
+	PredictedRank  int `json:"predicted_rank"`
+	PredictedDelta int `json:"predicted_delta_rank"`
+	// Mode qualifies the prediction: ModeClosedForm, ModeGuaranteed,
+	// ModeExact, or ModeNone.
+	Mode string `json:"mode"`
+	// Exact is the measured outcome, present iff the request set Exact.
+	Exact *ExactOutcome `json:"exact,omitempty"`
+	// Snapshot identifies the host the answer was computed on.
+	Snapshot SnapshotInfo `json:"snapshot"`
+	// Manifest is the self-validating provenance record; its Dataset
+	// digest matches Snapshot.Digest by construction.
+	Manifest *obs.Manifest `json:"manifest"`
+}
+
+// NodeScore is one node's standing in a ScoresResponse.
+type NodeScore struct {
+	// Label is the node's external label.
+	Label int64 `json:"label"`
+	// Score is the node's centrality score.
+	Score float64 `json:"score"`
+	// Rank is the node's competition rank (1 + number of strictly
+	// higher scores).
+	Rank int `json:"rank"`
+}
+
+// ScoresResponse is the body of GET /v1/scores.
+type ScoresResponse struct {
+	// Measure is the resolved long measure name.
+	Measure string `json:"measure"`
+	// Snapshot identifies the host the scores were computed on.
+	Snapshot SnapshotInfo `json:"snapshot"`
+	// Nodes are the requested labels' standings, in request order.
+	Nodes []NodeScore `json:"nodes,omitempty"`
+	// Top are the k highest-ranked nodes (ties broken by ascending
+	// label), when top=k was requested.
+	Top []NodeScore `json:"top,omitempty"`
+}
+
+// ReloadResponse is the body of POST /admin/reload.
+type ReloadResponse struct {
+	// Snapshot describes the newly installed host.
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" whenever the daemon answers at all.
+	Status string `json:"status"`
+	// Snapshot describes the currently installed host.
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+// ErrorResponse is the JSON error envelope every non-2xx response uses.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}

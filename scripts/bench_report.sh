@@ -151,3 +151,37 @@ index($0, key) {
 else
     echo "BENCH_9.json missing — run scripts/bench.sh first"
 fi
+
+echo
+if [ -f BENCH_10.json ]; then
+    echo "== promod saturation curve (BENCH_10.json) =="
+    awk '
+function num(    line) { line = $0; sub(/.*: /, "", line); sub(/[^0-9.].*/, "", line); return line + 0 }
+/"target_rps":/ { rps = num() }
+/"ok":/         { ok = num() }
+/"shed":/       { shed = num() }
+/"errors":/     { errs = num() }
+/"ok_rps":/     { okr = num(); if (okr > best) best = okr }
+/"p50_ms":/     { p50 = num() }
+/"p99_ms":/     {
+    printf "  rps %6d: ok %6d (%.0f ok/s)   shed %6d   err %4d   p50 %8.2f ms   p99 %8.2f ms\n",
+        rps, ok, okr, shed, errs, p50, num()
+}
+END {
+    flag = (best < 5000) ? "  ** below 5k RPS bar **" : ""
+    printf "  peak sustained %.0f OK RPS%s\n", best, flag
+}' BENCH_10.json
+    awk '
+function num(    line) { line = $0; sub(/.*: /, "", line); sub(/[^0-9.].*/, "", line); return line + 0 }
+/"no_admission_p50_ms":/ { noadm = num(); next }
+/"admission_p50_ms":/    { adm = num() }
+END {
+    if (adm <= 0 || noadm <= 0) { print "  shed-overhead pair missing — skipping"; exit }
+    ratio = adm / noadm
+    flag = (ratio > 1.05) ? "  ** admission overhead above 5% bar **" : ""
+    printf "  low-load p50: admission %.2f ms   no admission %.2f ms   ratio %5.3fx%s\n",
+        adm, noadm, ratio, flag
+}' BENCH_10.json
+else
+    echo "BENCH_10.json missing — run scripts/bench.sh first"
+fi

@@ -72,6 +72,15 @@ if ! echo "$bench_out" | grep -q '\b0 allocs/op'; then
     exit 1
 fi
 
+step "promod snapshot-swap race suite (go test -race TestConcurrentSnapshotSwap)"
+# The swap protocol's whole contract — every admitted request is served
+# from exactly one pinned snapshot, reloads never tear a view or drop an
+# in-flight request — only fails under concurrency, so this test runs
+# under the race detector even in quick mode (the full -race pass below
+# covers it too, but attributing a failure to the swap protocol directly
+# is worth the few extra seconds).
+go test -race -run 'TestConcurrentSnapshotSwap' ./internal/promod
+
 if [[ "${1:-}" == "quick" ]]; then
     step "go test ./... (quick mode: no -race, no promodebug pass)"
     go test ./...

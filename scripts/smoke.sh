@@ -7,30 +7,39 @@
 #      present), /debug/pprof/heap, and /debug/trace (validated with
 #      promotrace -check) while the server lingers;
 #   2. runs a small experiments subset with per-cell manifests;
-#   3. validates every emitted manifest against the schema (and the
+#   3. boots the promod serving daemon on a generated BA host, answers
+#      a promotion query, drives a short promoload burst, swaps the
+#      snapshot via POST /admin/reload (checking the promod.* counters
+#      on /debug/vars), validates its live /debug/trace, and drains it
+#      with SIGTERM;
+#   4. validates every emitted manifest against the schema (and the
 #      byte-identical round-trip property) via the obs glob test;
-#   4. runs promoctl again with -trace, validates the written trace
+#   5. runs promoctl again with -trace, validates the written trace
 #      file, and checks the promotrace summary is byte-deterministic;
-#   5. copies the manifests into ./smoke-manifests and the traces into
+#   6. copies the manifests into ./smoke-manifests and the traces into
 #      ./smoke-traces for artifact upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WORK="$(mktemp -d)"
 PROMOCTL_PID=""
+PROMOD_PID=""
 cleanup() {
     [[ -n "$PROMOCTL_PID" ]] && kill "$PROMOCTL_PID" 2>/dev/null || true
+    [[ -n "$PROMOD_PID" ]] && kill "$PROMOD_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
 
 step() { echo "== $*"; }
 
-step "build gengraph, promoctl, experiments, promotrace"
+step "build gengraph, promoctl, experiments, promotrace, promod, promoload"
 go build -o "$WORK/gengraph" ./cmd/gengraph
 go build -o "$WORK/promoctl" ./cmd/promoctl
 go build -o "$WORK/experiments" ./cmd/experiments
 go build -o "$WORK/promotrace" ./cmd/promotrace
+go build -o "$WORK/promod" ./cmd/promod
+go build -o "$WORK/promoload" ./cmd/promoload
 
 step "generate host graph"
 "$WORK/gengraph" -model ba -n 400 -k 4 -out "$WORK/g.txt"
@@ -103,8 +112,73 @@ step "experiments with per-cell manifests"
     -manifest "$WORK/manifests" > /dev/null
 ls "$WORK/manifests"/manifest-*.json > /dev/null
 
+step "promod: boot the serving daemon on a 400-node BA host"
+"$WORK/promod" -listen 127.0.0.1:0 -gen-ba 400,4 -max-inflight 8 -queue 16 \
+    -debug-addr 127.0.0.1:0 2> "$WORK/promod.err" &
+PROMOD_PID=$!
+PADDR=""
+for _ in $(seq 1 100); do
+    PADDR="$(sed -n 's/^promod: listening on //p' "$WORK/promod.err" | head -1)"
+    [[ -n "$PADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$PADDR" ]]; then
+    echo "promod never announced its listen address:" >&2
+    cat "$WORK/promod.err" >&2
+    exit 1
+fi
+PDEBUG="$(sed -n 's|.*debug endpoints at http://\([^/]*\)/debug/.*|\1|p' "$WORK/promod.err" | head -1)"
+if [[ -z "$PDEBUG" ]]; then
+    echo "promod never announced its debug address:" >&2
+    cat "$WORK/promod.err" >&2
+    exit 1
+fi
+echo "promod API at $PADDR, debug at $PDEBUG"
+grep -q "promod: serving ba-n400-k4-seed42 (csr backend" "$WORK/promod.err"
+
+step "promod: promotion query (Table I strategy + predicted rank)"
+curl -fsS -X POST "http://$PADDR/v1/promote" \
+    -H 'Content-Type: application/json' \
+    -d '{"target": 7, "measure": "closeness", "size": 4}' > "$WORK/promod-resp.json"
+grep -q '"strategy":"multi-point"' "$WORK/promod-resp.json"
+grep -q '"predicted_rank"' "$WORK/promod-resp.json"
+grep -q '"manifest"' "$WORK/promod-resp.json"
+curl -fsS "http://$PADDR/v1/manifest" > "$WORK/manifest-promod.json"
+curl -fsS "http://$PADDR/healthz" | grep -q '"status":"ok"'
+
+step "promod: short promoload burst"
+"$WORK/promoload" -addr "$PADDR" -rps 200 -duration 1s -warmup 0s \
+    -measure degree -p 4 -targets 16 -workers 8 -json > "$WORK/promoload.json" \
+    2> "$WORK/promoload.err"
+awk '
+/"ok":/     { sub(/.*: /, ""); sub(/[^0-9].*/, ""); ok = $0 + 0 }
+/"errors":/ { sub(/.*: /, ""); sub(/[^0-9].*/, ""); errs = $0 + 0 }
+END {
+    if (ok < 1 || errs > 0) {
+        printf "promoload burst: ok=%d errors=%d\n", ok, errs > "/dev/stderr"
+        exit 1
+    }
+}' "$WORK/promoload.json"
+
+step "promod: snapshot swap via POST /admin/reload"
+curl -fsS -X POST "http://$PADDR/admin/reload" > "$WORK/promod-reload.json"
+grep -q '"seq":2' "$WORK/promod-reload.json"
+curl -fsS "http://$PDEBUG/debug/vars" > "$WORK/promod-vars.json"
+grep -q '"promod.swaps":2' "$WORK/promod-vars.json"
+grep -q '"promod.requests"' "$WORK/promod-vars.json"
+
+step "promod: live /debug/trace validates with promotrace -check"
+curl -fsS "http://$PDEBUG/debug/trace" > "$WORK/trace-promod.json"
+"$WORK/promotrace" -check "$WORK/trace-promod.json"
+
+step "promod: graceful drain on SIGTERM"
+kill -TERM "$PROMOD_PID"
+wait "$PROMOD_PID" 2>/dev/null || true
+PROMOD_PID=""
+grep -q "draining" "$WORK/promod.err"
+
 step "validate manifests against the schema"
-MANIFEST_GLOB="$WORK/manifest-promoctl.json $WORK/manifests/*.json" \
+MANIFEST_GLOB="$WORK/manifest-promoctl.json $WORK/manifests/*.json $WORK/manifest-promod.json" \
     go test ./internal/obs -run TestValidateManifestGlobFromEnv -count=1
 
 step "promoctl with -trace: exported file validates and summarizes deterministically"
@@ -124,7 +198,9 @@ grep -q "critical path" "$WORK/summary-1.txt"
 step "collect smoke-manifests/ and smoke-traces/"
 rm -rf smoke-manifests smoke-traces
 mkdir -p smoke-manifests smoke-traces
-cp "$WORK/manifest-promoctl.json" "$WORK/manifests"/manifest-*.json smoke-manifests/
-cp "$WORK/trace-live.json" "$WORK/trace-file.json" "$WORK/summary-1.txt" smoke-traces/
+cp "$WORK/manifest-promoctl.json" "$WORK/manifest-promod.json" \
+    "$WORK/manifests"/manifest-*.json smoke-manifests/
+cp "$WORK/trace-live.json" "$WORK/trace-file.json" "$WORK/trace-promod.json" \
+    "$WORK/summary-1.txt" smoke-traces/
 
 echo "OK"
